@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"schemr"
+)
+
+func TestCorpusBuilderEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "corpus")
+	var out bytes.Buffer
+	err := run([]string{
+		"-data", data, "-tables", "5000", "-seed", "7",
+		"-relational", "10", "-hierarchical", "5",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "filter funnel: raw=5000") {
+		t.Errorf("output: %s", out.String())
+	}
+	// The built corpus opens and is searchable.
+	sys, err := schemr.Open(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Repo.Len() < 15 { // ≥10 relational + 5 hierarchical + retained flats
+		t.Fatalf("repo size = %d", sys.Repo.Len())
+	}
+	q, _ := schemr.ParseQuery(schemr.QueryInput{Keywords: "patient name gender"})
+	results, err := sys.Search(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Error("built corpus returned no results for a common query")
+	}
+}
+
+func TestCorpusBuilderViaHTML(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{
+		"-data", filepath.Join(dir, "c"), "-tables", "2000", "-seed", "9",
+		"-relational", "2", "-hierarchical", "1", "-via-html",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorpusBuilderBadFlags(t *testing.T) {
+	if err := run([]string{"-tables", "notanumber"}, &bytes.Buffer{}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,348 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"schemr/internal/core"
+	"schemr/internal/eval"
+	"schemr/internal/index"
+	"schemr/internal/learn"
+	"schemr/internal/match"
+	"schemr/internal/model"
+	"schemr/internal/query"
+	"schemr/internal/webtables"
+)
+
+// expCorpus reproduces the paper's corpus funnel claim: "over 30,000 public
+// schemas" retained from "a collection of 10 million HTML tables" after
+// removing non-alphabetical schemas, web singletons, and trivial schemas —
+// at a reduced default scale of 200k raw tables.
+func expCorpus(cfg config) error {
+	n := cfg.tables
+	if n == 0 {
+		n = 200_000
+	}
+	if cfg.quick {
+		n = 20_000
+	}
+	fmt.Printf("generating %d raw web tables (paper: 10,000,000)...\n", n)
+	p := webtables.NewPipeline()
+	g := webtables.NewGenerator(webtables.Options{Seed: cfg.seed, NumTables: n})
+	for {
+		t, ok := g.Next()
+		if !ok {
+			break
+		}
+		p.Count(t)
+	}
+	g = webtables.NewGenerator(webtables.Options{Seed: cfg.seed, NumTables: n})
+	for {
+		t, ok := g.Next()
+		if !ok {
+			break
+		}
+		p.Classify(t)
+	}
+	st := p.Stats
+	fmt.Printf("\n%-28s %12s %9s\n", "funnel stage", "tables", "% of raw")
+	row := func(label string, v int) {
+		fmt.Printf("%-28s %12d %8.2f%%\n", label, v, 100*float64(v)/float64(st.Raw))
+	}
+	row("raw tables", st.Raw)
+	row("- non-alphabetical (rule 1)", st.NonAlphabetic)
+	row("- web singletons (rule 2)", st.Singleton)
+	row("- trivial <=3 elems (rule 3)", st.Trivial)
+	row("- duplicates (kept once)", st.Duplicate)
+	row("retained schemas", st.Retained)
+	fmt.Printf("\npaper: 10M → 30k+ ≈ 0.3%% retention; measured %.2f%% at %d-table scale\n",
+		100*st.RetentionRate(), n)
+	fmt.Println("(retention falls toward the paper's figure as scale grows: the set of")
+	fmt.Println("popular logical schemas saturates while raw volume keeps growing)")
+	return nil
+}
+
+// expRank reproduces the headline effectiveness claim: the combination of
+// document filtering, schema matching and structure-aware scoring beats its
+// ablations on a ground-truth workload.
+func expRank(cfg config) error {
+	n := cfg.scale
+	if n == 0 {
+		n = 2000
+	}
+	queries := 200
+	if cfg.quick {
+		n, queries = 300, 40
+	}
+	fmt.Printf("corpus: %d schemas (flat web tables + relational + hierarchical)\n", n)
+	repo, err := buildMixedRepo(cfg.seed, n)
+	if err != nil {
+		return err
+	}
+	cases, err := eval.GenerateWorkload(repo, eval.WorkloadOptions{N: queries, Seed: cfg.seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload: %d ground-truth queries (keywords + fragments with lexical noise)\n\n", len(cases))
+	rankers, err := eval.Pipelines(repo, 50)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %7s %7s %7s %7s %9s\n", "pipeline", "P@1", "P@5", "R@10", "MRR", "nDCG@10")
+	var prev, full, coarse float64
+	for i, name := range eval.PipelineNames {
+		m := eval.Evaluate(rankers[name], cases)
+		fmt.Printf("%-12s %7.3f %7.3f %7.3f %7.3f %9.3f\n", name, m.P1, m.P5, m.R10, m.MRR, m.NDCG10)
+		if i == 0 {
+			coarse = m.MRR
+		}
+		prev = m.MRR
+		full = prev
+	}
+	fmt.Printf("\nexpected shape: MRR improves as phases are added; full vs coarse: %+.3f\n", full-coarse)
+	if full <= coarse {
+		return fmt.Errorf("full pipeline (%.3f) did not beat coarse ranking (%.3f)", full, coarse)
+	}
+
+	// Structure probes: tight vs scattered twins with (near-)identical
+	// vocabulary — the tightness-of-fit component's own claim. Lexical
+	// pipelines hover near a coin flip; the structural ones must separate
+	// the twins.
+	nProbes := 50
+	if cfg.quick {
+		nProbes = 20
+	}
+	probeRepo, err := buildMixedRepo(cfg.seed+50, 100)
+	if err != nil {
+		return err
+	}
+	probes, err := eval.GenerateStructureProbes(probeRepo, nProbes, cfg.seed)
+	if err != nil {
+		return err
+	}
+	probeRankers, err := eval.Pipelines(probeRepo, 50)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nstructure probes (%d tight/scattered twins, identical vocabulary):\n", len(probes))
+	fmt.Printf("%-12s %24s\n", "pipeline", "tight-over-scattered")
+	for _, name := range eval.PipelineNames {
+		fmt.Printf("%-12s %23.0f%%\n", name, 100*eval.StructureWinRate(probeRankers[name], probes))
+	}
+	fmt.Println("\nexpected shape: lexical pipelines ≈ coin flip; +tightness/full ≈ 100%.")
+	return nil
+}
+
+// expAbbrev reproduces the name-matcher claim: "particularly helpful for
+// properly ranking schemas containing abbreviated terms, alternate
+// grammatical forms, and delimiter characters not in the original query".
+func expAbbrev(cfg config) error {
+	nProbes := 100
+	if cfg.quick {
+		nProbes = 30
+	}
+	nm := match.NewNameMatcher()
+	fmt.Printf("%-14s %18s %18s %12s\n", "probe family", "n-gram hit rate", "exact-token rate", "margin")
+	for _, family := range eval.ProbeFamilies {
+		probes, err := eval.GenerateProbes(family, nProbes, cfg.seed)
+		if err != nil {
+			return err
+		}
+		ngramHit, margin := eval.ProbeHitRate(nm.Similarity, probes)
+		exactHit, _ := eval.ProbeHitRate(eval.ExactTokenSimilarity, probes)
+		fmt.Printf("%-14s %17.1f%% %17.1f%% %12.3f\n", family, 100*ngramHit, 100*exactHit, margin)
+	}
+	fmt.Println("\na hit = the perturbed term ranks its true element above five decoys")
+	fmt.Println("(two of which share a word with the target, defeating token overlap).")
+
+	// End-to-end: the paper's architecture only re-ranks candidates, so a
+	// fully abbreviated schema that shares no exact token with the query
+	// never reaches the name matcher. Measure recall of abbreviated
+	// targets with the paper-pure engine vs. the trigram fallback
+	// extension.
+	nSchemas := 60
+	if cfg.quick {
+		nSchemas = 20
+	}
+	repo, err := buildMixedRepo(cfg.seed+7, 200)
+	if err != nil {
+		return err
+	}
+	r := rand.New(rand.NewSource(cfg.seed + 8))
+	type target struct {
+		id    string
+		query *query.Query
+	}
+	var targets []target
+	for i := 0; i < nSchemas; i++ {
+		// Fully abbreviated twin of a realistic table.
+		full := [][2]string{
+			{"patient", "pt"}, {"gender", "gndr"}, {"height", "hght"},
+			{"weight", "wt"}, {"diagnosis", "dx"}, {"quantity", "qty"},
+			{"customer", "cust"}, {"address", "addr"}, {"department", "dept"},
+			{"amount", "amt"}, {"transaction", "txn"}, {"account", "acct"},
+		}
+		perm := r.Perm(len(full))
+		var fullNames, abbrevNames []string
+		for j := 0; j < 4; j++ {
+			fullNames = append(fullNames, full[perm[j]][0])
+			abbrevNames = append(abbrevNames, full[perm[j]][1])
+		}
+		ent := &model.Entity{Name: abbrevNames[0] + " tbl"}
+		for _, a := range abbrevNames {
+			ent.Attributes = append(ent.Attributes, &model.Attribute{Name: a})
+		}
+		s := &model.Schema{Name: fmt.Sprintf("stopgap %d", i), Entities: []*model.Entity{ent}}
+		id, err := repo.Put(s)
+		if err != nil {
+			return err
+		}
+		q, err := query.Parse(query.Input{Keywords: strings.Join(fullNames, " ")})
+		if err != nil {
+			return err
+		}
+		targets = append(targets, target{id: id, query: q})
+	}
+
+	fmt.Printf("\nend-to-end recall of fully abbreviated schemas (%d targets):\n", len(targets))
+	for _, mode := range []struct {
+		label string
+		opts  core.Options
+	}{
+		{"paper-pure (token candidates)", core.Options{}},
+		{"+ trigram fallback (extension)", core.Options{TrigramFallback: true}},
+	} {
+		engine := core.NewEngine(repo, mode.opts)
+		if err := engine.Reindex(); err != nil {
+			return err
+		}
+		hit := 0
+		for _, tg := range targets {
+			results, err := engine.Search(tg.query, 10)
+			if err != nil {
+				return err
+			}
+			for _, res := range results {
+				if res.ID == tg.id {
+					hit++
+					break
+				}
+			}
+		}
+		fmt.Printf("  %-32s recall@10 = %d/%d (%.0f%%)\n", mode.label, hit, len(targets), 100*float64(hit)/float64(len(targets)))
+	}
+	fmt.Println("\nthe fallback closes the candidate-extraction gap; exact-token hits")
+	fmt.Println("keep their lead (trigram candidates enter with discounted scores).")
+	return nil
+}
+
+// expCoord reproduces the coordination-factor claim: multiplying in
+// matched/|terms| "rewards results which match the most terms in the
+// original query".
+func expCoord(cfg config) error {
+	idx := index.New()
+	idx.Add(index.Document{ID: "full-coverage", Fields: []index.Field{
+		{Name: index.FieldElements, Text: "patient height gender diagnosis"},
+	}})
+	idx.Add(index.Document{ID: "one-term-spam", Fields: []index.Field{
+		{Name: index.FieldElements, Text: "patient patient patient patient patient patient patient patient patient"},
+	}})
+	q := "patient height gender diagnosis"
+	fmt.Printf("query: %q\n", q)
+	fmt.Println("doc full-coverage: each query term once; doc one-term-spam: one term ×9")
+
+	for _, mode := range []struct {
+		label string
+		opts  index.SearchOptions
+	}{
+		{"with coordination factor (paper default)", index.SearchOptions{}},
+		{"without coordination factor", index.SearchOptions{DisableCoord: true}},
+	} {
+		hits := idx.Search(q, 2, mode.opts)
+		fmt.Printf("\n%s:\n", mode.label)
+		for i, h := range hits {
+			fmt.Printf("  %d. %-14s score %.4f (matched %d/4 terms)\n", i+1, h.ID, h.Score, h.TermsMatched)
+		}
+	}
+	with := idx.Search(q, 2, index.SearchOptions{})
+	if with[0].ID != "full-coverage" {
+		return fmt.Errorf("coordination factor failed to rank full coverage first")
+	}
+	fmt.Println("\nthe coordination factor multiplies the full-coverage advantage by 4×")
+	fmt.Println("(4/4 vs 1/4 terms matched), guarding recall-preserving OR semantics.")
+	return nil
+}
+
+// expWeights reproduces the meta-learner mechanism: logistic regression
+// over recorded search histories vs the initial uniform weighting.
+func expWeights(cfg config) error {
+	n := 1000
+	histories := 120
+	if cfg.quick {
+		n, histories = 300, 40
+	}
+	repo, err := buildMixedRepo(cfg.seed, n)
+	if err != nil {
+		return err
+	}
+	cases, err := eval.GenerateWorkload(repo, eval.WorkloadOptions{N: 2 * histories, Seed: cfg.seed + 9})
+	if err != nil {
+		return err
+	}
+	train, test := cases[:histories], cases[histories:]
+
+	// The extended ensemble (name, context, exact, type) gives the learner
+	// room to move: with only the two default matchers, uniform is already
+	// near-optimal.
+	mkEngine := func() (*core.Engine, error) {
+		e := core.NewEngine(repo, core.Options{})
+		e.SetEnsemble(match.ExtendedEnsemble())
+		return e, e.Reindex()
+	}
+	rank := func(e *core.Engine) eval.Ranker {
+		return func(c eval.Case) eval.Ranking {
+			results, err := e.Search(c.Query, 50)
+			if err != nil {
+				return nil
+			}
+			out := make(eval.Ranking, len(results))
+			for i, r := range results {
+				out[i] = r.ID
+			}
+			return out
+		}
+	}
+
+	uniform, err := mkEngine()
+	if err != nil {
+		return err
+	}
+	mu := eval.Evaluate(rank(uniform), test)
+
+	learned, err := mkEngine()
+	if err != nil {
+		return err
+	}
+	var hist []core.History
+	for _, c := range train {
+		hist = append(hist, core.History{Query: c.Query, Relevant: c.Target})
+	}
+	model, err := learned.LearnWeights(hist, 3, learn.Options{Seed: cfg.seed})
+	if err != nil {
+		return err
+	}
+	ml := eval.Evaluate(rank(learned), test)
+
+	fmt.Printf("training: %d recorded histories → %s\n", len(hist), "logistic regression over per-matcher scores")
+	fmt.Printf("\nlearned weights:")
+	for _, name := range learned.Ensemble().MatcherNames() {
+		fmt.Printf("  %s=%.3f", name, learned.Ensemble().Weights()[name])
+	}
+	fmt.Printf("\nheld-out (%d queries):\n", len(test))
+	fmt.Printf("  uniform weights:  %v\n", mu)
+	fmt.Printf("  learned weights:  %v\n", ml)
+	fmt.Printf("\nmodel coefficients: %v (bias %.3f)\n", model.Weights, model.Bias)
+	fmt.Println("expected shape: learned ≥ uniform (the signal-bearing matchers gain weight).")
+	return nil
+}

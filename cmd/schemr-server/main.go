@@ -1,0 +1,46 @@
+// Command schemr-server runs the Schemr web service (the paper's Figure 5):
+// an XML search API, GraphML and SVG schema endpoints, an embedded HTML GUI,
+// and a scheduled offline indexer that keeps the document index in sync
+// with the schema repository.
+//
+// Usage:
+//
+//	schemr-server -data DIR [-addr :8080] [-sync 30s]
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"schemr"
+	"schemr/internal/server"
+)
+
+func main() {
+	data := flag.String("data", "schemr-data", "data directory (repository.json)")
+	addr := flag.String("addr", ":8080", "listen address")
+	sync := flag.Duration("sync", 30*time.Second, "offline indexer interval")
+	flag.Parse()
+
+	sys, err := schemr.Open(*data)
+	if err != nil {
+		log.Fatalf("schemr-server: %v", err)
+	}
+	log.Printf("loaded %d schemas from %s, %d indexed", sys.Repo.Len(), *data, sys.Engine.IndexedDocs())
+
+	srv := server.New(sys.Engine)
+	stop := srv.StartIndexer(*sync)
+	defer stop()
+
+	if strings.HasPrefix(*addr, ":") {
+		log.Printf("serving on %s (GUI at http://localhost%s/)", *addr, *addr)
+	} else {
+		log.Printf("serving on http://%s/", *addr)
+	}
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		log.Fatalf("schemr-server: %v", err)
+	}
+}

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs the CLI entrypoint with stdout redirected to a pipe and
+// returns what it printed.
+func capture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(args)
+	w.Close()
+	os.Stdout = old
+	out := make([]byte, 1<<20)
+	n, _ := r.Read(out)
+	r.Close()
+	return string(out[:n]), runErr
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data")
+
+	if _, err := capture(t, "init", "-data", data); err != nil {
+		t.Fatal(err)
+	}
+
+	// Import the testdata fixtures (DDL by extension, XSD explicit).
+	out, err := capture(t, "import", "-data", data, "-name", "clinic", "../../testdata/clinic.sql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "imported clinic as ") {
+		t.Fatalf("import output: %q", out)
+	}
+	id := strings.TrimSpace(strings.Split(out, " as ")[1])
+
+	if _, err := capture(t, "import", "-data", data, "../../testdata/purchaseorder.xsd"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Search finds the clinic.
+	out, err = capture(t, "search", "-data", data, "-q", "patient height gender diagnosis", "-stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "clinic") || !strings.Contains(out, "corpus=2") {
+		t.Fatalf("search output: %q", out)
+	}
+	// Query by example via file.
+	frag := filepath.Join(dir, "frag.sql")
+	os.WriteFile(frag, []byte("CREATE TABLE po (street VARCHAR(60), city VARCHAR(40), zip VARCHAR(10));"), 0o644)
+	out, err = capture(t, "search", "-data", data, "-ddl", frag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "purchaseorder") {
+		t.Fatalf("fragment search output: %q", out)
+	}
+
+	// Show in all formats.
+	for format, want := range map[string]string{
+		"summary": "fk: case",
+		"ddl":     "CREATE TABLE patient",
+		"xsd":     "<xs:schema",
+		"graphml": "<graphml",
+		"svg":     "<svg",
+	} {
+		out, err = capture(t, "show", "-data", data, "-id", id, "-format", format)
+		if err != nil {
+			t.Fatalf("show %s: %v", format, err)
+		}
+		if !strings.Contains(out, want) {
+			t.Errorf("show %s output missing %q: %.120q", format, want, out)
+		}
+	}
+	// Radial + focus drill-in.
+	out, err = capture(t, "show", "-data", data, "-id", id, "-format", "svg", "-layout", "radial", "-focus", "e:patient")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, ">case<") {
+		t.Error("focus drill-in still shows sibling entity")
+	}
+	// Summarized view.
+	out, err = capture(t, "show", "-data", data, "-id", id, "-summarize", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "summary: 1 of 3 entities") {
+		t.Errorf("summarize output: %q", out)
+	}
+
+	// List and stats.
+	out, _ = capture(t, "list", "-data", data)
+	if strings.Count(out, "\n") != 2 {
+		t.Errorf("list output: %q", out)
+	}
+	out, _ = capture(t, "stats", "-data", data)
+	if !strings.Contains(out, "schemas: 2") {
+		t.Errorf("stats output: %q", out)
+	}
+
+	// Explain.
+	out, err = capture(t, "explain", "-data", data, "-id", id, "-q", "patient height gender")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"phase 1", "phase 2", "phase 3", "anchor", "final score"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q: %s", want, out)
+		}
+	}
+	if _, err := capture(t, "explain", "-data", data, "-q", "x"); err == nil {
+		t.Error("explain without -id accepted")
+	}
+
+	// Comment + rating.
+	out, err = capture(t, "comment", "-data", data, "-id", id, "-author", "kc", "-text", "solid", "-rating", "4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "rating now 4.0") {
+		t.Errorf("comment output: %q", out)
+	}
+
+	// Delete.
+	if _, err := capture(t, "delete", "-data", data, "-id", id); err != nil {
+		t.Fatal(err)
+	}
+	out, _ = capture(t, "stats", "-data", data)
+	if !strings.Contains(out, "schemas: 1") {
+		t.Errorf("stats after delete: %q", out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data")
+	cases := [][]string{
+		{},
+		{"frobnicate"},
+		{"search", "-data", filepath.Join(dir, "missing"), "-q", "x"},
+		{"import", "-data", data},
+		{"show", "-data", data},
+		{"delete", "-data", data, "-id", "zz"},
+	}
+	capture(t, "init", "-data", data)
+	for _, args := range cases {
+		if _, err := capture(t, args...); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+	// Bad format.
+	capture(t, "import", "-data", data, "-name", "c", "../../testdata/clinic.sql")
+	out, _ := capture(t, "list", "-data", data)
+	id := strings.Fields(out)[0]
+	if _, err := capture(t, "show", "-data", data, "-id", id, "-format", "hologram"); err == nil {
+		t.Error("bad show format accepted")
+	}
+	if _, err := capture(t, "import", "-data", data, "-format", "cobol", "../../testdata/clinic.sql"); err == nil {
+		t.Error("bad import format accepted")
+	}
+}

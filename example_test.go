@@ -1,0 +1,103 @@
+package schemr_test
+
+import (
+	"fmt"
+	"log"
+
+	"schemr"
+)
+
+// The paper's running scenario: a keyword + schema-fragment query over a
+// small shared repository.
+func Example() {
+	sys := schemr.New()
+	if _, err := sys.ImportDDL("clinic", `
+		CREATE TABLE patient (id INT PRIMARY KEY, height FLOAT, gender VARCHAR(8));
+		CREATE TABLE "case" (id INT PRIMARY KEY, patient INT REFERENCES patient(id), diagnosis VARCHAR(64));`); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Refresh(); err != nil {
+		log.Fatal(err)
+	}
+	q, err := schemr.ParseQuery(schemr.QueryInput{
+		Keywords: "patient, height, gender, diagnosis",
+		DDL:      "CREATE TABLE patient (height FLOAT, gender VARCHAR(8));",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := sys.Search(q, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d matched elements, anchor %s\n",
+		results[0].Name, results[0].NumMatches(), results[0].Anchor)
+	// Output: clinic: 7 matched elements, anchor patient
+}
+
+// Query by example only: the fragment is the whole query.
+func ExampleQueryFromSchema() {
+	sys := schemr.New()
+	if _, err := sys.ImportDDL("library", `
+		CREATE TABLE book (isbn VARCHAR(13) PRIMARY KEY, title TEXT, author TEXT, year INT);`); err != nil {
+		log.Fatal(err)
+	}
+	sys.Refresh()
+
+	frag, err := schemr.ParseDDL("draft", "CREATE TABLE books (isbn VARCHAR(13), title TEXT);")
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := sys.Search(schemr.QueryFromSchema(frag), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(results[0].Name)
+	// Output: library
+}
+
+// Visualize renders a schema with the paper's visual encodings.
+func ExampleVisualize() {
+	s, err := schemr.ParseDDL("clinic", "CREATE TABLE patient (height FLOAT, gender VARCHAR(8));")
+	if err != nil {
+		log.Fatal(err)
+	}
+	viz, err := schemr.Visualize(s, schemr.VizOptions{Layout: "tree"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(viz.GraphML) > 0, len(viz.SVG) > 0)
+	// Output: true true
+}
+
+// Summarize reduces a large schema to its most important entities.
+func ExampleSummarize() {
+	s, err := schemr.ParseDDL("shop", `
+		CREATE TABLE orders (id INT PRIMARY KEY, customer INT, placed DATE, total DECIMAL(10,2));
+		CREATE TABLE order_item (order_ref INT REFERENCES orders(id), sku VARCHAR(20), qty INT);
+		CREATE TABLE audit_log (entry INT);`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum, err := schemr.Summarize(s, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range sum.Entities {
+		fmt.Println(e.Name)
+	}
+	// Output:
+	// orders
+	// order_item
+}
+
+// Concepts annotates attributes with codebook data types.
+func ExampleConcepts() {
+	s, err := schemr.ParseDDL("t", "CREATE TABLE visit (patient_id INT, visit_date DATE, fee DECIMAL(8,2));")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cs := schemr.Concepts(s)
+	fmt.Println(cs["visit.patient_id"], cs["visit.visit_date"], cs["visit.fee"])
+	// Output: [identifier] [datetime] [money]
+}

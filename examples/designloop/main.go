@@ -1,0 +1,121 @@
+// Designloop demonstrates the paper's proposed "new model development
+// process, in which search results are iteratively used to augment a
+// schema": design a fragment → search → graft matched elements from the
+// best result → re-search, capturing the implicit semantic mappings and
+// provenance of each grafted element along the way.
+//
+//	go run ./examples/designloop
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"schemr"
+)
+
+func main() {
+	sys := schemr.New()
+	// Seed the repository with reference schemas plus public noise.
+	if _, err := sys.GenerateCorpus(schemr.CorpusOptions{Seed: 23, NumTables: 15_000}); err != nil {
+		log.Fatal(err)
+	}
+	refID, err := sys.ImportDDL("clinic reference", `
+		CREATE TABLE patient (
+		  id INT PRIMARY KEY, name VARCHAR(80), height FLOAT, weight FLOAT,
+		  gender VARCHAR(8), dob DATE, blood_type VARCHAR(4)
+		);
+		CREATE TABLE "case" (
+		  id INT PRIMARY KEY, patient INT REFERENCES patient(id),
+		  diagnosis VARCHAR(64), admitted DATE, outcome VARCHAR(20)
+		);`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Refresh(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("repository: %d schemas (reference: %s)\n\n", sys.Repo.Len(), refID)
+
+	// Iteration 0: the designer's initial fragment.
+	working, err := schemr.ParseDDL("my-clinic", "CREATE TABLE patient (height FLOAT, gender VARCHAR(8));")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type provenance struct {
+		element string
+		from    string
+	}
+	var mappings []provenance
+
+	for iter := 1; iter <= 3; iter++ {
+		fmt.Printf("--- iteration %d ---\n", iter)
+		fmt.Printf("working schema: %s\n", working)
+		q := schemr.QueryFromSchema(working)
+		results, err := sys.Search(q, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(results) == 0 {
+			fmt.Println("no results; stopping")
+			break
+		}
+		top := results[0]
+		fmt.Printf("best match: %q score %.3f (%d matched elements)\n", top.Name, top.Score, top.NumMatches())
+
+		// Graft: adopt attributes of the matched entities that the working
+		// schema does not have yet — up to 2 per iteration, the designer
+		// reviewing each.
+		src := sys.Get(top.ID)
+		grafted := 0
+		for _, el := range top.Matched {
+			if grafted >= 2 {
+				break
+			}
+			srcEnt := src.Entity(el.Ref.Entity)
+			if srcEnt == nil {
+				continue
+			}
+			dstEnt := working.Entities[0]
+			for _, a := range srcEnt.Attributes {
+				if grafted >= 2 {
+					break
+				}
+				if dstEnt.Attribute(a.Name) != nil {
+					continue
+				}
+				dstEnt.Attributes = append(dstEnt.Attributes, &schemr.Attribute{Name: a.Name, Type: a.Type})
+				// The graft is an implicit semantic mapping worth keeping:
+				// my-clinic.patient.X ≡ <source>.X, with provenance.
+				mappings = append(mappings, provenance{
+					element: fmt.Sprintf("patient.%s", a.Name),
+					from:    fmt.Sprintf("%s (%s.%s)", top.Name, srcEnt.Name, a.Name),
+				})
+				fmt.Printf("  grafted %-12s from %s.%s\n", a.Name, top.Name, srcEnt.Name)
+				grafted++
+			}
+		}
+		if grafted == 0 {
+			fmt.Println("  nothing new to graft; design has converged")
+			break
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nfinal schema:")
+	fmt.Println(schemr.PrintDDL(working))
+	fmt.Println("captured semantic mappings (provenance of each grafted element):")
+	for _, m := range mappings {
+		fmt.Printf("  %-24s ⇐ %s\n", m.element, m.from)
+	}
+
+	// The finished design is contributed back to the repository, closing
+	// the collaboration loop.
+	id, err := sys.Add(working)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Repo.Tag(id, "contributed", "derived")
+	fmt.Printf("\ncontributed back as %s (tags: contributed, derived)\n", id)
+}

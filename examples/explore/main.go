@@ -1,0 +1,105 @@
+// Explore walks the tooling around the core search loop: build a public
+// corpus, search it, ask the engine to *explain* a ranking, inspect the
+// repository's codebook standardization profile, and summarize a large
+// schema for display — the workflows of a data steward exploring an
+// unfamiliar repository rather than designing a new table.
+//
+//	go run ./examples/explore
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"schemr"
+)
+
+func main() {
+	// A public corpus plus one large curated schema.
+	sys := schemr.New()
+	if _, err := sys.GenerateCorpus(schemr.CorpusOptions{Seed: 41, NumTables: 20_000}); err != nil {
+		log.Fatal(err)
+	}
+	bigID, err := sys.ImportDDL("municipal data hub", `
+		CREATE TABLE resident (id INT PRIMARY KEY, name VARCHAR(80), dob DATE, address VARCHAR(120));
+		CREATE TABLE permit (permit_no INT PRIMARY KEY, resident INT REFERENCES resident(id),
+		                     type VARCHAR(30), issued DATE, fee DECIMAL(8,2), status VARCHAR(16));
+		CREATE TABLE inspection (id INT PRIMARY KEY, permit INT REFERENCES permit(permit_no),
+		                         inspector VARCHAR(60), scheduled DATE, outcome VARCHAR(20));
+		CREATE TABLE payment (id INT PRIMARY KEY, permit INT REFERENCES permit(permit_no),
+		                      amount DECIMAL(8,2), paid DATE, method VARCHAR(16));
+		CREATE TABLE audit_note (id INT PRIMARY KEY, author VARCHAR(60), body TEXT);`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Refresh(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("repository: %d schemas\n\n", sys.Repo.Len())
+
+	// 1. Search.
+	q, err := schemr.ParseQuery(schemr.QueryInput{Keywords: "permit fee inspection resident"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := sys.Search(q, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("search: permit fee inspection resident")
+	for i, r := range results {
+		fmt.Printf("  %d. %-24s score %.3f\n", i+1, r.Name, r.Score)
+	}
+
+	// 2. Why does the hub rank where it does?
+	ex, err := sys.Explain(q, bigID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nexplain %q:\n", "municipal data hub")
+	if ex.Coarse != nil {
+		fmt.Printf("  coarse: %.3f over %d/%d terms\n", ex.Coarse.Total, ex.Coarse.TermsHit, ex.Coarse.TermsInNeed)
+	}
+	fmt.Printf("  tightness %.3f at anchor %q; coverage %.2f → final %.3f\n",
+		ex.Tightness.Score, ex.Tightness.Anchor, ex.Coverage, ex.Final)
+	for _, p := range ex.TopPairs[:min(4, len(ex.TopPairs))] {
+		fmt.Printf("    %-24v ↔ %-22v %.3f\n", p.Query, p.Schema.Ref, p.Score)
+	}
+
+	// 3. What would the community standardize? The codebook profile.
+	fmt.Println("\ncodebook profile (top concepts across the repository):")
+	for i, p := range sys.ConceptProfile() {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %v\n", p)
+	}
+
+	// 4. The hub is big; summarize it for the overview rendering.
+	sum, err := schemr.Summarize(sys.Get(bigID), 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := make([]string, len(sum.Entities))
+	for i, e := range sum.Entities {
+		names[i] = e.Name
+	}
+	fmt.Printf("\nsummary of %q: %d → %d entities %v\n", "municipal data hub",
+		sys.Get(bigID).NumEntities(), sum.NumEntities(), names)
+	viz, err := schemr.Visualize(sum, schemr.VizOptions{Layout: "tree"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile("explore-summary.svg", []byte(viz.SVG), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote explore-summary.svg")
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,115 @@
+// Quickstart: build a tiny repository, search it by keyword and by
+// example, and render a result.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"schemr"
+)
+
+const clinicDDL = `
+CREATE TABLE patient (
+  id INT PRIMARY KEY,
+  height FLOAT,
+  gender VARCHAR(8),
+  dob DATE
+);
+CREATE TABLE "case" (
+  id INT PRIMARY KEY,
+  patient INT REFERENCES patient(id),
+  doctor INT,
+  diagnosis VARCHAR(64)
+);`
+
+const retailDDL = `
+CREATE TABLE orders (
+  order_id INT PRIMARY KEY,
+  customer VARCHAR(60),
+  sku VARCHAR(20),
+  quantity INT,
+  unit_price DECIMAL(10,2)
+);`
+
+const libraryXSD = `<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="library">
+    <xs:complexType><xs:sequence>
+      <xs:element name="book" minOccurs="0">
+        <xs:complexType><xs:sequence>
+          <xs:element name="isbn" type="xs:string"/>
+          <xs:element name="title" type="xs:string"/>
+          <xs:element name="author" type="xs:string"/>
+          <xs:element name="year" type="xs:int"/>
+        </xs:sequence></xs:complexType>
+      </xs:element>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+</xs:schema>`
+
+func main() {
+	// 1. A system = schema repository + search engine.
+	sys := schemr.New()
+	for name, src := range map[string]string{"clinic": clinicDDL, "retail": retailDDL} {
+		if _, err := sys.ImportDDL(name, src); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := sys.ImportXSD("library", libraryXSD); err != nil {
+		log.Fatal(err)
+	}
+	// 2. The offline indexer run (scheduled in a deployment; on demand here).
+	if err := sys.Refresh(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Keyword search.
+	q, err := schemr.ParseQuery(schemr.QueryInput{Keywords: "patient height gender diagnosis"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := sys.Search(q, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("keyword search: patient height gender diagnosis")
+	for i, r := range results {
+		fmt.Printf("  %d. %-10s score %.3f (%d matches, anchor %q)\n", i+1, r.Name, r.Score, r.NumMatches(), r.Anchor)
+	}
+
+	// 4. Search by example: a partially designed schema fragment.
+	q, err = schemr.ParseQuery(schemr.QueryInput{
+		DDL: "CREATE TABLE books (isbn VARCHAR(13), title TEXT, author TEXT);",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err = sys.Search(q, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nquery by example: books(isbn, title, author)")
+	for i, r := range results {
+		fmt.Printf("  %d. %-10s score %.3f\n", i+1, r.Name, r.Score)
+	}
+
+	// 5. Visualize the top result with similarity encodings.
+	if len(results) > 0 {
+		top := results[0]
+		viz, err := schemr.Visualize(sys.Get(top.ID), schemr.VizOptions{
+			Layout: "radial",
+			Scores: schemr.ResultScores(top),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile("quickstart-result.svg", []byte(viz.SVG), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote quickstart-result.svg (%d bytes) — radial layout of %q\n", len(viz.SVG), top.Name)
+	}
+}

@@ -1,0 +1,3 @@
+module schemr
+
+go 1.22

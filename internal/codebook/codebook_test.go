@@ -1,0 +1,204 @@
+package codebook
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"schemr/internal/match"
+	"schemr/internal/model"
+	"schemr/internal/query"
+	"schemr/internal/webtables"
+)
+
+func TestDetect(t *testing.T) {
+	cases := []struct {
+		name, typ string
+		want      []Concept
+	}{
+		{"dob", "DATE", []Concept{ConceptDateTime}},
+		{"enrollment_date", "", []Concept{ConceptDateTime}},
+		{"created", "TIMESTAMP", []Concept{ConceptDateTime}},
+		{"expires", "", []Concept{ConceptDateTime}},
+		{"anything", "timestamp with time zone", []Concept{ConceptDateTime}},
+		{"latitude", "FLOAT", []Concept{ConceptGeo}},
+		{"lon", "", []Concept{ConceptGeo}},
+		{"unit_price", "DECIMAL(10,2)", []Concept{ConceptMoney}},
+		{"salary", "", []Concept{ConceptMoney}},
+		{"qty", "INT", []Concept{ConceptQuantity}},
+		{"ticketsSold", "", nil},                       // "sold" is not in the vocabulary
+		{"patient_no", "", []Concept{ConceptQuantity}}, // suffix "no"
+		{"height", "FLOAT", []Concept{ConceptLength}},
+		{"hght", "", []Concept{ConceptLength}},
+		{"wt", "", []Concept{ConceptWeight}},
+		{"water_temperature", "", []Concept{ConceptTemp}},
+		{"order_id", "INT", []Concept{ConceptIdentifier}},
+		{"sku", "", []Concept{ConceptIdentifier}},
+		{"foreign_key", "", []Concept{ConceptIdentifier}}, // suffix "key"
+		{"email", "", []Concept{ConceptContact}},
+		{"guardian", "", []Concept{ConceptPersonName}},
+		{"shipping_address", "", []Concept{ConceptAddress}},
+		{"zip", "", []Concept{ConceptAddress}},
+		{"humidity", "", []Concept{ConceptPercent}},
+		{"gender", "VARCHAR(8)", nil},
+		{"", "", nil},
+		// Multiple concepts.
+		{"delivery_date_cost", "", []Concept{ConceptDateTime, ConceptMoney}},
+	}
+	for _, c := range cases {
+		got := Detect(c.name, c.typ)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Detect(%q, %q) = %v, want %v", c.name, c.typ, got, c.want)
+		}
+	}
+}
+
+func clinic() *model.Schema {
+	return &model.Schema{
+		Name: "clinic",
+		Entities: []*model.Entity{
+			{Name: "patient", Attributes: []*model.Attribute{
+				{Name: "id", Type: "INT"},
+				{Name: "height", Type: "FLOAT"},
+				{Name: "gender", Type: "VARCHAR(8)"},
+				{Name: "dob", Type: "DATE"},
+			}},
+		},
+	}
+}
+
+func TestAnnotateAndCoverage(t *testing.T) {
+	ann := Annotate(clinic())
+	if len(ann) != 3 { // id, height, dob — not gender
+		t.Fatalf("annotations = %v", ann)
+	}
+	ref := model.ElementRef{Entity: "patient", Attribute: "height"}
+	if !reflect.DeepEqual(ann[ref], []Concept{ConceptLength}) {
+		t.Errorf("height = %v", ann[ref])
+	}
+	if got := Coverage(clinic()); got != 0.75 {
+		t.Errorf("coverage = %v", got)
+	}
+	if Coverage(&model.Schema{Name: "empty", Entities: []*model.Entity{{Name: "e"}}}) != 0 {
+		t.Error("empty coverage should be 0")
+	}
+}
+
+func TestProfileCorpus(t *testing.T) {
+	schemas := webtables.GenerateRelational(5, 40)
+	profiles := ProfileCorpus(schemas)
+	if len(profiles) == 0 {
+		t.Fatal("no profiles over a realistic corpus")
+	}
+	byConcept := map[Concept]Profile{}
+	for _, p := range profiles {
+		byConcept[p.Concept] = p
+		if p.Count <= 0 || len(p.TopNames) == 0 {
+			t.Errorf("degenerate profile %+v", p)
+		}
+		if len(p.TopNames) > 5 {
+			t.Errorf("too many names: %+v", p)
+		}
+	}
+	// Generated corpora are full of ids and dates.
+	if byConcept[ConceptIdentifier].Count == 0 || byConcept[ConceptDateTime].Count == 0 {
+		t.Errorf("expected identifier and datetime concepts: %v", profiles)
+	}
+	// The profile surfaces normalized name variants for standardization.
+	if s := byConcept[ConceptIdentifier].String(); !strings.Contains(s, "identifier") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestConceptMatcher(t *testing.T) {
+	q, err := query.Parse(query.Input{
+		Keywords: "dob",
+		DDL:      "CREATE TABLE t (stature_cm FLOAT, height FLOAT, label VARCHAR(10));",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-annotate: stature_cm carries no rule token, so concept matching
+	// only fires where Detect does. Use wingspan → length instead.
+	q2, err := query.Parse(query.Input{
+		Keywords: "dob",
+		DDL:      "CREATE TABLE t (wingspan FLOAT, label VARCHAR(10));",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = q
+	s := clinic()
+	m := NewConceptMatcher().Match(q2, s)
+
+	find := func(qName, sRef string) float64 {
+		for qi, qe := range m.Query {
+			if qe.Name != qName && qe.Ref.String() != qName {
+				continue
+			}
+			for si, se := range m.Schema {
+				if se.Ref.String() == sRef {
+					return m.Scores[qi][si]
+				}
+			}
+		}
+		return -99
+	}
+	// wingspan (length) ↔ height (length): 1.0 despite zero name overlap.
+	if got := find("t.wingspan", "patient.height"); got != 1 {
+		t.Errorf("wingspan↔height = %v", got)
+	}
+	// keyword dob (datetime) ↔ dob (datetime): 1.0.
+	if got := find("dob", "patient.dob"); got != 1 {
+		t.Errorf("dob↔dob = %v", got)
+	}
+	// label has no concept → NotApplicable row.
+	if got := find("t.label", "patient.height"); got != match.NotApplicable {
+		t.Errorf("label row = %v", got)
+	}
+	// gender has no concept → NotApplicable column even for concept rows.
+	if got := find("t.wingspan", "patient.gender"); got != match.NotApplicable {
+		t.Errorf("wingspan↔gender = %v", got)
+	}
+	// Cross-concept: wingspan (length) ↔ dob (datetime) = 0.
+	if got := find("t.wingspan", "patient.dob"); got != 0 {
+		t.Errorf("wingspan↔dob = %v", got)
+	}
+}
+
+func TestConceptMatcherInEnsemble(t *testing.T) {
+	en, err := match.NewEnsemble(match.NewNameMatcher(), NewConceptMatcher())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := query.Parse(query.Input{DDL: "CREATE TABLE t (wingspan FLOAT);"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := en.Match(q, clinic())
+	// Combined wingspan↔height must exceed pure name similarity (concept
+	// agreement lifts it).
+	nameOnly := match.NewNameMatcher().Match(q, clinic())
+	var combined, name float64
+	for si, se := range m.Schema {
+		if se.Ref.String() == "patient.height" {
+			combined = m.Scores[1][si] // row 1 = t.wingspan attribute
+			name = nameOnly.Scores[1][si]
+		}
+	}
+	if combined <= name {
+		t.Errorf("concept matcher did not lift the score: %v vs %v", combined, name)
+	}
+}
+
+func TestConceptOverlap(t *testing.T) {
+	if got := conceptOverlap([]Concept{ConceptGeo}, []Concept{ConceptGeo}); got != 1 {
+		t.Errorf("identical = %v", got)
+	}
+	if got := conceptOverlap([]Concept{ConceptGeo, ConceptDateTime}, []Concept{ConceptGeo}); got != 0.5 {
+		t.Errorf("partial = %v", got)
+	}
+	if got := conceptOverlap(nil, nil); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+}

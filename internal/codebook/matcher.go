@@ -1,0 +1,83 @@
+package codebook
+
+import (
+	"schemr/internal/match"
+	"schemr/internal/model"
+	"schemr/internal/query"
+)
+
+// ConceptMatcher scores query and candidate attributes by codebook concept
+// overlap: `hght` and `stature_cm` share zero n-grams but both carry the
+// length concept. It is an additional matcher for the ensemble ("other
+// matchers may be used as well"); it only applies between attributes that
+// each carry at least one concept, so schemas outside the codebook's
+// vocabulary are unaffected.
+type ConceptMatcher struct{}
+
+// NewConceptMatcher returns the codebook matcher.
+func NewConceptMatcher() *ConceptMatcher { return &ConceptMatcher{} }
+
+// Name implements match.Matcher.
+func (cm *ConceptMatcher) Name() string { return "concept" }
+
+// Match implements match.Matcher.
+func (cm *ConceptMatcher) Match(q *query.Query, s *model.Schema) *match.Matrix {
+	qe := q.Elements()
+	se := s.Elements()
+	m := match.NewMatrix(qe, se)
+
+	// Query-side concepts: keywords are detected on the keyword text;
+	// fragment attributes on name + declared type.
+	qConcepts := make([][]Concept, len(qe))
+	for i, el := range qe {
+		switch {
+		case el.IsKeyword():
+			qConcepts[i] = Detect(el.Name, "")
+		case el.Kind == model.KindAttribute:
+			typ := ""
+			if ent := q.Fragments[el.Fragment].Entity(el.Ref.Entity); ent != nil {
+				if a := ent.Attribute(el.Ref.Attribute); a != nil {
+					typ = a.Type
+				}
+			}
+			qConcepts[i] = Detect(el.Name, typ)
+		}
+	}
+	sConcepts := make([][]Concept, len(se))
+	for j, el := range se {
+		if el.Kind == model.KindAttribute {
+			sConcepts[j] = Detect(el.Name, el.Type)
+		}
+	}
+	for i := range qe {
+		if len(qConcepts[i]) == 0 {
+			continue
+		}
+		for j := range se {
+			if len(sConcepts[j]) == 0 {
+				continue
+			}
+			m.Set(i, j, conceptOverlap(qConcepts[i], sConcepts[j]))
+		}
+	}
+	return m
+}
+
+// conceptOverlap is the Jaccard overlap of two small concept sets.
+func conceptOverlap(a, b []Concept) float64 {
+	set := make(map[Concept]bool, len(a))
+	for _, c := range a {
+		set[c] = true
+	}
+	inter := 0
+	for _, c := range b {
+		if set[c] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}

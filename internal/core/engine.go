@@ -1,0 +1,633 @@
+// Package core implements Schemr's search service: the three-phase search
+// algorithm of the paper's Figure 3. Prior to a search, the query parser
+// (package query) builds a query graph from keywords and schema fragments.
+// Phase one, candidate extraction, flattens the query graph and retrieves
+// the top candidate schemas from the document index. Phase two, schema
+// matching, evaluates each candidate against the query graph with the
+// matcher ensemble. Phase three weighs the similarity scores with the
+// tightness-of-fit measurement to produce the final ranking.
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"schemr/internal/index"
+	"schemr/internal/learn"
+	"schemr/internal/match"
+	"schemr/internal/model"
+	"schemr/internal/query"
+	"schemr/internal/repository"
+	"schemr/internal/text"
+	"schemr/internal/tightness"
+)
+
+// Options configures an Engine. Zero values take the documented defaults.
+type Options struct {
+	// CandidateN is the number of candidate schemas the coarse-grain phase
+	// hands to the match engine (the paper's "top n candidate results").
+	// Default 50.
+	CandidateN int
+	// Tightness tunes the tightness-of-fit measurement.
+	Tightness tightness.Options
+	// Index tunes coarse-grain retrieval (coordination factor on by
+	// default, per the paper).
+	Index index.SearchOptions
+	// CoverageExponent controls how strongly the final score rewards
+	// covering many query elements: final = tightness × coverage^exp.
+	// 0 means the default 1; negative disables the factor entirely. This
+	// carries the coordination factor's intent ("reward results which match
+	// the most terms") through to the fine-grained ranking, where a schema
+	// matching one query element perfectly would otherwise outrank one
+	// matching all of them well.
+	CoverageExponent float64
+	// Parallelism bounds concurrent candidate matching; default NumCPU.
+	Parallelism int
+	// PopularityBoost blends community usage statistics into the final
+	// score — the paper's planned collaboration feature ("usage statistics
+	// and comments on schemas would improve search results"):
+	// final ×= 1 + boost · sel/(sel+5), where sel is the schema's
+	// click-through count. 0 disables (the default); the boost saturates
+	// so popularity refines but never overturns a strong semantic gap.
+	PopularityBoost float64
+	// TrigramFallback addresses an architectural gap the paper inherits
+	// from Lucene: a schema whose every element is abbreviated shares no
+	// token with the query and never becomes a candidate, so the n-gram
+	// name matcher never sees it. When enabled, schemas are additionally
+	// indexed under a low-boost character-trigram field, and candidate
+	// extraction tops up with trigram hits whenever exact tokens return
+	// fewer than CandidateN candidates. Off by default (pure paper
+	// behavior).
+	TrigramFallback bool
+}
+
+func (o *Options) defaults() {
+	if o.CandidateN == 0 {
+		o.CandidateN = 50
+	}
+	if o.CoverageExponent == 0 {
+		o.CoverageExponent = 1
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.NumCPU()
+	}
+}
+
+// Result is one ranked search result, carrying everything the GUI's tabular
+// view (name, score, matches, entities, attributes, description) and the
+// drill-in visualization (per-element scores) need.
+type Result struct {
+	ID          string
+	Name        string
+	Description string
+	// Score is the final ranking score: tightness-of-fit weighted by query
+	// coverage.
+	Score float64
+	// Tightness is the raw tightness-of-fit (max over anchors).
+	Tightness float64
+	// Coverage is the fraction of query elements matched by some schema
+	// element.
+	Coverage float64
+	// Coarse is the candidate-extraction TF/IDF score (with coordination
+	// factor).
+	Coarse float64
+	// Anchor is the winning anchor entity.
+	Anchor string
+	// Matched lists matched schema elements with scores and penalties —
+	// the similarity encodings the visualization renders.
+	Matched []tightness.ElementScore
+	// Entities and Attributes are the schema's size, for the results table.
+	Entities   int
+	Attributes int
+}
+
+// NumMatches returns the number of matched elements.
+func (r Result) NumMatches() int { return len(r.Matched) }
+
+// SearchStats instruments one search for the Figure 3 experiments: the
+// candidate funnel and per-phase latency.
+type SearchStats struct {
+	CorpusSize     int
+	QueryTerms     int
+	Candidates     int
+	ElementsScored int
+	PhaseExtract   time.Duration
+	PhaseMatch     time.Duration
+	PhaseTightness time.Duration
+}
+
+// Total returns the summed phase latency.
+func (s SearchStats) Total() time.Duration {
+	return s.PhaseExtract + s.PhaseMatch + s.PhaseTightness
+}
+
+// Engine is Schemr's search service: a schema repository, the document
+// index over it, and the match engine. Safe for concurrent searches;
+// index maintenance and weight updates serialize internally.
+type Engine struct {
+	repo *repository.Repository
+	idx  *index.Index
+	opts Options
+
+	mu       sync.RWMutex // guards ensemble (weights) and cursor
+	ensemble *match.Ensemble
+	cursor   uint64 // repository change-feed position already indexed
+}
+
+// NewEngine builds an engine over a repository with the default matcher
+// ensemble. The document index starts empty: call Reindex (or Sync) before
+// searching, mirroring the paper's offline indexer.
+func NewEngine(repo *repository.Repository, opts Options) *Engine {
+	opts.defaults()
+	e := &Engine{
+		repo:     repo,
+		opts:     opts,
+		ensemble: match.DefaultEnsemble(),
+	}
+	e.idx = e.newIndex()
+	return e
+}
+
+// Repository returns the engine's schema repository.
+func (e *Engine) Repository() *repository.Repository { return e.repo }
+
+// Ensemble returns the engine's matcher ensemble (for weight inspection).
+func (e *Engine) Ensemble() *match.Ensemble {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.ensemble
+}
+
+// SetWeights installs a (typically learned) matcher weighting scheme.
+func (e *Engine) SetWeights(w map[string]float64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ensemble.SetWeights(w)
+}
+
+// SetEnsemble replaces the matcher ensemble — the evaluation harness uses
+// this to run matcher ablations.
+func (e *Engine) SetEnsemble(en *match.Ensemble) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ensemble = en
+}
+
+// SchemaDocument flattens a schema into its index document: a title, a
+// summary, an ID and the flattened representation of each element.
+func SchemaDocument(s *model.Schema) index.Document {
+	var sb strings.Builder
+	for _, el := range s.Elements() {
+		sb.WriteString(el.Name)
+		sb.WriteByte(' ')
+	}
+	return index.Document{
+		ID: s.ID,
+		Fields: []index.Field{
+			{Name: index.FieldTitle, Text: s.Name},
+			{Name: index.FieldSummary, Text: s.Description},
+			{Name: index.FieldElements, Text: sb.String()},
+		},
+	}
+}
+
+// fieldTrigrams is the low-boost character-trigram field used by the
+// trigram fallback.
+const fieldTrigrams = "trigrams"
+
+// trigramsOf expands terms into their distinct normalized character
+// trigrams.
+func trigramsOf(terms []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, t := range terms {
+		for _, g := range text.NGrams(text.Normalize(t), 3, 3) {
+			if !seen[g] {
+				seen[g] = true
+				out = append(out, g)
+			}
+		}
+	}
+	return out
+}
+
+// document builds the index document for a schema, adding the trigram
+// field when the fallback is enabled.
+func (e *Engine) document(s *model.Schema) index.Document {
+	doc := SchemaDocument(s)
+	if e.opts.TrigramFallback {
+		var names []string
+		for _, el := range s.Elements() {
+			names = append(names, el.Name)
+		}
+		doc.Fields = append(doc.Fields, index.Field{
+			Name: fieldTrigrams,
+			Text: strings.Join(trigramsOf(names), " "),
+		})
+	}
+	return doc
+}
+
+// newIndex builds an empty index with the engine's field boosts.
+func (e *Engine) newIndex() *index.Index {
+	if !e.opts.TrigramFallback {
+		return index.New()
+	}
+	boosts := map[string]float64{fieldTrigrams: 0.25}
+	for k, v := range index.DefaultFieldBoosts {
+		boosts[k] = v
+	}
+	return index.New(index.WithFieldBoosts(boosts))
+}
+
+// Reindex rebuilds the document index from the full repository contents and
+// fast-forwards the change cursor.
+func (e *Engine) Reindex() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	fresh := e.newIndex()
+	seq := e.repo.Seq()
+	for _, s := range e.repo.All() {
+		if err := fresh.Add(e.document(s)); err != nil {
+			return fmt.Errorf("core: reindex: %w", err)
+		}
+	}
+	e.idx = fresh
+	e.cursor = seq
+	return nil
+}
+
+// Sync applies the repository change feed to the index incrementally — the
+// scheduled-interval refresh of the paper's offline Text Indexer. It
+// returns how many documents were updated and deleted.
+func (e *Engine) Sync() (updated, deleted int, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ch := e.repo.ChangedSince(e.cursor)
+	for _, id := range ch.Deleted {
+		if e.idx.Delete(id) {
+			deleted++
+		}
+	}
+	for _, id := range ch.Updated {
+		s := e.repo.Get(id)
+		if s == nil {
+			continue // deleted after the snapshot; the next Sync's feed handles it
+		}
+		if err := e.idx.Add(e.document(s)); err != nil {
+			return updated, deleted, fmt.Errorf("core: sync: %w", err)
+		}
+		updated++
+	}
+	e.cursor = ch.Seq
+	return updated, deleted, nil
+}
+
+// IndexedDocs returns the number of live documents in the index.
+func (e *Engine) IndexedDocs() int { return e.idx.NumDocs() }
+
+// indexMagic versions the engine's index envelope (change-feed cursor +
+// document index).
+const indexEnvelopeMagic = "SCHEMR-ENGINE-IDX-1\n"
+
+// SaveIndex persists the document index together with the repository
+// change-feed cursor it reflects, so a reopened deployment resumes with an
+// incremental Sync instead of a full Reindex.
+func (e *Engine) SaveIndex(path string) error {
+	e.mu.RLock()
+	idx := e.idx
+	cursor := e.cursor
+	e.mu.RUnlock()
+
+	idx.Compact()
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("core: save index: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	_, err = io.WriteString(bw, indexEnvelopeMagic)
+	if err == nil {
+		err = binary.Write(bw, binary.LittleEndian, cursor)
+	}
+	if err == nil {
+		_, err = idx.WriteTo(bw)
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: save index: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: save index: %w", err)
+	}
+	return nil
+}
+
+// LoadIndex restores a persisted document index and its cursor, then syncs
+// any repository changes made after the save. On any load error the caller
+// should fall back to Reindex.
+func (e *Engine) LoadIndex(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("core: load index: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	magic := make([]byte, len(indexEnvelopeMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("core: load index: %w", err)
+	}
+	if string(magic) != indexEnvelopeMagic {
+		return fmt.Errorf("core: load index: bad magic %q", string(magic))
+	}
+	var cursor uint64
+	if err := binary.Read(br, binary.LittleEndian, &cursor); err != nil {
+		return fmt.Errorf("core: load index: %w", err)
+	}
+	fresh := index.New()
+	if _, err := fresh.ReadFrom(br); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.idx = fresh
+	e.cursor = cursor
+	e.mu.Unlock()
+	_, _, err = e.Sync()
+	return err
+}
+
+// Search runs the three-phase algorithm and returns up to limit results
+// (limit <= 0 means 10).
+func (e *Engine) Search(q *query.Query, limit int) ([]Result, error) {
+	res, _, err := e.SearchWithStats(q, limit)
+	return res, err
+}
+
+// SearchWithStats is Search plus per-phase instrumentation.
+func (e *Engine) SearchWithStats(q *query.Query, limit int) ([]Result, SearchStats, error) {
+	if q == nil || q.IsEmpty() {
+		return nil, SearchStats{}, fmt.Errorf("core: empty query")
+	}
+	if limit <= 0 {
+		limit = 10
+	}
+	e.mu.RLock()
+	idx := e.idx
+	ensemble := e.ensemble
+	e.mu.RUnlock()
+
+	stats := SearchStats{CorpusSize: idx.NumDocs()}
+
+	// Phase 1: candidate extraction. Flatten the query graph to keywords
+	// and pull the top-n candidates from the document index.
+	start := time.Now()
+	terms := q.Flatten()
+	stats.QueryTerms = len(terms)
+	hits := idx.SearchTerms(terms, e.opts.CandidateN, e.opts.Index)
+	if e.opts.TrigramFallback && len(hits) < e.opts.CandidateN {
+		// Recall rescue: candidates reachable only through character
+		// trigrams (fully abbreviated schemas). Their coarse scores are
+		// discounted so exact-token hits keep the lead.
+		seen := make(map[string]bool, len(hits))
+		for _, h := range hits {
+			seen[h.ID] = true
+		}
+		extra := idx.SearchTerms(trigramsOf(terms), e.opts.CandidateN, e.opts.Index)
+		for _, h := range extra {
+			if len(hits) >= e.opts.CandidateN {
+				break
+			}
+			if !seen[h.ID] {
+				h.Score *= 0.3
+				hits = append(hits, h)
+			}
+		}
+	}
+	stats.PhaseExtract = time.Since(start)
+	stats.Candidates = len(hits)
+	if len(hits) == 0 {
+		return nil, stats, nil
+	}
+
+	// Phase 2: schema matching. Evaluate each candidate with the ensemble.
+	start = time.Now()
+	type scored struct {
+		hit    index.Hit
+		schema *model.Schema
+		matrix *match.Matrix
+	}
+	cands := make([]scored, len(hits))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, e.opts.Parallelism)
+	var elements int64
+	var elemMu sync.Mutex
+	for i, h := range hits {
+		s := e.repo.Get(h.ID)
+		if s == nil {
+			continue // deleted between index snapshot and now
+		}
+		cands[i] = scored{hit: h, schema: s}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			m := ensemble.Match(q, cands[i].schema)
+			cands[i].matrix = m
+			elemMu.Lock()
+			elements += int64(len(m.Schema))
+			elemMu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	stats.PhaseMatch = time.Since(start)
+	stats.ElementsScored = int(elements)
+
+	// Phase 3: tightness-of-fit measurement and final ranking.
+	start = time.Now()
+	results := make([]Result, 0, len(cands))
+	for _, c := range cands {
+		if c.schema == nil || c.matrix == nil {
+			continue
+		}
+		t := tightness.Score(c.schema, c.matrix, e.opts.Tightness)
+		cov := e.coverage(c.matrix)
+		final := t.Score
+		if e.opts.CoverageExponent > 0 {
+			final = t.Score * math.Pow(cov, e.opts.CoverageExponent)
+		}
+		if e.opts.PopularityBoost > 0 {
+			sel := float64(e.repo.Usage(c.schema.ID).Selections)
+			final *= 1 + e.opts.PopularityBoost*sel/(sel+5)
+		}
+		if final <= 0 {
+			continue
+		}
+		results = append(results, Result{
+			ID:          c.schema.ID,
+			Name:        c.schema.Name,
+			Description: c.schema.Description,
+			Score:       final,
+			Tightness:   t.Score,
+			Coverage:    cov,
+			Coarse:      c.hit.Score,
+			Anchor:      t.Anchor,
+			Matched:     t.Matched,
+			Entities:    c.schema.NumEntities(),
+			Attributes:  c.schema.NumAttributes(),
+		})
+	}
+	sort.SliceStable(results, func(i, j int) bool {
+		if results[i].Score != results[j].Score {
+			return results[i].Score > results[j].Score
+		}
+		if results[i].Coarse != results[j].Coarse {
+			return results[i].Coarse > results[j].Coarse
+		}
+		return results[i].ID < results[j].ID
+	})
+	if len(results) > limit {
+		results = results[:limit]
+	}
+	stats.PhaseTightness = time.Since(start)
+	return results, stats, nil
+}
+
+// coverage returns the fraction of query elements whose best combined score
+// clears the tightness match threshold.
+func (e *Engine) coverage(m *match.Matrix) float64 {
+	if len(m.Query) == 0 {
+		return 0
+	}
+	thr := e.opts.Tightness.MatchThreshold
+	if thr == 0 {
+		thr = 0.5 // keep in sync with tightness defaults
+	}
+	covered := 0
+	for qi := range m.Query {
+		for si := range m.Schema {
+			if v := m.Scores[qi][si]; v != match.NotApplicable && v >= thr {
+				covered++
+				break
+			}
+		}
+	}
+	return float64(covered) / float64(len(m.Query))
+}
+
+// History is one recorded search interaction: a query and the schema the
+// user ultimately selected — the training signal the paper proposes to
+// collect ("we can record search histories to create a training set of
+// search-term to schema-fragment matches").
+type History struct {
+	Query    *query.Query
+	Relevant string // schema ID the user picked
+}
+
+// CollectExamples extracts meta-learner training pairs from a history
+// entry: for the relevant schema, each query element's best-scoring cell
+// becomes a positive example; the same extraction over sampled non-relevant
+// candidates yields negatives. Features are the per-matcher scores of the
+// chosen cell (NotApplicable → 0).
+func (e *Engine) CollectExamples(h History, negatives int) ([]learn.Example, error) {
+	rel := e.repo.Get(h.Relevant)
+	if rel == nil {
+		return nil, fmt.Errorf("core: history references unknown schema %q", h.Relevant)
+	}
+	e.mu.RLock()
+	ensemble := e.ensemble
+	idx := e.idx
+	e.mu.RUnlock()
+
+	var out []learn.Example
+	out = append(out, e.pairExamples(ensemble, h.Query, rel, true)...)
+
+	hits := idx.SearchTerms(h.Query.Flatten(), negatives+1, e.opts.Index)
+	taken := 0
+	for _, hit := range hits {
+		if hit.ID == h.Relevant || taken >= negatives {
+			continue
+		}
+		if s := e.repo.Get(hit.ID); s != nil {
+			out = append(out, e.pairExamples(ensemble, h.Query, s, false)...)
+			taken++
+		}
+	}
+	return out, nil
+}
+
+// pairExamples extracts one example per query element: the per-matcher
+// feature vector of the schema element with the best combined score.
+func (e *Engine) pairExamples(ensemble *match.Ensemble, q *query.Query, s *model.Schema, label bool) []learn.Example {
+	combined := ensemble.Match(q, s)
+	perMatcher := ensemble.PerMatcher(q, s)
+	names := ensemble.MatcherNames()
+	var out []learn.Example
+	for qi := range combined.Query {
+		bestSi, bestV := -1, -1.0
+		for si := range combined.Schema {
+			if v := combined.Scores[qi][si]; v > bestV {
+				bestV, bestSi = v, si
+			}
+		}
+		if bestSi < 0 {
+			continue
+		}
+		features := make([]float64, len(names))
+		for j, n := range names {
+			v := perMatcher[n].Scores[qi][bestSi]
+			if v == match.NotApplicable {
+				v = 0
+			}
+			features[j] = v
+		}
+		out = append(out, learn.Example{Features: features, Label: label})
+	}
+	return out
+}
+
+// LearnWeights trains the meta-learner on recorded search histories and
+// installs the resulting weighting scheme. negatives is the number of
+// non-relevant candidates sampled per history entry (default 3 when <= 0).
+func (e *Engine) LearnWeights(histories []History, negatives int, opts learn.Options) (*learn.Model, error) {
+	if negatives <= 0 {
+		negatives = 3
+	}
+	var examples []learn.Example
+	for _, h := range histories {
+		ex, err := e.CollectExamples(h, negatives)
+		if err != nil {
+			return nil, err
+		}
+		examples = append(examples, ex...)
+	}
+	names := e.Ensemble().MatcherNames()
+	modelFit, err := learn.Train(examples, names, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: training meta-learner: %w", err)
+	}
+	w, err := modelFit.MatcherWeights()
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := e.SetWeights(w); err != nil {
+		return nil, err
+	}
+	return modelFit, nil
+}

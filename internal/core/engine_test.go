@@ -1,0 +1,702 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"schemr/internal/learn"
+	"schemr/internal/model"
+	"schemr/internal/query"
+	"schemr/internal/repository"
+	"schemr/internal/webtables"
+)
+
+// seedRepo loads a small mixed corpus: the clinic reference schema the
+// paper's scenario should find, a hospital near-miss, and assorted noise.
+func seedRepo(t *testing.T) (*repository.Repository, map[string]string) {
+	t.Helper()
+	r := repository.New()
+	ids := map[string]string{}
+
+	put := func(key string, s *model.Schema) {
+		t.Helper()
+		id, err := r.Put(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[key] = id
+	}
+
+	put("clinic", &model.Schema{
+		Name:        "clinic records",
+		Description: "reference data model for a rural health clinic",
+		Entities: []*model.Entity{
+			{Name: "patient", Attributes: []*model.Attribute{
+				{Name: "id", Type: "INT"}, {Name: "height", Type: "FLOAT"},
+				{Name: "gender", Type: "VARCHAR(8)"}, {Name: "dob", Type: "DATE"},
+			}},
+			{Name: "case", Attributes: []*model.Attribute{
+				{Name: "id", Type: "INT"}, {Name: "patient", Type: "INT"},
+				{Name: "doctor", Type: "INT"}, {Name: "diagnosis", Type: "VARCHAR(64)"},
+			}},
+			{Name: "doctor", Attributes: []*model.Attribute{
+				{Name: "id", Type: "INT"}, {Name: "gender", Type: "VARCHAR(8)"},
+			}},
+		},
+		ForeignKeys: []model.ForeignKey{
+			{FromEntity: "case", FromColumns: []string{"patient"}, ToEntity: "patient", ToColumns: []string{"id"}},
+			{FromEntity: "case", FromColumns: []string{"doctor"}, ToEntity: "doctor", ToColumns: []string{"id"}},
+		},
+	})
+	put("hospital", &model.Schema{
+		Name:        "hospital admissions",
+		Description: "inpatient admissions",
+		Entities: []*model.Entity{
+			{Name: "admission", Attributes: []*model.Attribute{
+				{Name: "patient"}, {Name: "ward"}, {Name: "discharge"},
+			}},
+		},
+	})
+	put("scattered", &model.Schema{
+		// Matches the same terms as clinic but scattered across unrelated
+		// entities: tightness must rank it below clinic.
+		Name:        "grab bag",
+		Description: "unrelated tables that mention similar words",
+		Entities: []*model.Entity{
+			{Name: "measurements", Attributes: []*model.Attribute{{Name: "height"}}},
+			{Name: "demographics", Attributes: []*model.Attribute{{Name: "gender"}}},
+			{Name: "conditions", Attributes: []*model.Attribute{{Name: "diagnosis"}}},
+			{Name: "visitors", Attributes: []*model.Attribute{{Name: "patient"}}},
+		},
+	})
+	put("retail", &model.Schema{
+		Name: "retail orders",
+		Entities: []*model.Entity{
+			{Name: "order", Attributes: []*model.Attribute{
+				{Name: "sku"}, {Name: "quantity"}, {Name: "price"}, {Name: "customer"},
+			}},
+		},
+	})
+	// Generated noise from non-health domains (a generated health schema
+	// would be a legitimate hit for the paper scenario and make top-1
+	// assertions ambiguous).
+	gen := 0
+	for _, s := range webtables.GenerateRelational(77, 40) {
+		if strings.HasPrefix(s.Name, "health") {
+			continue
+		}
+		put(fmt.Sprintf("gen%d", gen), s)
+		gen++
+	}
+	return r, ids
+}
+
+func newEngine(t *testing.T, opts Options) (*Engine, map[string]string) {
+	t.Helper()
+	repo, ids := seedRepo(t)
+	e := NewEngine(repo, opts)
+	if err := e.Reindex(); err != nil {
+		t.Fatal(err)
+	}
+	return e, ids
+}
+
+func mustQ(t *testing.T, in query.Input) *query.Query {
+	t.Helper()
+	q, err := query.Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// paperQuery is the running example: keywords patient, height, gender,
+// diagnosis plus a partially designed patient table.
+func paperQuery(t *testing.T) *query.Query {
+	return mustQ(t, query.Input{
+		Keywords: "patient height gender diagnosis",
+		DDL:      "CREATE TABLE patient (height FLOAT, gender VARCHAR(8));",
+	})
+}
+
+func TestPaperScenario(t *testing.T) {
+	e, ids := newEngine(t, Options{})
+	results, stats, err := e.SearchWithStats(paperQuery(t), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no results")
+	}
+	if results[0].ID != ids["clinic"] {
+		for i, r := range results {
+			t.Logf("%d: %s score=%.3f tight=%.3f cov=%.2f coarse=%.3f", i, r.Name, r.Score, r.Tightness, r.Coverage, r.Coarse)
+		}
+		t.Fatalf("top result = %s, want clinic", results[0].Name)
+	}
+	top := results[0]
+	if top.Entities != 3 || top.Attributes != 10 {
+		t.Errorf("table columns wrong: %d entities, %d attributes", top.Entities, top.Attributes)
+	}
+	if top.NumMatches() < 3 {
+		t.Errorf("matches = %v", top.Matched)
+	}
+	if top.Anchor == "" || top.Coverage <= 0.5 {
+		t.Errorf("anchor=%q coverage=%v", top.Anchor, top.Coverage)
+	}
+	// The scattered grab bag must rank below the clinic despite matching
+	// the same terms.
+	for _, r := range results {
+		if r.ID == ids["scattered"] && r.Score >= top.Score {
+			t.Errorf("scattered schema outranked clinic: %v >= %v", r.Score, top.Score)
+		}
+	}
+	// Stats sanity.
+	// Flatten dedupes: keywords patient/height/gender/diagnosis subsume the
+	// fragment's element names → 4 terms.
+	if stats.CorpusSize != e.IndexedDocs() || stats.Candidates == 0 || stats.QueryTerms != 4 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.Candidates > 50 {
+		t.Errorf("candidate cap violated: %d", stats.Candidates)
+	}
+}
+
+func TestKeywordOnlySearch(t *testing.T) {
+	e, ids := newEngine(t, Options{})
+	results, err := e.Search(mustQ(t, query.Input{Keywords: "sku quantity price"}), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 || results[0].ID != ids["retail"] {
+		t.Fatalf("results = %+v", results)
+	}
+}
+
+func TestQueryByExampleOnly(t *testing.T) {
+	e, ids := newEngine(t, Options{})
+	q := mustQ(t, query.Input{DDL: `CREATE TABLE patient (
+		height FLOAT, gender VARCHAR(8), dob DATE);`})
+	results, err := e.Search(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 || results[0].ID != ids["clinic"] {
+		names := []string{}
+		for _, r := range results {
+			names = append(names, r.Name)
+		}
+		t.Fatalf("results = %v, want clinic first", names)
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	e, _ := newEngine(t, Options{})
+	if _, err := e.Search(nil, 5); err == nil {
+		t.Error("nil query accepted")
+	}
+	if _, err := e.Search(&query.Query{}, 5); err == nil {
+		t.Error("empty query accepted")
+	}
+}
+
+func TestSearchNoResults(t *testing.T) {
+	e, _ := newEngine(t, Options{})
+	results, err := e.Search(mustQ(t, query.Input{Keywords: "xylophone zeppelin"}), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Errorf("results = %+v", results)
+	}
+}
+
+func TestSearchOnEmptyEngine(t *testing.T) {
+	e := NewEngine(repository.New(), Options{})
+	if err := e.Reindex(); err != nil {
+		t.Fatal(err)
+	}
+	results, err := e.Search(mustQ(t, query.Input{Keywords: "patient"}), 5)
+	if err != nil || len(results) != 0 {
+		t.Errorf("results=%v err=%v", results, err)
+	}
+}
+
+func TestLimitApplied(t *testing.T) {
+	e, _ := newEngine(t, Options{})
+	results, err := e.Search(mustQ(t, query.Input{Keywords: "patient name id"}), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) > 2 {
+		t.Errorf("limit ignored: %d results", len(results))
+	}
+}
+
+func TestRankingDeterministicUnderParallelism(t *testing.T) {
+	e, _ := newEngine(t, Options{Parallelism: 8})
+	q := paperQuery(t)
+	first, err := e.Search(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		again, err := e.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again) != len(first) {
+			t.Fatalf("run %d: result count changed", i)
+		}
+		for j := range again {
+			if again[j].ID != first[j].ID || again[j].Score != first[j].Score {
+				t.Fatalf("run %d: rank %d changed: %s vs %s", i, j, again[j].ID, first[j].ID)
+			}
+		}
+	}
+}
+
+func TestIncrementalSync(t *testing.T) {
+	repo, _ := seedRepo(t)
+	e := NewEngine(repo, Options{})
+	if err := e.Reindex(); err != nil {
+		t.Fatal(err)
+	}
+	before := e.IndexedDocs()
+
+	// Nothing changed: sync is a no-op.
+	up, del, err := e.Sync()
+	if err != nil || up != 0 || del != 0 {
+		t.Fatalf("idle sync: %d/%d/%v", up, del, err)
+	}
+
+	// Add a new schema; only it gets indexed.
+	id, err := repo.Put(&model.Schema{
+		Name: "greenhouse", Entities: []*model.Entity{
+			{Name: "sensor", Attributes: []*model.Attribute{
+				{Name: "humidity"}, {Name: "soil moisture"}, {Name: "lux"}, {Name: "co2"},
+			}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, del, err = e.Sync()
+	if err != nil || up != 1 || del != 0 {
+		t.Fatalf("sync after add: %d/%d/%v", up, del, err)
+	}
+	if e.IndexedDocs() != before+1 {
+		t.Errorf("indexed docs = %d", e.IndexedDocs())
+	}
+	results, err := e.Search(mustQ(t, query.Input{Keywords: "humidity soil"}), 5)
+	if err != nil || len(results) == 0 || results[0].ID != id {
+		t.Fatalf("new schema not searchable: %v %v", results, err)
+	}
+
+	// Delete it; sync removes it from the index.
+	repo.Delete(id)
+	up, del, err = e.Sync()
+	if err != nil || del != 1 {
+		t.Fatalf("sync after delete: %d/%d/%v", up, del, err)
+	}
+	results, _ = e.Search(mustQ(t, query.Input{Keywords: "humidity soil"}), 5)
+	for _, r := range results {
+		if r.ID == id {
+			t.Error("deleted schema still returned")
+		}
+	}
+}
+
+func TestCoverageFactorRewardsFullerMatches(t *testing.T) {
+	// A schema matching one query term perfectly must not outrank a schema
+	// matching all terms well.
+	repo := repository.New()
+	oneID, _ := repo.Put(&model.Schema{
+		Name: "narrow",
+		Entities: []*model.Entity{{Name: "diagnosis", Attributes: []*model.Attribute{
+			{Name: "diagnosis"}, {Name: "unrelated"}, {Name: "stuff"}, {Name: "things"},
+		}}},
+	})
+	allID, _ := repo.Put(&model.Schema{
+		Name: "broad",
+		Entities: []*model.Entity{{Name: "patient", Attributes: []*model.Attribute{
+			{Name: "patient"}, {Name: "height"}, {Name: "gender"}, {Name: "diagnosis"},
+		}}},
+	})
+	e := NewEngine(repo, Options{})
+	if err := e.Reindex(); err != nil {
+		t.Fatal(err)
+	}
+	q := mustQ(t, query.Input{Keywords: "patient height gender diagnosis"})
+	results, err := e.Search(q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].ID != allID {
+		t.Fatalf("results = %+v", results)
+	}
+	// With the factor disabled, narrow's tightness can tie or beat broad.
+	e2 := NewEngine(repo, Options{CoverageExponent: -1})
+	if err := e2.Reindex(); err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := e2.Search(q, 2)
+	var narrow, broad Result
+	for _, r := range r2 {
+		switch r.ID {
+		case oneID:
+			narrow = r
+		case allID:
+			broad = r
+		}
+	}
+	if narrow.Score != narrow.Tightness || broad.Score != broad.Tightness {
+		t.Errorf("disabled coverage factor still applied: %+v %+v", narrow, broad)
+	}
+}
+
+func TestSchemaDocument(t *testing.T) {
+	s := &model.Schema{
+		ID: "x1", Name: "clinic", Description: "a health data model",
+		Entities: []*model.Entity{{Name: "patient", Attributes: []*model.Attribute{{Name: "height"}}}},
+	}
+	doc := SchemaDocument(s)
+	if doc.ID != "x1" || len(doc.Fields) != 3 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	var elements string
+	for _, f := range doc.Fields {
+		if f.Name == "elements" {
+			elements = f.Text
+		}
+	}
+	if !strings.Contains(elements, "patient") || !strings.Contains(elements, "height") {
+		t.Errorf("elements field = %q", elements)
+	}
+}
+
+func TestLearnWeightsImprovesOrHolds(t *testing.T) {
+	e, ids := newEngine(t, Options{})
+	// Histories: the paper scenario and two more queries with known picks.
+	histories := []History{
+		{Query: paperQuery(t), Relevant: ids["clinic"]},
+		{Query: mustQ(t, query.Input{Keywords: "sku quantity price customer"}), Relevant: ids["retail"]},
+		{Query: mustQ(t, query.Input{Keywords: "patient ward discharge"}), Relevant: ids["hospital"]},
+	}
+	model_, err := e.LearnWeights(histories, 3, learn.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model_ == nil {
+		t.Fatal("nil model")
+	}
+	w := e.Ensemble().Weights()
+	sum := 0.0
+	for name, v := range w {
+		if v < 0 {
+			t.Errorf("weight %s = %v", name, v)
+		}
+		sum += v
+	}
+	if sum <= 0 {
+		t.Fatalf("weights = %v", w)
+	}
+	// The engine still ranks the right answers first with learned weights.
+	for _, h := range histories {
+		results, err := e.Search(h.Query, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) == 0 || results[0].ID != h.Relevant {
+			t.Errorf("after learning, query %v top = %v, want %s", h.Query, results, h.Relevant)
+		}
+	}
+}
+
+func TestCollectExamplesErrors(t *testing.T) {
+	e, _ := newEngine(t, Options{})
+	_, err := e.CollectExamples(History{Query: paperQuery(t), Relevant: "missing"}, 2)
+	if err == nil {
+		t.Error("unknown relevant schema accepted")
+	}
+}
+
+func TestTrigramFallback(t *testing.T) {
+	// A schema whose every element is abbreviated: no exact token matches
+	// the query, so the paper-pure engine never sees it; the trigram
+	// fallback rescues it.
+	repo := repository.New()
+	abbrevID, err := repo.Put(&model.Schema{
+		Name: "stopgap db",
+		Entities: []*model.Entity{{Name: "pt", Attributes: []*model.Attribute{
+			{Name: "gndr"}, {Name: "hght"}, {Name: "wt"}, {Name: "dx"},
+		}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Noise that also doesn't match.
+	if _, err := repo.Put(&model.Schema{
+		Name: "orders",
+		Entities: []*model.Entity{{Name: "order", Attributes: []*model.Attribute{
+			{Name: "sku"}, {Name: "qty"}, {Name: "price"}, {Name: "customer"},
+		}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	q := mustQ(t, query.Input{Keywords: "patient gender height diagnosis"})
+
+	pure := NewEngine(repo, Options{})
+	if err := pure.Reindex(); err != nil {
+		t.Fatal(err)
+	}
+	results, err := pure.Search(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("paper-pure engine found %v — test premise broken", results)
+	}
+
+	fb := NewEngine(repo, Options{TrigramFallback: true})
+	if err := fb.Reindex(); err != nil {
+		t.Fatal(err)
+	}
+	results, err = fb.Search(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 || results[0].ID != abbrevID {
+		t.Fatalf("fallback results = %v", results)
+	}
+	// The fine-grained name matcher did the real ranking: abbreviations
+	// matched with positive scores.
+	if results[0].NumMatches() < 2 {
+		t.Errorf("matched = %v", results[0].Matched)
+	}
+	// Exact-token hits still lead when both paths fire: add an exact match.
+	exactID, err := repo.Put(&model.Schema{
+		Name: "spelled out",
+		Entities: []*model.Entity{{Name: "patient", Attributes: []*model.Attribute{
+			{Name: "gender"}, {Name: "height"}, {Name: "weight"}, {Name: "diagnosis"},
+		}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fb.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	results, err = fb.Search(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) < 2 || results[0].ID != exactID {
+		t.Fatalf("results with exact competitor = %v", results)
+	}
+	// The fallback index round-trips through persistence (boosts carried).
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tri.idx")
+	if err := fb.SaveIndex(path); err != nil {
+		t.Fatal(err)
+	}
+	fb2 := NewEngine(repo, Options{TrigramFallback: true})
+	if err := fb2.LoadIndex(path); err != nil {
+		t.Fatal(err)
+	}
+	results2, err := fb2.Search(q, 10)
+	if err != nil || len(results2) != len(results) || results2[0].ID != exactID {
+		t.Fatalf("after reload: %v %v", results2, err)
+	}
+}
+
+func TestSaveLoadIndex(t *testing.T) {
+	repo, ids := seedRepo(t)
+	e := NewEngine(repo, Options{})
+	if err := e.Reindex(); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "engine.idx")
+	if err := e.SaveIndex(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Changes made after the save must be picked up by the cursor-based
+	// sync on load.
+	newID, err := repo.Put(&model.Schema{
+		Name: "post save",
+		Entities: []*model.Entity{{Name: "sensor", Attributes: []*model.Attribute{
+			{Name: "humidity"}, {Name: "lux"}, {Name: "soil"}, {Name: "co2"},
+		}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := NewEngine(repo, Options{})
+	if err := e2.LoadIndex(path); err != nil {
+		t.Fatal(err)
+	}
+	if e2.IndexedDocs() != repo.Len() {
+		t.Fatalf("indexed = %d, want %d", e2.IndexedDocs(), repo.Len())
+	}
+	// Both pre-save and post-save schemas are searchable.
+	q := mustQ(t, query.Input{Keywords: "patient height gender diagnosis"})
+	results, err := e2.Search(q, 5)
+	if err != nil || len(results) == 0 || results[0].ID != ids["clinic"] {
+		t.Fatalf("pre-save content: %v %v", results, err)
+	}
+	results, err = e2.Search(mustQ(t, query.Input{Keywords: "humidity lux"}), 5)
+	if err != nil || len(results) == 0 || results[0].ID != newID {
+		t.Fatalf("post-save content: %v %v", results, err)
+	}
+
+	// Corrupt/missing files fall back cleanly.
+	e3 := NewEngine(repo, Options{})
+	if err := e3.LoadIndex(filepath.Join(dir, "missing.idx")); err == nil {
+		t.Error("missing index loaded")
+	}
+	bad := filepath.Join(dir, "bad.idx")
+	os.WriteFile(bad, []byte("not an index"), 0o644)
+	if err := e3.LoadIndex(bad); err == nil {
+		t.Error("corrupt index loaded")
+	}
+}
+
+func TestPopularityBoost(t *testing.T) {
+	// Two structurally identical schemas tie on semantics; community
+	// click-throughs must break the tie — and must not overturn a strong
+	// semantic gap.
+	repo := repository.New()
+	mk := func(name string) string {
+		id, err := repo.Put(&model.Schema{
+			Name: name,
+			Entities: []*model.Entity{{Name: "observation", Attributes: []*model.Attribute{
+				{Name: "species"}, {Name: "count"}, {Name: "observer"}, {Name: "date"},
+			}}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	a, bID := mk("twin a"), mk("twin b")
+	strongID, err := repo.Put(&model.Schema{
+		Name: "exact",
+		Entities: []*model.Entity{{Name: "sighting", Attributes: []*model.Attribute{
+			{Name: "species"}, {Name: "count"}, {Name: "observer"}, {Name: "date"}, {Name: "weather"},
+		}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = strongID
+
+	e := NewEngine(repo, Options{PopularityBoost: 0.2})
+	if err := e.Reindex(); err != nil {
+		t.Fatal(err)
+	}
+	q := mustQ(t, query.Input{Keywords: "species count observer date"})
+
+	// Without usage, a beats b on ID tie-break.
+	results, err := e.Search(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	posOf := func(rs []Result, id string) int {
+		for i, r := range rs {
+			if r.ID == id {
+				return i
+			}
+		}
+		return -1
+	}
+	if posOf(results, a) > posOf(results, bID) {
+		t.Fatalf("baseline order unexpected: %v", results)
+	}
+
+	// The community clicks b.
+	for i := 0; i < 10; i++ {
+		repo.RecordSelection(bID)
+	}
+	results, err = e.Search(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if posOf(results, bID) > posOf(results, a) {
+		t.Errorf("popularity did not break the tie: %v", results)
+	}
+
+	// Boost saturates: the perfectly matching twins still beat the weaker
+	// "exact" schema... and vice versa: clicks on a weak match must not
+	// overturn the strong ones. Give the weak schema huge usage.
+	for i := 0; i < 1000; i++ {
+		repo.RecordSelection(strongID)
+	}
+	results, err = e.Search(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := results[0]
+	if top.ID == strongID && top.Score > results[1].Score*1.25 {
+		t.Errorf("popularity overturned semantics by a wide margin: %v", results)
+	}
+
+	// Boost off: usage is ignored entirely.
+	e2 := NewEngine(repo, Options{})
+	if err := e2.Reindex(); err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := e2.Search(q, 3)
+	if posOf(r2, a) > posOf(r2, bID) {
+		t.Errorf("boost leaked into disabled engine: %v", r2)
+	}
+}
+
+func TestConcurrentSearchAndSync(t *testing.T) {
+	e, _ := newEngine(t, Options{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if _, err := e.Search(mustQ(t, query.Input{Keywords: "patient order"}), 5); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			id, err := e.Repository().Put(&model.Schema{
+				Name: fmt.Sprintf("churn %d", i),
+				Entities: []*model.Entity{{Name: "t", Attributes: []*model.Attribute{
+					{Name: "a"}, {Name: "b"}, {Name: "c"}, {Name: "d"},
+				}}},
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, _, err := e.Sync(); err != nil {
+				t.Error(err)
+				return
+			}
+			e.Repository().Delete(id)
+			if _, _, err := e.Sync(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}

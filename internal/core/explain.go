@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"schemr/internal/index"
+	"schemr/internal/match"
+	"schemr/internal/query"
+	"schemr/internal/tightness"
+)
+
+// Explanation decomposes one schema's score for one query across all three
+// phases — the "why is this ranked here" answer for users and for matcher
+// debugging.
+type Explanation struct {
+	ID string
+	// Coarse explains the candidate-extraction score per term (nil when
+	// the schema would not be extracted at all — which itself explains a
+	// missing result).
+	Coarse *index.Explanation
+	// TopPairs lists the strongest (query element, schema element)
+	// correspondences from the combined similarity matrix.
+	TopPairs []match.Pair
+	// Tightness carries the per-anchor penalized scores and the matched
+	// element set with penalties.
+	Tightness tightness.Result
+	// Coverage is the fraction of query elements matched.
+	Coverage float64
+	// Final is the ranking score (tightness × coverage^exp, before any
+	// popularity boost).
+	Final float64
+}
+
+// Explain recomputes the full scoring of one schema for a query. Unlike
+// Search it does not require the schema to survive candidate extraction,
+// so it can also explain why something is missing from results.
+func (e *Engine) Explain(q *query.Query, id string) (*Explanation, error) {
+	if q == nil || q.IsEmpty() {
+		return nil, fmt.Errorf("core: empty query")
+	}
+	s := e.repo.Get(id)
+	if s == nil {
+		return nil, fmt.Errorf("core: no schema %q", id)
+	}
+	e.mu.RLock()
+	idx := e.idx
+	ensemble := e.ensemble
+	e.mu.RUnlock()
+
+	ex := &Explanation{ID: id}
+	terms := q.Flatten()
+	// index.Explain takes the raw query string path; reuse the term list
+	// by joining (the analyzer re-splits identically).
+	ex.Coarse = idx.Explain(join(terms), id)
+
+	m := ensemble.Match(q, s)
+	ex.TopPairs = m.TopPairs(10)
+	ex.Tightness = tightness.Score(s, m, e.opts.Tightness)
+	ex.Coverage = e.coverage(m)
+	ex.Final = ex.Tightness.Score
+	if e.opts.CoverageExponent > 0 {
+		ex.Final = ex.Tightness.Score * math.Pow(ex.Coverage, e.opts.CoverageExponent)
+	}
+	return ex, nil
+}
+
+func join(terms []string) string {
+	out := ""
+	for i, t := range terms {
+		if i > 0 {
+			out += " "
+		}
+		out += t
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+// Package ddl imports and exports relational schemas as SQL data definition
+// language. Schemr users "upload a DDL" to query by example, so the parser
+// is deliberately liberal: it accepts the common CREATE TABLE dialect shared
+// by PostgreSQL, MySQL and SQLite (quoted identifiers in any of the three
+// quoting styles, line and block comments, column and table constraints)
+// and skips statements it does not understand rather than failing the whole
+// upload.
+package ddl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "EOF"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokSymbol:
+		return "symbol"
+	}
+	return "token"
+}
+
+type token struct {
+	kind tokenKind
+	text string // identifier text (unquoted), literal value, or symbol
+	// quoted marks identifiers that were quoted in the source ("x", `x`,
+	// [x]); the parser never treats those as keywords or type names.
+	quoted bool
+	line   int
+	col    int
+}
+
+// upper reports the token's text upper-cased; keyword comparison is
+// case-insensitive per SQL.
+func (t token) upper() string { return strings.ToUpper(t.text) }
+
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peekAt(off int) rune {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) errorf(format string, args ...any) error {
+	return fmt.Errorf("ddl: line %d col %d: %s", l.line, l.col, fmt.Sprintf(format, args...))
+}
+
+// skipSpaceAndComments consumes whitespace, -- line comments and /* block
+// comments (non-nesting, as in SQL).
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '-' && l.peekAt(1) == '-':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case r == '/' && l.peekAt(1) == '*':
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peek() == '*' && l.peekAt(1) == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return l.errorf("unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '$'
+}
+
+// next returns the next token. Quoted identifiers ("x", `x`, [x]) are
+// returned as tokIdent with the quotes stripped; a doubled closing quote
+// inside double quotes escapes it. String literals use single quotes with ”
+// escaping.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line, col: l.col}, nil
+	}
+	startLine, startCol := l.line, l.col
+	r := l.peek()
+	switch {
+	case isIdentStart(r):
+		var sb strings.Builder
+		for l.pos < len(l.src) && isIdentRune(l.peek()) {
+			sb.WriteRune(l.advance())
+		}
+		return token{kind: tokIdent, text: sb.String(), line: startLine, col: startCol}, nil
+
+	case unicode.IsDigit(r) || (r == '.' && unicode.IsDigit(l.peekAt(1))):
+		var sb strings.Builder
+		seenDot := false
+		for l.pos < len(l.src) {
+			c := l.peek()
+			if unicode.IsDigit(c) {
+				sb.WriteRune(l.advance())
+			} else if c == '.' && !seenDot {
+				seenDot = true
+				sb.WriteRune(l.advance())
+			} else {
+				break
+			}
+		}
+		return token{kind: tokNumber, text: sb.String(), line: startLine, col: startCol}, nil
+
+	case r == '\'':
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, l.errorf("unterminated string literal")
+			}
+			c := l.advance()
+			if c == '\'' {
+				if l.peek() == '\'' { // escaped quote
+					l.advance()
+					sb.WriteRune('\'')
+					continue
+				}
+				break
+			}
+			sb.WriteRune(c)
+		}
+		return token{kind: tokString, text: sb.String(), line: startLine, col: startCol}, nil
+
+	case r == '"' || r == '`':
+		quote := l.advance()
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, l.errorf("unterminated quoted identifier")
+			}
+			c := l.advance()
+			if c == quote {
+				if l.peek() == quote { // doubled quote escapes
+					l.advance()
+					sb.WriteRune(quote)
+					continue
+				}
+				break
+			}
+			sb.WriteRune(c)
+		}
+		return token{kind: tokIdent, text: sb.String(), quoted: true, line: startLine, col: startCol}, nil
+
+	case r == '[': // SQL Server bracket quoting
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, l.errorf("unterminated bracketed identifier")
+			}
+			c := l.advance()
+			if c == ']' {
+				break
+			}
+			sb.WriteRune(c)
+		}
+		return token{kind: tokIdent, text: sb.String(), quoted: true, line: startLine, col: startCol}, nil
+
+	default:
+		l.advance()
+		return token{kind: tokSymbol, text: string(r), line: startLine, col: startCol}, nil
+	}
+}
+
+// lexAll tokenizes the whole input; used by the parser, which wants
+// lookahead over a flat slice.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,539 @@
+package ddl
+
+import (
+	"fmt"
+	"strings"
+
+	"schemr/internal/model"
+)
+
+// Parse parses a DDL script — one or more statements separated by
+// semicolons — into a schema named name. CREATE TABLE statements become
+// entities; column and table constraints populate primary and foreign keys;
+// MySQL-style COMMENT clauses populate documentation. Statements other than
+// CREATE TABLE (CREATE INDEX, INSERT, SET, ...) are skipped. Parse fails on
+// lexical errors, on malformed CREATE TABLE statements, and on scripts that
+// define no table at all.
+func Parse(name, src string) (*model.Schema, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	schema := &model.Schema{Name: name, Format: "ddl"}
+	for !p.atEOF() {
+		if p.isSymbol(";") {
+			p.advance()
+			continue
+		}
+		if p.isKeyword("CREATE") && (p.peekKeywordAt(1, "TABLE") ||
+			(p.peekKeywordAt(1, "TEMPORARY") && p.peekKeywordAt(2, "TABLE"))) {
+			ent, fks, err := p.parseCreateTable()
+			if err != nil {
+				return nil, err
+			}
+			schema.Entities = append(schema.Entities, ent)
+			schema.ForeignKeys = append(schema.ForeignKeys, fks...)
+			continue
+		}
+		// Unknown statement: skip to the next semicolon.
+		p.skipStatement()
+	}
+	if len(schema.Entities) == 0 {
+		return nil, fmt.Errorf("ddl: no CREATE TABLE statement found in %q", name)
+	}
+	if err := schema.Validate(); err != nil {
+		// Tolerate dangling foreign keys (a fragment may reference tables the
+		// user did not paste); drop them and re-validate.
+		schema.ForeignKeys = pruneDanglingFKs(schema)
+		if err := schema.Validate(); err != nil {
+			return nil, fmt.Errorf("ddl: parsed schema invalid: %w", err)
+		}
+	}
+	return schema, nil
+}
+
+// pruneDanglingFKs removes foreign keys whose target entity or columns do not
+// exist in the schema. Query fragments routinely reference tables that were
+// not uploaded.
+func pruneDanglingFKs(s *model.Schema) []model.ForeignKey {
+	var kept []model.ForeignKey
+	for _, fk := range s.ForeignKeys {
+		from := s.Entity(fk.FromEntity)
+		to := s.Entity(fk.ToEntity)
+		if from == nil || to == nil {
+			continue
+		}
+		ok := true
+		for _, c := range fk.FromColumns {
+			if from.Attribute(c) == nil {
+				ok = false
+			}
+		}
+		for _, c := range fk.ToColumns {
+			if to.Attribute(c) == nil {
+				ok = false
+			}
+		}
+		if ok {
+			kept = append(kept, fk)
+		}
+	}
+	return kept
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.cur().kind == tokEOF }
+
+func (p *parser) advance() token {
+	t := p.cur()
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) isSymbol(s string) bool {
+	t := p.cur()
+	return t.kind == tokSymbol && t.text == s
+}
+
+func (p *parser) isKeyword(kw string) bool {
+	t := p.cur()
+	return t.kind == tokIdent && !t.quoted && t.upper() == kw
+}
+
+func (p *parser) peekKeywordAt(off int, kw string) bool {
+	if p.pos+off >= len(p.toks) {
+		return false
+	}
+	t := p.toks[p.pos+off]
+	return t.kind == tokIdent && !t.quoted && t.upper() == kw
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.isSymbol(s) {
+		t := p.cur()
+		return fmt.Errorf("ddl: line %d col %d: expected %q, found %s %q", t.line, t.col, s, t.kind, t.text)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("ddl: line %d col %d: expected identifier, found %s %q", t.line, t.col, t.kind, t.text)
+	}
+	p.advance()
+	return t.text, nil
+}
+
+// skipStatement advances past the next top-level semicolon (or EOF),
+// tracking parenthesis depth so that semicolons inside defaults do not
+// truncate the skip.
+func (p *parser) skipStatement() {
+	depth := 0
+	for !p.atEOF() {
+		if p.isSymbol("(") {
+			depth++
+		} else if p.isSymbol(")") {
+			if depth > 0 {
+				depth--
+			}
+		} else if p.isSymbol(";") && depth == 0 {
+			p.advance()
+			return
+		}
+		p.advance()
+	}
+}
+
+// parseQualifiedName parses ident (. ident)* and returns the last component;
+// schema qualifiers like "public.patient" are dropped.
+func (p *parser) parseQualifiedName() (string, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return "", err
+	}
+	for p.isSymbol(".") {
+		p.advance()
+		name, err = p.expectIdent()
+		if err != nil {
+			return "", err
+		}
+	}
+	return name, nil
+}
+
+// parseColumnList parses "( ident , ident ... )".
+func (p *parser) parseColumnList() ([]string, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	var cols []string
+	for {
+		c, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, c)
+		if p.isSymbol(",") {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return cols, nil
+}
+
+// parseCreateTable parses one CREATE TABLE statement, leaving the parser
+// positioned after its terminating semicolon (or at EOF).
+func (p *parser) parseCreateTable() (*model.Entity, []model.ForeignKey, error) {
+	p.advance() // CREATE
+	if p.isKeyword("TEMPORARY") {
+		p.advance()
+	}
+	p.advance() // TABLE
+	// IF NOT EXISTS
+	if p.isKeyword("IF") && p.peekKeywordAt(1, "NOT") && p.peekKeywordAt(2, "EXISTS") {
+		p.advance()
+		p.advance()
+		p.advance()
+	}
+	name, err := p.parseQualifiedName()
+	if err != nil {
+		return nil, nil, err
+	}
+	ent := &model.Entity{Name: name}
+	var fks []model.ForeignKey
+	if err := p.expectSymbol("("); err != nil {
+		return nil, nil, err
+	}
+	for {
+		switch {
+		case p.isKeyword("PRIMARY") && p.peekKeywordAt(1, "KEY"):
+			p.advance()
+			p.advance()
+			cols, err := p.parseColumnList()
+			if err != nil {
+				return nil, nil, err
+			}
+			ent.PrimaryKey = cols
+
+		case p.isKeyword("FOREIGN") && p.peekKeywordAt(1, "KEY"):
+			p.advance()
+			p.advance()
+			fk, err := p.parseForeignKey(name, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			fks = append(fks, fk)
+
+		case p.isKeyword("CONSTRAINT"):
+			p.advance()
+			cname, err := p.expectIdent()
+			if err != nil {
+				return nil, nil, err
+			}
+			switch {
+			case p.isKeyword("PRIMARY") && p.peekKeywordAt(1, "KEY"):
+				p.advance()
+				p.advance()
+				cols, err := p.parseColumnList()
+				if err != nil {
+					return nil, nil, err
+				}
+				ent.PrimaryKey = cols
+			case p.isKeyword("FOREIGN") && p.peekKeywordAt(1, "KEY"):
+				p.advance()
+				p.advance()
+				fk, err := p.parseForeignKey(name, nil)
+				if err != nil {
+					return nil, nil, err
+				}
+				fk.Name = cname
+				fks = append(fks, fk)
+			case p.isKeyword("UNIQUE") || p.isKeyword("CHECK"):
+				p.skipConstraintBody()
+			default:
+				p.skipConstraintBody()
+			}
+
+		case p.isKeyword("UNIQUE") || p.isKeyword("CHECK") || p.isKeyword("INDEX") || p.isKeyword("KEY"):
+			// Table-level UNIQUE(...), CHECK(...), MySQL INDEX/KEY defs.
+			p.advance()
+			p.skipConstraintBody()
+
+		default:
+			col, colFK, err := p.parseColumnDef(name, ent)
+			if err != nil {
+				return nil, nil, err
+			}
+			ent.Attributes = append(ent.Attributes, col)
+			if colFK != nil {
+				fks = append(fks, *colFK)
+			}
+		}
+		if p.isSymbol(",") {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, nil, err
+	}
+	if len(ent.Attributes) == 0 {
+		return nil, nil, fmt.Errorf("ddl: table %q has no columns", name)
+	}
+	// Trailing table options (ENGINE=..., COMMENT '...', etc.) up to ';'.
+	for !p.atEOF() && !p.isSymbol(";") {
+		if p.isKeyword("COMMENT") {
+			p.advance()
+			if p.isSymbol("=") {
+				p.advance()
+			}
+			if p.cur().kind == tokString {
+				ent.Documentation = p.advance().text
+				continue
+			}
+		}
+		p.advance()
+	}
+	if p.isSymbol(";") {
+		p.advance()
+	}
+	return ent, fks, nil
+}
+
+// skipConstraintBody skips a parenthesized body plus any trailing words
+// until the next top-level ',' or ')'.
+func (p *parser) skipConstraintBody() {
+	depth := 0
+	for !p.atEOF() {
+		if p.isSymbol("(") {
+			depth++
+		} else if p.isSymbol(")") {
+			if depth == 0 {
+				return
+			}
+			depth--
+		} else if p.isSymbol(",") && depth == 0 {
+			return
+		} else if p.isSymbol(";") && depth == 0 {
+			return
+		}
+		p.advance()
+	}
+}
+
+// parseForeignKey parses "(cols) REFERENCES table (cols)" — or, when
+// fromCols is non-nil (column-level REFERENCES), just the target part. Any
+// trailing ON DELETE/ON UPDATE/MATCH actions are skipped.
+func (p *parser) parseForeignKey(fromEntity string, fromCols []string) (model.ForeignKey, error) {
+	fk := model.ForeignKey{FromEntity: fromEntity, FromColumns: fromCols}
+	if fromCols == nil {
+		cols, err := p.parseColumnList()
+		if err != nil {
+			return fk, err
+		}
+		fk.FromColumns = cols
+		if !p.isKeyword("REFERENCES") {
+			t := p.cur()
+			return fk, fmt.Errorf("ddl: line %d col %d: expected REFERENCES, found %q", t.line, t.col, t.text)
+		}
+	}
+	if p.isKeyword("REFERENCES") {
+		p.advance()
+	}
+	target, err := p.parseQualifiedName()
+	if err != nil {
+		return fk, err
+	}
+	fk.ToEntity = target
+	if p.isSymbol("(") {
+		cols, err := p.parseColumnList()
+		if err != nil {
+			return fk, err
+		}
+		fk.ToColumns = cols
+	}
+	// ON DELETE CASCADE, ON UPDATE SET NULL, MATCH FULL, DEFERRABLE ...
+	for p.isKeyword("ON") || p.isKeyword("MATCH") || p.isKeyword("DEFERRABLE") ||
+		p.isKeyword("NOT") || p.isKeyword("INITIALLY") {
+		p.advance()
+		for p.cur().kind == tokIdent &&
+			!p.isKeyword("ON") && !p.isKeyword("MATCH") && !p.isKeyword("DEFERRABLE") &&
+			!p.isKeyword("NOT") && !p.isKeyword("INITIALLY") && !p.isKeyword("COMMENT") {
+			p.advance()
+		}
+	}
+	return fk, nil
+}
+
+// parseColumnDef parses "name type [args] [column constraints]". It returns
+// the attribute plus, when a REFERENCES clause is present, the implied
+// foreign key.
+func (p *parser) parseColumnDef(entName string, ent *model.Entity) (*model.Attribute, *model.ForeignKey, error) {
+	colName, err := p.expectIdent()
+	if err != nil {
+		return nil, nil, err
+	}
+	attr := &model.Attribute{Name: colName, Nullable: true}
+
+	// Type: one or more unquoted identifier words (e.g. DOUBLE PRECISION,
+	// TIMESTAMP WITH TIME ZONE) optionally followed by (args). Quoted
+	// identifiers are never type names — the printer could not round-trip
+	// them.
+	var typeParts []string
+	for p.cur().kind == tokIdent && !p.cur().quoted && !p.colConstraintStarts() {
+		typeParts = append(typeParts, p.advance().text)
+		// Multi-word types are rare; stop after common two/three-word forms
+		// by only continuing while the next token is also a type word.
+		if len(typeParts) >= 4 {
+			break
+		}
+	}
+	typeName := strings.Join(typeParts, " ")
+	if p.isSymbol("(") {
+		depth := 0
+		var args strings.Builder
+		for !p.atEOF() {
+			t := p.advance()
+			if t.kind == tokSymbol && t.text == "(" {
+				depth++
+				if depth > 1 {
+					args.WriteString("(")
+				}
+				continue
+			}
+			if t.kind == tokSymbol && t.text == ")" {
+				depth--
+				if depth == 0 {
+					break
+				}
+				args.WriteString(")")
+				continue
+			}
+			args.WriteString(t.text)
+		}
+		typeName += "(" + args.String() + ")"
+	}
+	attr.Type = typeName
+
+	var fk *model.ForeignKey
+	// Column constraints in any order.
+	for {
+		switch {
+		case p.isKeyword("NOT") && p.peekKeywordAt(1, "NULL"):
+			p.advance()
+			p.advance()
+			attr.Nullable = false
+		case p.isKeyword("NULL"):
+			p.advance()
+			attr.Nullable = true
+		case p.isKeyword("PRIMARY") && p.peekKeywordAt(1, "KEY"):
+			p.advance()
+			p.advance()
+			attr.Nullable = false
+			if len(ent.PrimaryKey) == 0 {
+				ent.PrimaryKey = []string{colName}
+			}
+		case p.isKeyword("UNIQUE"):
+			p.advance()
+		case p.isKeyword("AUTO_INCREMENT") || p.isKeyword("AUTOINCREMENT"):
+			p.advance()
+		case p.isKeyword("DEFAULT"):
+			p.advance()
+			// Default value: literal, ident, or parenthesized expression.
+			if p.isSymbol("(") {
+				p.skipParens()
+			} else {
+				p.advance()
+				if p.isSymbol("(") { // function call like now()
+					p.skipParens()
+				}
+			}
+		case p.isKeyword("CHECK"):
+			p.advance()
+			p.skipParens()
+		case p.isKeyword("COMMENT"):
+			p.advance()
+			if p.isSymbol("=") {
+				p.advance()
+			}
+			if p.cur().kind == tokString {
+				attr.Documentation = p.advance().text
+			}
+		case p.isKeyword("REFERENCES"):
+			f, err := p.parseForeignKey(entName, []string{colName})
+			if err != nil {
+				return nil, nil, err
+			}
+			fk = &f
+		case p.isKeyword("CONSTRAINT"):
+			// Named column constraint: CONSTRAINT nm NOT NULL / REFERENCES ...
+			p.advance()
+			if _, err := p.expectIdent(); err != nil {
+				return nil, nil, err
+			}
+		case p.isKeyword("COLLATE"):
+			p.advance()
+			p.advance()
+		case p.isKeyword("GENERATED"):
+			// GENERATED ALWAYS AS (...) STORED / AS IDENTITY
+			p.advance()
+			for p.cur().kind == tokIdent && !p.isSymbol(",") {
+				p.advance()
+			}
+			if p.isSymbol("(") {
+				p.skipParens()
+			}
+			for p.cur().kind == tokIdent {
+				p.advance()
+			}
+		default:
+			return attr, fk, nil
+		}
+	}
+}
+
+// skipParens consumes a balanced "( ... )" group.
+func (p *parser) skipParens() {
+	if !p.isSymbol("(") {
+		return
+	}
+	depth := 0
+	for !p.atEOF() {
+		if p.isSymbol("(") {
+			depth++
+		} else if p.isSymbol(")") {
+			depth--
+			if depth == 0 {
+				p.advance()
+				return
+			}
+		}
+		p.advance()
+	}
+}
+
+// colConstraintStarts reports whether the current token begins a column
+// constraint rather than continuing a multi-word type name.
+func (p *parser) colConstraintStarts() bool {
+	switch p.cur().upper() {
+	case "NOT", "NULL", "PRIMARY", "UNIQUE", "DEFAULT", "CHECK", "REFERENCES",
+		"CONSTRAINT", "COMMENT", "AUTO_INCREMENT", "AUTOINCREMENT", "COLLATE", "GENERATED":
+		return true
+	}
+	return false
+}

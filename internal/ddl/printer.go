@@ -1,0 +1,115 @@
+package ddl
+
+import (
+	"strings"
+
+	"schemr/internal/model"
+)
+
+// Print renders a schema back to SQL DDL: one CREATE TABLE per entity with
+// primary keys inline and foreign keys as table constraints. Identifiers
+// that need quoting are double-quoted. Print∘Parse is structure-preserving
+// (verified by property test), which makes it the repository's relational
+// export format. SQL cannot express a table with zero columns, so an
+// attribute-less entity (possible for XSD-origin schemas) is printed with
+// a placeholder column named "_empty".
+func Print(s *model.Schema) string {
+	var sb strings.Builder
+	for i, e := range s.Entities {
+		if i > 0 {
+			sb.WriteString("\n")
+		}
+		if e.Documentation != "" {
+			sb.WriteString("-- ")
+			sb.WriteString(strings.ReplaceAll(e.Documentation, "\n", " "))
+			sb.WriteString("\n")
+		}
+		sb.WriteString("CREATE TABLE ")
+		sb.WriteString(quoteIdent(e.Name))
+		sb.WriteString(" (\n")
+		var lines []string
+		for _, a := range e.Attributes {
+			var line strings.Builder
+			line.WriteString("  ")
+			line.WriteString(quoteIdent(a.Name))
+			if a.Type != "" {
+				line.WriteString(" ")
+				line.WriteString(a.Type)
+			}
+			if !a.Nullable {
+				line.WriteString(" NOT NULL")
+			}
+			if a.Documentation != "" {
+				line.WriteString(" COMMENT '")
+				line.WriteString(strings.ReplaceAll(a.Documentation, "'", "''"))
+				line.WriteString("'")
+			}
+			lines = append(lines, line.String())
+		}
+		if len(e.Attributes) == 0 {
+			lines = append(lines, `  "_empty" CHAR(1)`)
+		}
+		if len(e.PrimaryKey) > 0 {
+			lines = append(lines, "  PRIMARY KEY ("+quoteList(e.PrimaryKey)+")")
+		}
+		for _, fk := range s.ForeignKeys {
+			if fk.FromEntity != e.Name {
+				continue
+			}
+			var line strings.Builder
+			line.WriteString("  FOREIGN KEY (")
+			line.WriteString(quoteList(fk.FromColumns))
+			line.WriteString(") REFERENCES ")
+			line.WriteString(quoteIdent(fk.ToEntity))
+			if len(fk.ToColumns) > 0 {
+				line.WriteString(" (")
+				line.WriteString(quoteList(fk.ToColumns))
+				line.WriteString(")")
+			}
+			lines = append(lines, line.String())
+		}
+		sb.WriteString(strings.Join(lines, ",\n"))
+		sb.WriteString("\n);\n")
+	}
+	return sb.String()
+}
+
+// quoteIdent double-quotes an identifier unless it is a plain lower/upper
+// alphanumeric word starting with a letter or underscore.
+func quoteIdent(s string) string {
+	plain := s != ""
+	for i, r := range s {
+		switch {
+		case r == '_', r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				plain = false
+			}
+		default:
+			plain = false
+		}
+	}
+	if plain && !reservedWords[strings.ToUpper(s)] {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+func quoteList(cols []string) string {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = quoteIdent(c)
+	}
+	return strings.Join(out, ", ")
+}
+
+// reservedWords contains identifiers that would be mis-lexed as keywords if
+// printed unquoted.
+var reservedWords = map[string]bool{
+	"CREATE": true, "TABLE": true, "PRIMARY": true, "KEY": true, "FOREIGN": true,
+	"REFERENCES": true, "NOT": true, "NULL": true, "UNIQUE": true, "DEFAULT": true,
+	"CHECK": true, "CONSTRAINT": true, "COMMENT": true, "INDEX": true, "ON": true,
+	"MATCH": true, "COLLATE": true, "GENERATED": true, "IF": true, "EXISTS": true,
+	"TEMPORARY": true, "AUTO_INCREMENT": true, "AUTOINCREMENT": true, "DEFERRABLE": true,
+	"INITIALLY": true,
+}

@@ -1,0 +1,99 @@
+package eval
+
+import (
+	"fmt"
+
+	"schemr/internal/core"
+	"schemr/internal/index"
+	"schemr/internal/match"
+	"schemr/internal/repository"
+	"schemr/internal/tightness"
+)
+
+// noPenalty is an effectively-zero penalty used to ablate the structural
+// component (the tightness Options treat exact zero as "use default").
+const noPenalty = 1e-12
+
+// PipelineNames lists the ablation pipelines in cumulative order: each adds
+// one component of Schemr's search algorithm.
+var PipelineNames = []string{"coarse", "+name", "+context", "+tightness", "+extras"}
+
+// Pipelines builds the ablation rankers over a repository:
+//
+//	coarse     – candidate extraction only: TF/IDF with coordination factor
+//	+name      – coarse candidates re-ranked by the name matcher, no
+//	             structural penalties
+//	+context   – name + context matchers, no structural penalties
+//	+tightness – name + context matchers with the structural penalties on:
+//	             the paper's full algorithm
+//	+extras    – the extended ensemble (exact and type matchers) on top
+//
+// All pipelines share the same candidate extraction, so differences isolate
+// the fine-grained phases.
+func Pipelines(repo *repository.Repository, candidateN int) (map[string]Ranker, error) {
+	if candidateN <= 0 {
+		candidateN = 50
+	}
+	// Coarse: rank directly by the document index.
+	idx := index.New()
+	for _, s := range repo.All() {
+		if err := idx.Add(core.SchemaDocument(s)); err != nil {
+			return nil, fmt.Errorf("eval: %w", err)
+		}
+	}
+	rankers := map[string]Ranker{
+		"coarse": func(c Case) Ranking {
+			hits := idx.SearchTerms(c.Query.Flatten(), candidateN, index.SearchOptions{})
+			out := make(Ranking, len(hits))
+			for i, h := range hits {
+				out[i] = h.ID
+			}
+			return out
+		},
+	}
+
+	flat := tightness.Options{NearPenalty: noPenalty, FarPenalty: noPenalty}
+	type cfg struct {
+		name     string
+		ensemble func() (*match.Ensemble, error)
+		topts    tightness.Options
+	}
+	cfgs := []cfg{
+		{"+name", func() (*match.Ensemble, error) {
+			return match.NewEnsemble(match.NewNameMatcher())
+		}, flat},
+		{"+context", func() (*match.Ensemble, error) {
+			return match.NewEnsemble(match.NewNameMatcher(), match.NewContextMatcher())
+		}, flat},
+		{"+tightness", func() (*match.Ensemble, error) {
+			return match.DefaultEnsemble(), nil
+		}, tightness.Options{}},
+		{"+extras", func() (*match.Ensemble, error) {
+			return match.ExtendedEnsemble(), nil
+		}, tightness.Options{}},
+	}
+	for _, c := range cfgs {
+		en, err := c.ensemble()
+		if err != nil {
+			return nil, fmt.Errorf("eval: %w", err)
+		}
+		engine := core.NewEngine(repo, core.Options{CandidateN: candidateN, Tightness: c.topts})
+		engine.SetEnsemble(en)
+		if err := engine.Reindex(); err != nil {
+			return nil, fmt.Errorf("eval: %w", err)
+		}
+		eng := engine
+		rankers[c.name] = func(c Case) Ranking {
+			results, err := eng.Search(c.Query, candidateN)
+			if err != nil {
+				return nil
+			}
+			out := make(Ranking, len(results))
+			for i, r := range results {
+				out[i] = r.ID
+			}
+			return out
+		}
+	}
+	return rankers, nil
+}

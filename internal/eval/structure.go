@@ -1,0 +1,144 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"schemr/internal/model"
+	"schemr/internal/query"
+	"schemr/internal/repository"
+	"schemr/internal/webtables"
+)
+
+// StructProbe is a targeted test of the tightness-of-fit measurement: a
+// query whose terms appear in two schemas with identical element names —
+// one "tight" (terms concentrated in foreign-key-connected entities) and
+// one "scattered" twin (the same attributes spread over unrelated
+// single-purpose entities). Lexical rankers cannot separate the pair; the
+// structure-aware score must prefer the tight one.
+type StructProbe struct {
+	Query       *query.Query
+	TightID     string
+	ScatteredID string
+}
+
+// GenerateStructureProbes builds n tight/scattered pairs, stores both
+// schemas in the repository, and derives a query from each tight schema's
+// attributes spanning at least two of its entities.
+func GenerateStructureProbes(repo *repository.Repository, n int, seed int64) ([]StructProbe, error) {
+	r := rand.New(rand.NewSource(seed))
+	sources := webtables.GenerateRelational(seed+100, n*2)
+	var out []StructProbe
+	for _, src := range sources {
+		if len(out) >= n {
+			break
+		}
+		if src.NumEntities() < 2 {
+			continue
+		}
+		tight := src.Clone()
+		tight.Name = fmt.Sprintf("tight %s", src.Name)
+
+		scattered := scatter(src)
+		scattered.Name = fmt.Sprintf("scattered %s", src.Name)
+
+		// Insert in random order: lexically the twins are near-identical,
+		// and a fixed order would hand deterministic tie-breaks (by ID) to
+		// one side, faking a separation lexical rankers don't have.
+		first, second := tight, scattered
+		if r.Intn(2) == 0 {
+			first, second = scattered, tight
+		}
+		if _, err := repo.Put(first); err != nil {
+			return nil, err
+		}
+		if _, err := repo.Put(second); err != nil {
+			return nil, err
+		}
+		tightID, scatteredID := tight.ID, scattered.ID
+
+		// Query terms: 2 attributes from each of two entities.
+		var terms []string
+		perm := r.Perm(len(tight.Entities))
+		for i := 0; i < 2 && i < len(perm); i++ {
+			e := tight.Entities[perm[i]]
+			aperm := r.Perm(len(e.Attributes))
+			for j := 0; j < 2 && j < len(aperm); j++ {
+				terms = append(terms, e.Attributes[aperm[j]].Name)
+			}
+		}
+		if len(terms) < 3 {
+			continue
+		}
+		q, err := query.Parse(query.Input{Keywords: strings.Join(terms, " ")})
+		if err != nil {
+			continue
+		}
+		out = append(out, StructProbe{Query: q, TightID: tightID, ScatteredID: scatteredID})
+	}
+	if len(out) < n {
+		return nil, fmt.Errorf("eval: only %d/%d structure probes generated", len(out), n)
+	}
+	return out, nil
+}
+
+// scatter rebuilds a schema with the same entity names and the same
+// attributes, but every foreign key removed and the attributes shuffled
+// round-robin across the entities — the same vocabulary, none of the
+// structure: query terms that sat together in one FK-connected component
+// now land in mutually unrelated entities.
+func scatter(src *model.Schema) *model.Schema {
+	out := &model.Schema{Name: src.Name, Format: src.Format, Description: src.Description}
+	for _, e := range src.Entities {
+		out.Entities = append(out.Entities, &model.Entity{Name: e.Name})
+	}
+	// Round-robin deal: attribute j of entity i moves to entity (i+j) mod n.
+	n := len(out.Entities)
+	for i, e := range src.Entities {
+		for j, a := range e.Attributes {
+			dst := out.Entities[(i+j)%n]
+			if dst.Attribute(a.Name) != nil {
+				// Name collision at the destination: keep it where it was
+				// if possible, else drop (twins stay near-identical
+				// lexically).
+				if out.Entities[i].Attribute(a.Name) == nil {
+					dst = out.Entities[i]
+				} else {
+					continue
+				}
+			}
+			dst.Attributes = append(dst.Attributes, &model.Attribute{Name: a.Name, Type: a.Type})
+		}
+	}
+	return out
+}
+
+// StructureWinRate runs the probes through a ranker and reports how often
+// the tight schema outranks its scattered twin. Pairs where the tight
+// schema is absent from the ranking count as losses; pairs where only the
+// tight schema appears count as wins.
+func StructureWinRate(rank Ranker, probes []StructProbe) float64 {
+	if len(probes) == 0 {
+		return 0
+	}
+	wins := 0
+	for _, p := range probes {
+		ranking := rank(Case{Query: p.Query, Relevant: map[string]bool{p.TightID: true}})
+		tightPos, scatteredPos := -1, -1
+		for i, id := range ranking {
+			switch id {
+			case p.TightID:
+				tightPos = i
+			case p.ScatteredID:
+				scatteredPos = i
+			}
+		}
+		switch {
+		case tightPos < 0:
+		case scatteredPos < 0 || tightPos < scatteredPos:
+			wins++
+		}
+	}
+	return float64(wins) / float64(len(probes))
+}

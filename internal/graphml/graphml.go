@@ -1,0 +1,230 @@
+// Package graphml serializes schema graphs as GraphML — the interchange
+// format Schemr's server returns when the GUI drills into a result ("the
+// server ... returns a graphical representation of the schema to the client
+// as a GraphML response"). Nodes carry the element label, its kind (the
+// GUI's color encoding) and, when the graph is rendered for a search
+// result, the element's similarity score; edges are typed "contains" for
+// schema structure and "fk" for foreign keys.
+package graphml
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strconv"
+
+	"schemr/internal/model"
+)
+
+// Node is one graph node.
+type Node struct {
+	ID    string
+	Label string
+	Kind  string // "schema", "entity", "attribute"
+	// Score is the element's match score; HasScore distinguishes a real 0
+	// from "not part of a search result".
+	Score    float64
+	HasScore bool
+}
+
+// Edge is one typed, directed edge.
+type Edge struct {
+	Source string
+	Target string
+	Type   string // "contains" or "fk"
+}
+
+// Graph is a schema as a property graph.
+type Graph struct {
+	ID    string
+	Nodes []Node
+	Edges []Edge
+}
+
+// EdgeContains and EdgeFK are the edge types FromSchema emits.
+const (
+	EdgeContains = "contains"
+	EdgeFK       = "fk"
+)
+
+// FromSchema converts a schema to a graph: a root schema node containing
+// entity nodes containing attribute nodes, plus foreign-key edges between
+// entities. XSD-style nesting (Entity.Parent) hangs child entities under
+// their parent entity instead of the root. scores, keyed by
+// model.ElementRef.String(), attaches similarity encodings; pass nil for a
+// plain schema view.
+func FromSchema(s *model.Schema, scores map[string]float64) *Graph {
+	g := &Graph{ID: s.ID}
+	if g.ID == "" {
+		g.ID = s.Name
+	}
+	rootID := "schema"
+	g.Nodes = append(g.Nodes, Node{ID: rootID, Label: s.Name, Kind: "schema"})
+
+	entID := func(name string) string { return "e:" + name }
+	attrID := func(ref model.ElementRef) string { return "a:" + ref.String() }
+
+	for _, e := range s.Entities {
+		n := Node{ID: entID(e.Name), Label: e.Name, Kind: "entity"}
+		if v, ok := scores[e.Name]; ok {
+			n.Score, n.HasScore = v, true
+		}
+		g.Nodes = append(g.Nodes, n)
+		parent := rootID
+		if e.Parent != "" {
+			parent = entID(e.Parent)
+		}
+		g.Edges = append(g.Edges, Edge{Source: parent, Target: entID(e.Name), Type: EdgeContains})
+		for _, a := range e.Attributes {
+			ref := model.ElementRef{Entity: e.Name, Attribute: a.Name}
+			an := Node{ID: attrID(ref), Label: a.Name, Kind: "attribute"}
+			if v, ok := scores[ref.String()]; ok {
+				an.Score, an.HasScore = v, true
+			}
+			g.Nodes = append(g.Nodes, an)
+			g.Edges = append(g.Edges, Edge{Source: entID(e.Name), Target: attrID(ref), Type: EdgeContains})
+		}
+	}
+	for _, fk := range s.ForeignKeys {
+		g.Edges = append(g.Edges, Edge{Source: entID(fk.FromEntity), Target: entID(fk.ToEntity), Type: EdgeFK})
+	}
+	return g
+}
+
+// Node returns the node with the given ID, or nil.
+func (g *Graph) Node(id string) *Node {
+	for i := range g.Nodes {
+		if g.Nodes[i].ID == id {
+			return &g.Nodes[i]
+		}
+	}
+	return nil
+}
+
+// --- GraphML XML shape ---
+
+type xmlGraphML struct {
+	XMLName xml.Name `xml:"graphml"`
+	Xmlns   string   `xml:"xmlns,attr"`
+	Keys    []xmlKey `xml:"key"`
+	Graph   xmlGraph `xml:"graph"`
+}
+
+type xmlKey struct {
+	ID       string `xml:"id,attr"`
+	For      string `xml:"for,attr"`
+	AttrName string `xml:"attr.name,attr"`
+	AttrType string `xml:"attr.type,attr"`
+}
+
+type xmlGraph struct {
+	ID          string    `xml:"id,attr"`
+	EdgeDefault string    `xml:"edgedefault,attr"`
+	Nodes       []xmlNode `xml:"node"`
+	Edges       []xmlEdge `xml:"edge"`
+}
+
+type xmlNode struct {
+	ID   string    `xml:"id,attr"`
+	Data []xmlData `xml:"data"`
+}
+
+type xmlEdge struct {
+	Source string    `xml:"source,attr"`
+	Target string    `xml:"target,attr"`
+	Data   []xmlData `xml:"data"`
+}
+
+type xmlData struct {
+	Key   string `xml:"key,attr"`
+	Value string `xml:",chardata"`
+}
+
+const xmlnsGraphML = "http://graphml.graphdrawing.org/xmlns"
+
+// Marshal renders the graph as a GraphML document.
+func (g *Graph) Marshal() ([]byte, error) {
+	doc := xmlGraphML{
+		Xmlns: xmlnsGraphML,
+		Keys: []xmlKey{
+			{ID: "label", For: "node", AttrName: "label", AttrType: "string"},
+			{ID: "kind", For: "node", AttrName: "kind", AttrType: "string"},
+			{ID: "score", For: "node", AttrName: "score", AttrType: "double"},
+			{ID: "type", For: "edge", AttrName: "type", AttrType: "string"},
+		},
+		Graph: xmlGraph{ID: g.ID, EdgeDefault: "directed"},
+	}
+	for _, n := range g.Nodes {
+		xn := xmlNode{ID: n.ID, Data: []xmlData{
+			{Key: "label", Value: n.Label},
+			{Key: "kind", Value: n.Kind},
+		}}
+		if n.HasScore {
+			xn.Data = append(xn.Data, xmlData{Key: "score", Value: strconv.FormatFloat(n.Score, 'f', -1, 64)})
+		}
+		doc.Graph.Nodes = append(doc.Graph.Nodes, xn)
+	}
+	for _, e := range g.Edges {
+		doc.Graph.Edges = append(doc.Graph.Edges, xmlEdge{
+			Source: e.Source, Target: e.Target,
+			Data: []xmlData{{Key: "type", Value: e.Type}},
+		})
+	}
+	out, err := xml.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("graphml: %w", err)
+	}
+	return append([]byte(xml.Header), out...), nil
+}
+
+// Unmarshal parses a GraphML document produced by Marshal (or by other
+// tools using the same keys). Unknown data keys are ignored; nodes without
+// a kind default to "entity".
+func Unmarshal(data []byte) (*Graph, error) {
+	var doc xmlGraphML
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("graphml: %w", err)
+	}
+	if doc.XMLName.Local != "graphml" {
+		return nil, fmt.Errorf("graphml: root element is <%s>", doc.XMLName.Local)
+	}
+	g := &Graph{ID: doc.Graph.ID}
+	seen := make(map[string]bool)
+	for _, xn := range doc.Graph.Nodes {
+		if xn.ID == "" {
+			return nil, fmt.Errorf("graphml: node without id")
+		}
+		if seen[xn.ID] {
+			return nil, fmt.Errorf("graphml: duplicate node id %q", xn.ID)
+		}
+		seen[xn.ID] = true
+		n := Node{ID: xn.ID, Kind: "entity"}
+		for _, d := range xn.Data {
+			switch d.Key {
+			case "label":
+				n.Label = d.Value
+			case "kind":
+				n.Kind = d.Value
+			case "score":
+				v, err := strconv.ParseFloat(d.Value, 64)
+				if err != nil {
+					return nil, fmt.Errorf("graphml: node %q: bad score %q", xn.ID, d.Value)
+				}
+				n.Score, n.HasScore = v, true
+			}
+		}
+		g.Nodes = append(g.Nodes, n)
+	}
+	for _, xe := range doc.Graph.Edges {
+		if !seen[xe.Source] || !seen[xe.Target] {
+			return nil, fmt.Errorf("graphml: edge %s→%s references unknown node", xe.Source, xe.Target)
+		}
+		e := Edge{Source: xe.Source, Target: xe.Target, Type: EdgeContains}
+		for _, d := range xe.Data {
+			if d.Key == "type" {
+				e.Type = d.Value
+			}
+		}
+		g.Edges = append(g.Edges, e)
+	}
+	return g, nil
+}

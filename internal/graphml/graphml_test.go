@@ -1,0 +1,160 @@
+package graphml
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"schemr/internal/model"
+)
+
+func clinic() *model.Schema {
+	return &model.Schema{
+		ID: "s1", Name: "clinic",
+		Entities: []*model.Entity{
+			{Name: "patient", Attributes: []*model.Attribute{{Name: "height"}, {Name: "gender"}}},
+			{Name: "case", Attributes: []*model.Attribute{{Name: "diagnosis"}}},
+		},
+		ForeignKeys: []model.ForeignKey{
+			{FromEntity: "case", FromColumns: []string{"diagnosis"}, ToEntity: "patient"},
+		},
+	}
+}
+
+func TestFromSchema(t *testing.T) {
+	scores := map[string]float64{
+		"patient.height": 0.9,
+		"patient":        0.8,
+	}
+	g := FromSchema(clinic(), scores)
+	// 1 schema + 2 entities + 3 attributes.
+	if len(g.Nodes) != 6 {
+		t.Fatalf("nodes = %d", len(g.Nodes))
+	}
+	// 5 containment + 1 FK.
+	if len(g.Edges) != 6 {
+		t.Fatalf("edges = %d", len(g.Edges))
+	}
+	root := g.Node("schema")
+	if root == nil || root.Kind != "schema" || root.Label != "clinic" {
+		t.Errorf("root = %+v", root)
+	}
+	h := g.Node("a:patient.height")
+	if h == nil || !h.HasScore || h.Score != 0.9 || h.Kind != "attribute" {
+		t.Errorf("height node = %+v", h)
+	}
+	p := g.Node("e:patient")
+	if p == nil || !p.HasScore || p.Score != 0.8 || p.Kind != "entity" {
+		t.Errorf("patient node = %+v", p)
+	}
+	if d := g.Node("a:case.diagnosis"); d == nil || d.HasScore {
+		t.Errorf("diagnosis node = %+v", d)
+	}
+	var fk int
+	for _, e := range g.Edges {
+		if e.Type == EdgeFK {
+			fk++
+			if e.Source != "e:case" || e.Target != "e:patient" {
+				t.Errorf("fk edge = %+v", e)
+			}
+		}
+	}
+	if fk != 1 {
+		t.Errorf("fk edges = %d", fk)
+	}
+}
+
+func TestFromSchemaXSDNesting(t *testing.T) {
+	s := &model.Schema{
+		Name: "po",
+		Entities: []*model.Entity{
+			{Name: "order", Attributes: []*model.Attribute{{Name: "id"}}},
+			{Name: "item", Parent: "order", Attributes: []*model.Attribute{{Name: "sku"}}},
+		},
+	}
+	g := FromSchema(s, nil)
+	for _, e := range g.Edges {
+		if e.Target == "e:item" && e.Type == EdgeContains {
+			if e.Source != "e:order" {
+				t.Errorf("item hangs under %s, want e:order", e.Source)
+			}
+			return
+		}
+	}
+	t.Error("no containment edge into e:item")
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	g := FromSchema(clinic(), map[string]float64{"patient.height": 0.75})
+	data, err := g.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), xml.Header) {
+		t.Error("missing xml header")
+	}
+	// Well-formed XML with the GraphML namespace.
+	var probe struct {
+		XMLName xml.Name
+	}
+	if err := xml.Unmarshal(data, &probe); err != nil {
+		t.Fatalf("output not well-formed: %v", err)
+	}
+	if probe.XMLName.Space != xmlnsGraphML {
+		t.Errorf("namespace = %q", probe.XMLName.Space)
+	}
+
+	g2, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g2.Nodes) != len(g.Nodes) || len(g2.Edges) != len(g.Edges) || g2.ID != g.ID {
+		t.Fatalf("round trip changed shape: %d/%d vs %d/%d", len(g2.Nodes), len(g2.Edges), len(g.Nodes), len(g.Edges))
+	}
+	for i := range g.Nodes {
+		if g.Nodes[i] != g2.Nodes[i] {
+			t.Errorf("node %d: %+v vs %+v", i, g.Nodes[i], g2.Nodes[i])
+		}
+	}
+	for i := range g.Edges {
+		if g.Edges[i] != g2.Edges[i] {
+			t.Errorf("edge %d: %+v vs %+v", i, g.Edges[i], g2.Edges[i])
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"not xml", "nope"},
+		{"wrong root", "<html/>"},
+		{"node without id", `<graphml><graph><node/></graph></graphml>`},
+		{"duplicate id", `<graphml><graph><node id="a"/><node id="a"/></graph></graphml>`},
+		{"dangling edge", `<graphml><graph><node id="a"/><edge source="a" target="zz"/></graph></graphml>`},
+		{"bad score", `<graphml><graph><node id="a"><data key="score">wat</data></node></graph></graphml>`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Unmarshal([]byte(c.doc)); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestUnmarshalDefaults(t *testing.T) {
+	doc := `<graphml><graph id="g"><node id="a"><data key="mystery">x</data></node>
+	  <node id="b"/><edge source="a" target="b"/></graph></graphml>`
+	g, err := Unmarshal([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Nodes[0].Kind != "entity" || g.Nodes[0].HasScore {
+		t.Errorf("defaults = %+v", g.Nodes[0])
+	}
+	if g.Edges[0].Type != EdgeContains {
+		t.Errorf("edge default type = %q", g.Edges[0].Type)
+	}
+}

@@ -1,0 +1,357 @@
+// Package index implements the document index behind Schemr's candidate
+// extraction phase — the role Apache Lucene plays in the paper. Each schema
+// is indexed as a document with a title, a summary, an ID and a flattened
+// representation of its elements; the inverted index keeps a term dictionary
+// with frequency data, proximity data (token positions) and normalization
+// factors, and serves top-n retrieval with a TF/IDF variant whose per-term
+// scores are computed independently and summed, multiplied by a coordination
+// factor that rewards documents matching more of the query's terms.
+//
+// The index is safe for concurrent use, supports incremental adds, updates
+// and deletes (the repository re-indexes "at scheduled intervals"), and
+// persists itself to a single file.
+package index
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"schemr/internal/text"
+)
+
+// Standard field names used by Schemr's schema documents. The index itself
+// accepts any field names; these are the ones the search engine uses.
+const (
+	FieldTitle    = "title"
+	FieldSummary  = "summary"
+	FieldElements = "elements"
+)
+
+// Field is one named, analyzed region of a document.
+type Field struct {
+	Name string
+	Text string
+}
+
+// Document is the unit of indexing: an external ID plus analyzed fields.
+type Document struct {
+	ID     string
+	Fields []Field
+}
+
+// DefaultFieldBoosts weights term hits by the field they occur in: a hit on
+// a schema's title outranks a hit buried in its element list.
+var DefaultFieldBoosts = map[string]float64{
+	FieldTitle:    2.0,
+	FieldSummary:  1.2,
+	FieldElements: 1.0,
+}
+
+// Analyzer converts field text to a token stream. The default analyzer
+// splits identifiers (camelCase, delimiters) and lower-cases; summary-like
+// fields additionally drop stopwords.
+type Analyzer func(field, content string) []string
+
+// DefaultAnalyzer tokenizes with identifier splitting; FieldSummary also
+// removes stopwords.
+func DefaultAnalyzer(field, content string) []string {
+	if field == FieldSummary {
+		return text.TokenizeStop(content)
+	}
+	return text.Tokenize(content)
+}
+
+// posting records the occurrences of a term within one field of one
+// document.
+type posting struct {
+	doc       int32
+	field     int8
+	freq      int32
+	positions []int32
+}
+
+// termEntry is the dictionary entry for one term: its live document
+// frequency and postings. Postings of deleted documents linger until
+// Compact; df is kept live so IDF stays correct.
+type termEntry struct {
+	df       int32
+	postings []posting
+}
+
+// Index is an in-memory inverted index with persistence. The zero value is
+// not usable; construct with New.
+type Index struct {
+	mu sync.RWMutex
+
+	analyzer Analyzer
+	boosts   map[string]float64
+
+	fieldNames []string       // field ordinal → name
+	fieldIDs   map[string]int // name → ordinal
+
+	docIDs  []string         // ordinal → external ID
+	docMap  map[string]int32 // external ID → ordinal
+	deleted []bool
+	live    int
+
+	terms map[string]*termEntry
+
+	// norms[fieldOrdinal][docOrdinal] = 1/sqrt(tokens in that field), 0 when
+	// the document has no such field.
+	norms [][]float32
+
+	// forward index: per doc, the distinct terms it contains (for delete).
+	docTerms [][]string
+}
+
+// Option configures a new Index.
+type Option func(*Index)
+
+// WithAnalyzer replaces the default analyzer.
+func WithAnalyzer(a Analyzer) Option {
+	return func(ix *Index) { ix.analyzer = a }
+}
+
+// WithFieldBoosts replaces the default field boost table. Unlisted fields
+// get boost 1.
+func WithFieldBoosts(b map[string]float64) Option {
+	return func(ix *Index) {
+		ix.boosts = make(map[string]float64, len(b))
+		for k, v := range b {
+			ix.boosts[k] = v
+		}
+	}
+}
+
+// New returns an empty index.
+func New(opts ...Option) *Index {
+	ix := &Index{
+		analyzer: DefaultAnalyzer,
+		boosts:   DefaultFieldBoosts,
+		fieldIDs: make(map[string]int),
+		docMap:   make(map[string]int32),
+		terms:    make(map[string]*termEntry),
+	}
+	for _, o := range opts {
+		o(ix)
+	}
+	return ix
+}
+
+// NumDocs returns the number of live (non-deleted) documents.
+func (ix *Index) NumDocs() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.live
+}
+
+// NumTerms returns the size of the term dictionary (including terms whose
+// only postings are deleted, until Compact).
+func (ix *Index) NumTerms() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.terms)
+}
+
+// Has reports whether a live document with the given ID exists.
+func (ix *Index) Has(id string) bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ord, ok := ix.docMap[id]
+	return ok && !ix.deleted[ord]
+}
+
+// DocFreq returns the live document frequency of term (after analysis by
+// the caller — the term is matched verbatim against the dictionary).
+func (ix *Index) DocFreq(term string) int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if e, ok := ix.terms[term]; ok {
+		return int(e.df)
+	}
+	return 0
+}
+
+// fieldID interns a field name. Caller holds the write lock.
+func (ix *Index) fieldID(name string) int {
+	if id, ok := ix.fieldIDs[name]; ok {
+		return id
+	}
+	id := len(ix.fieldNames)
+	ix.fieldNames = append(ix.fieldNames, name)
+	ix.fieldIDs[name] = id
+	ix.norms = append(ix.norms, nil)
+	return id
+}
+
+// Add indexes a document. Adding an ID that already exists replaces the
+// previous document (an update). An empty ID is an error; a document with
+// no tokens at all is indexed but unfindable.
+func (ix *Index) Add(doc Document) error {
+	if doc.ID == "" {
+		return fmt.Errorf("index: document with empty ID")
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ord, ok := ix.docMap[doc.ID]; ok && !ix.deleted[ord] {
+		ix.deleteLocked(ord)
+	}
+
+	ord := int32(len(ix.docIDs))
+	ix.docIDs = append(ix.docIDs, doc.ID)
+	ix.docMap[doc.ID] = ord
+	ix.deleted = append(ix.deleted, false)
+	ix.docTerms = append(ix.docTerms, nil)
+	ix.live++
+	for f := range ix.norms {
+		ix.norms[f] = append(ix.norms[f], 0)
+	}
+
+	distinct := make(map[string]bool)
+	for _, field := range doc.Fields {
+		toks := ix.analyzer(field.Name, field.Text)
+		if len(toks) == 0 {
+			continue
+		}
+		fid := ix.fieldID(field.Name)
+		// fieldID may have grown norms; re-pad new field columns.
+		for f := range ix.norms {
+			for len(ix.norms[f]) < len(ix.docIDs) {
+				ix.norms[f] = append(ix.norms[f], 0)
+			}
+		}
+		// Accumulate frequency and positions per term within this field.
+		type occ struct {
+			freq      int32
+			positions []int32
+		}
+		occs := make(map[string]*occ, len(toks))
+		for pos, tok := range toks {
+			o := occs[tok]
+			if o == nil {
+				o = &occ{}
+				occs[tok] = o
+			}
+			o.freq++
+			o.positions = append(o.positions, int32(pos))
+		}
+		norm := float32(1 / math.Sqrt(float64(len(toks))))
+		// A field may appear twice in one document (rare); keep the shorter
+		// norm (more tokens → smaller norm) by summing lengths is overkill —
+		// last write wins is fine and documented by tests.
+		ix.norms[fid][ord] = norm
+		for tok, o := range occs {
+			e := ix.terms[tok]
+			if e == nil {
+				e = &termEntry{}
+				ix.terms[tok] = e
+			}
+			if !distinct[tok] {
+				distinct[tok] = true
+				e.df++
+			}
+			e.postings = append(e.postings, posting{
+				doc: ord, field: int8(fid), freq: o.freq, positions: o.positions,
+			})
+		}
+	}
+	termList := make([]string, 0, len(distinct))
+	for t := range distinct {
+		termList = append(termList, t)
+	}
+	sort.Strings(termList)
+	ix.docTerms[ord] = termList
+	return nil
+}
+
+// Delete removes the document with the given ID. It returns false if no
+// live document has that ID.
+func (ix *Index) Delete(id string) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ord, ok := ix.docMap[id]
+	if !ok || ix.deleted[ord] {
+		return false
+	}
+	ix.deleteLocked(ord)
+	return true
+}
+
+// deleteLocked tombstones a document ordinal and maintains df. Caller holds
+// the write lock.
+func (ix *Index) deleteLocked(ord int32) {
+	ix.deleted[ord] = true
+	ix.live--
+	delete(ix.docMap, ix.docIDs[ord])
+	for _, t := range ix.docTerms[ord] {
+		if e, ok := ix.terms[t]; ok {
+			e.df--
+		}
+	}
+	ix.docTerms[ord] = nil
+}
+
+// Compact rebuilds the index without tombstoned postings, reclaiming memory
+// after heavy churn. Document ordinals change; external IDs are stable.
+func (ix *Index) Compact() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+
+	remap := make([]int32, len(ix.docIDs))
+	newIDs := make([]string, 0, ix.live)
+	for ord, id := range ix.docIDs {
+		if ix.deleted[ord] {
+			remap[ord] = -1
+			continue
+		}
+		remap[ord] = int32(len(newIDs))
+		newIDs = append(newIDs, id)
+	}
+	newNorms := make([][]float32, len(ix.norms))
+	for f := range ix.norms {
+		col := make([]float32, len(newIDs))
+		for ord, n := range ix.norms[f] {
+			if remap[ord] >= 0 {
+				col[remap[ord]] = n
+			}
+		}
+		newNorms[f] = col
+	}
+	newTerms := make(map[string]*termEntry, len(ix.terms))
+	for t, e := range ix.terms {
+		var kept []posting
+		for _, p := range e.postings {
+			if remap[p.doc] >= 0 {
+				p.doc = remap[p.doc]
+				kept = append(kept, p)
+			}
+		}
+		if len(kept) > 0 {
+			newTerms[t] = &termEntry{df: e.df, postings: kept}
+		}
+	}
+	newDocTerms := make([][]string, len(newIDs))
+	newMap := make(map[string]int32, len(newIDs))
+	for ord, id := range ix.docIDs {
+		if remap[ord] >= 0 {
+			newDocTerms[remap[ord]] = ix.docTerms[ord]
+			newMap[id] = remap[ord]
+		}
+	}
+	ix.docIDs = newIDs
+	ix.docMap = newMap
+	ix.deleted = make([]bool, len(newIDs))
+	ix.docTerms = newDocTerms
+	ix.norms = newNorms
+	ix.terms = newTerms
+}
+
+// boost returns the configured boost for a field ordinal, default 1.
+func (ix *Index) boost(fid int8) float64 {
+	if b, ok := ix.boosts[ix.fieldNames[fid]]; ok {
+		return b
+	}
+	return 1
+}

@@ -1,0 +1,204 @@
+package index
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// indexMagic guards against loading files that are not Schemr indexes (or
+// are a newer format than this build understands).
+const indexMagic = "SCHEMR-INDEX-1\n"
+
+// persistedPosting mirrors posting with exported fields for gob.
+type persistedPosting struct {
+	Doc       int32
+	Field     int8
+	Freq      int32
+	Positions []int32
+}
+
+type persistedTerm struct {
+	Term     string
+	DF       int32
+	Postings []persistedPosting
+}
+
+// persistedIndex is the on-disk shape. The index is compacted before
+// saving, so no tombstones are written.
+type persistedIndex struct {
+	FieldNames []string
+	Boosts     map[string]float64
+	DocIDs     []string
+	DocTerms   [][]string
+	Norms      [][]float32
+	Terms      []persistedTerm
+}
+
+// WriteTo serializes the index. The receiver is read-locked for the
+// duration; call Compact first to avoid persisting tombstoned postings
+// (Save does this automatically).
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	cw := &countingWriter{w: w}
+	if _, err := io.WriteString(cw, indexMagic); err != nil {
+		return cw.n, err
+	}
+	p := persistedIndex{
+		FieldNames: ix.fieldNames,
+		Boosts:     ix.boosts,
+		DocIDs:     ix.docIDs,
+		DocTerms:   ix.docTerms,
+		Norms:      ix.norms,
+	}
+	p.Terms = make([]persistedTerm, 0, len(ix.terms))
+	for t, e := range ix.terms {
+		if e.df == 0 {
+			continue
+		}
+		pt := persistedTerm{Term: t, DF: e.df, Postings: make([]persistedPosting, 0, len(e.postings))}
+		for _, post := range e.postings {
+			if ix.deleted[post.doc] {
+				continue
+			}
+			pt.Postings = append(pt.Postings, persistedPosting{
+				Doc: post.doc, Field: post.field, Freq: post.freq, Positions: post.positions,
+			})
+		}
+		p.Terms = append(p.Terms, pt)
+	}
+	if err := gob.NewEncoder(cw).Encode(&p); err != nil {
+		return cw.n, fmt.Errorf("index: encode: %w", err)
+	}
+	return cw.n, nil
+}
+
+// ReadFrom replaces the index contents with a previously serialized index.
+func (ix *Index) ReadFrom(r io.Reader) (int64, error) {
+	cr := &countingReader{r: r}
+	magic := make([]byte, len(indexMagic))
+	if _, err := io.ReadFull(cr, magic); err != nil {
+		return cr.n, fmt.Errorf("index: reading header: %w", err)
+	}
+	if string(magic) != indexMagic {
+		return cr.n, fmt.Errorf("index: bad magic %q: not a schemr index file", string(magic))
+	}
+	var p persistedIndex
+	if err := gob.NewDecoder(cr).Decode(&p); err != nil {
+		return cr.n, fmt.Errorf("index: decode: %w", err)
+	}
+	if len(p.DocTerms) != len(p.DocIDs) {
+		return cr.n, fmt.Errorf("index: corrupt file: %d doc ids but %d doc term lists", len(p.DocIDs), len(p.DocTerms))
+	}
+	for _, col := range p.Norms {
+		if len(col) != len(p.DocIDs) {
+			return cr.n, fmt.Errorf("index: corrupt file: norm column length %d, want %d", len(col), len(p.DocIDs))
+		}
+	}
+
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.fieldNames = p.FieldNames
+	ix.fieldIDs = make(map[string]int, len(p.FieldNames))
+	for i, n := range p.FieldNames {
+		ix.fieldIDs[n] = i
+	}
+	if p.Boosts != nil {
+		ix.boosts = p.Boosts
+	}
+	ix.docIDs = p.DocIDs
+	ix.docTerms = p.DocTerms
+	ix.norms = p.Norms
+	ix.docMap = make(map[string]int32, len(p.DocIDs))
+	for i, id := range p.DocIDs {
+		ix.docMap[id] = int32(i)
+	}
+	ix.deleted = make([]bool, len(p.DocIDs))
+	ix.live = len(p.DocIDs)
+	ix.terms = make(map[string]*termEntry, len(p.Terms))
+	for _, pt := range p.Terms {
+		e := &termEntry{df: pt.DF, postings: make([]posting, len(pt.Postings))}
+		for i, pp := range pt.Postings {
+			if pp.Doc < 0 || int(pp.Doc) >= len(p.DocIDs) {
+				return cr.n, fmt.Errorf("index: corrupt file: posting for %q references doc %d of %d", pt.Term, pp.Doc, len(p.DocIDs))
+			}
+			if int(pp.Field) >= len(p.FieldNames) {
+				return cr.n, fmt.Errorf("index: corrupt file: posting for %q references field %d of %d", pt.Term, pp.Field, len(p.FieldNames))
+			}
+			e.postings[i] = posting{doc: pp.Doc, field: pp.Field, freq: pp.Freq, positions: pp.Positions}
+		}
+		ix.terms[pt.Term] = e
+	}
+	return cr.n, nil
+}
+
+// Save compacts and writes the index atomically: to path.tmp, then rename.
+func (ix *Index) Save(path string) error {
+	ix.Compact()
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("index: save: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	if _, err := ix.WriteTo(bw); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("index: save: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("index: save: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("index: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads an index saved by Save. The returned index uses the default
+// analyzer unless overridden by opts; boosts come from the file.
+func Load(path string, opts ...Option) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("index: load: %w", err)
+	}
+	defer f.Close()
+	ix := New(opts...)
+	if _, err := ix.ReadFrom(bufio.NewReader(f)); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}

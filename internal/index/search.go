@@ -1,0 +1,351 @@
+package index
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// Hit is one search result: an external document ID with its coarse-grain
+// score and the number of distinct query terms it matched.
+type Hit struct {
+	ID           string
+	Score        float64
+	TermsMatched int
+}
+
+// SearchOptions tunes Search. The zero value means: coordination factor on
+// (as in the paper), no proximity bonus, no minimum match.
+type SearchOptions struct {
+	// DisableCoord turns off the coordination factor (matched/|terms|). The
+	// paper multiplies it in "to reward results which match the most terms";
+	// the COORD experiment flips this switch.
+	DisableCoord bool
+	// Proximity adds a small bonus when distinct query terms occur close
+	// together in the same field, using the stored position data.
+	Proximity bool
+	// ProximityWeight scales the proximity bonus; default 0.1 when
+	// Proximity is set and this is zero.
+	ProximityWeight float64
+	// MinShouldMatch drops documents matching fewer than this many distinct
+	// query terms. 0 or 1 keeps every match (the paper's recall-preserving
+	// default: "the candidate extraction algorithm need not match all search
+	// terms").
+	MinShouldMatch int
+	// BM25 switches per-term scoring from the paper's Lucene-classic
+	// TF/IDF variant (sqrt-tf · log-idf · length norm) to Okapi BM25 with
+	// parameters K1 and B. The coordination factor, proximity bonus and
+	// field boosts apply identically, so the two schemes are directly
+	// comparable (the knobs experiment does).
+	BM25 bool
+	// K1 is BM25's term-frequency saturation (default 1.2).
+	K1 float64
+	// B is BM25's length-normalization strength (default 0.75).
+	B float64
+}
+
+// Search runs a free-text query and returns the top n hits by descending
+// score. Query analysis uses the index's analyzer on the elements field
+// convention (identifier splitting, no stopword removal), so "patientHeight"
+// and "patient height" search identically. n <= 0 means no limit.
+func (ix *Index) Search(query string, n int, opts SearchOptions) []Hit {
+	terms := ix.analyzer(FieldElements, query)
+	return ix.SearchTerms(terms, n, opts)
+}
+
+// SearchTerms runs a pre-analyzed term list. Duplicate terms are collapsed
+// (the query is a set of terms, per the paper's flattened query graph).
+func (ix *Index) SearchTerms(terms []string, n int, opts SearchOptions) []Hit {
+	uniq := make([]string, 0, len(terms))
+	seen := make(map[string]bool, len(terms))
+	for _, t := range terms {
+		if t != "" && !seen[t] {
+			seen[t] = true
+			uniq = append(uniq, t)
+		}
+	}
+	if len(uniq) == 0 {
+		return nil
+	}
+
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	numDocs := ix.live
+	if numDocs == 0 {
+		return nil
+	}
+
+	scores := make(map[int32]float64)
+	matched := make(map[int32]int)
+	// positions seen per doc per term index, for the proximity bonus.
+	var termPositions []map[int32][]int32
+	if opts.Proximity {
+		termPositions = make([]map[int32][]int32, len(uniq))
+	}
+
+	// BM25 needs per-field average lengths; recover lengths from the
+	// stored norms (norm = 1/sqrt(len)).
+	k1, b := opts.K1, opts.B
+	var avgLen []float64
+	if opts.BM25 {
+		if k1 == 0 {
+			k1 = 1.2
+		}
+		if b == 0 {
+			b = 0.75
+		}
+		avgLen = make([]float64, len(ix.norms))
+		for f, col := range ix.norms {
+			total, n := 0.0, 0
+			for doc, norm := range col {
+				if norm > 0 && !ix.deleted[doc] {
+					total += 1 / float64(norm) / float64(norm)
+					n++
+				}
+			}
+			if n > 0 {
+				avgLen[f] = total / float64(n)
+			}
+		}
+	}
+
+	for ti, term := range uniq {
+		e, ok := ix.terms[term]
+		if !ok || e.df == 0 {
+			continue
+		}
+		idf := 1 + math.Log(float64(numDocs)/float64(e.df+1))
+		if opts.BM25 {
+			idf = math.Log(1 + (float64(numDocs)-float64(e.df)+0.5)/(float64(e.df)+0.5))
+		}
+		var perDoc map[int32][]int32
+		if opts.Proximity {
+			perDoc = make(map[int32][]int32)
+			termPositions[ti] = perDoc
+		}
+		// Track which docs this term already counted toward `matched`, since
+		// a term can have postings in several fields of one doc.
+		counted := make(map[int32]bool)
+		for _, p := range e.postings {
+			if ix.deleted[p.doc] {
+				continue
+			}
+			norm := float64(ix.norms[p.field][p.doc])
+			var contrib float64
+			if opts.BM25 {
+				fieldLen := 0.0
+				if norm > 0 {
+					fieldLen = 1 / norm / norm
+				}
+				denomNorm := 1.0
+				if avgLen[p.field] > 0 {
+					denomNorm = 1 - b + b*fieldLen/avgLen[p.field]
+				}
+				freq := float64(p.freq)
+				contrib = ix.boost(p.field) * idf * freq * (k1 + 1) / (freq + k1*denomNorm)
+			} else {
+				contrib = ix.boost(p.field) * math.Sqrt(float64(p.freq)) * idf * norm
+			}
+			scores[p.doc] += contrib
+			if !counted[p.doc] {
+				counted[p.doc] = true
+				matched[p.doc]++
+			}
+			if perDoc != nil {
+				perDoc[p.doc] = append(perDoc[p.doc], p.positions...)
+			}
+		}
+	}
+
+	if opts.Proximity && len(uniq) > 1 {
+		w := opts.ProximityWeight
+		if w == 0 {
+			w = 0.1
+		}
+		for doc := range scores {
+			if matched[doc] < 2 {
+				continue
+			}
+			if d := minPairSpan(termPositions, doc); d >= 0 {
+				scores[doc] += w / float64(1+d)
+			}
+		}
+	}
+
+	minMatch := opts.MinShouldMatch
+	if minMatch < 1 {
+		minMatch = 1
+	}
+	numTerms := len(uniq)
+
+	h := &hitHeap{}
+	heap.Init(h)
+	for doc, s := range scores {
+		m := matched[doc]
+		if m < minMatch {
+			continue
+		}
+		if !opts.DisableCoord {
+			s *= float64(m) / float64(numTerms)
+		}
+		hit := Hit{ID: ix.docIDs[doc], Score: s, TermsMatched: m}
+		if n > 0 {
+			if h.Len() < n {
+				heap.Push(h, hit)
+			} else if less((*h)[0], hit) {
+				(*h)[0] = hit
+				heap.Fix(h, 0)
+			}
+		} else {
+			heap.Push(h, hit)
+		}
+	}
+	out := make([]Hit, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Hit)
+	}
+	return out
+}
+
+// minPairSpan returns the smallest absolute distance between positions of
+// any two distinct query terms within the given document, or -1 when fewer
+// than two terms have positions there. Positions from different fields are
+// mixed; the bonus is a heuristic, not a phrase match.
+func minPairSpan(termPositions []map[int32][]int32, doc int32) int32 {
+	best := int32(-1)
+	for i := 0; i < len(termPositions); i++ {
+		pi := termPositions[i]
+		if pi == nil {
+			continue
+		}
+		posI, ok := pi[doc]
+		if !ok {
+			continue
+		}
+		for j := i + 1; j < len(termPositions); j++ {
+			pj := termPositions[j]
+			if pj == nil {
+				continue
+			}
+			posJ, ok := pj[doc]
+			if !ok {
+				continue
+			}
+			for _, a := range posI {
+				for _, b := range posJ {
+					d := a - b
+					if d < 0 {
+						d = -d
+					}
+					if best < 0 || d < best {
+						best = d
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+// less orders hits: lower score first (for the min-heap), ties broken by ID
+// so results are deterministic.
+func less(a, b Hit) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.ID > b.ID
+}
+
+type hitHeap []Hit
+
+func (h hitHeap) Len() int           { return len(h) }
+func (h hitHeap) Less(i, j int) bool { return less(h[i], h[j]) }
+func (h hitHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *hitHeap) Push(x any)        { *h = append(*h, x.(Hit)) }
+func (h *hitHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// TermStats describes one dictionary term, for diagnostics and tests.
+type TermStats struct {
+	Term    string
+	DocFreq int
+}
+
+// Terms returns dictionary statistics for every live term, sorted by
+// descending document frequency then term. Intended for diagnostics; it
+// allocates proportionally to the dictionary.
+func (ix *Index) Terms() []TermStats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]TermStats, 0, len(ix.terms))
+	for t, e := range ix.terms {
+		if e.df > 0 {
+			out = append(out, TermStats{Term: t, DocFreq: int(e.df)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DocFreq != out[j].DocFreq {
+			return out[i].DocFreq > out[j].DocFreq
+		}
+		return out[i].Term < out[j].Term
+	})
+	return out
+}
+
+// Explanation breaks a document's score for one query down per term, for
+// tests and the CLI's --explain flag.
+type Explanation struct {
+	ID          string
+	Total       float64
+	Coord       float64
+	PerTerm     map[string]float64
+	TermsHit    int
+	TermsInNeed int
+}
+
+// Explain recomputes the score of document id for the query and reports the
+// per-term contributions. It returns nil when the document does not match
+// at all or does not exist.
+func (ix *Index) Explain(query string, id string) *Explanation {
+	terms := ix.analyzer(FieldElements, query)
+	uniq := make([]string, 0, len(terms))
+	seen := make(map[string]bool, len(terms))
+	for _, t := range terms {
+		if t != "" && !seen[t] {
+			seen[t] = true
+			uniq = append(uniq, t)
+		}
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ord, ok := ix.docMap[id]
+	if !ok || ix.deleted[ord] || ix.live == 0 || len(uniq) == 0 {
+		return nil
+	}
+	ex := &Explanation{ID: id, PerTerm: make(map[string]float64), TermsInNeed: len(uniq)}
+	for _, term := range uniq {
+		e, ok := ix.terms[term]
+		if !ok || e.df == 0 {
+			continue
+		}
+		idf := 1 + math.Log(float64(ix.live)/float64(e.df+1))
+		contrib := 0.0
+		for _, p := range e.postings {
+			if p.doc != ord {
+				continue
+			}
+			contrib += ix.boost(p.field) * math.Sqrt(float64(p.freq)) * idf * float64(ix.norms[p.field][p.doc])
+		}
+		if contrib > 0 {
+			ex.PerTerm[term] = contrib
+			ex.Total += contrib
+			ex.TermsHit++
+		}
+	}
+	if ex.TermsHit == 0 {
+		return nil
+	}
+	ex.Coord = float64(ex.TermsHit) / float64(ex.TermsInNeed)
+	ex.Total *= ex.Coord
+	return ex
+}

@@ -1,0 +1,363 @@
+// Package layout computes node positions for Schemr's schema
+// visualizations: the hierarchical tree layout and the radial layout of the
+// paper's Figure 2. To keep very large schemas readable, the displayed
+// depth is capped (3 by default) with collapsed markers on the frontier;
+// drilling in re-roots the layout at a chosen node (the GUI's double-click
+// recenter), exposing its descendants in further detail.
+package layout
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"schemr/internal/graphml"
+)
+
+// Options tunes a layout. Zero values take the documented defaults.
+type Options struct {
+	// MaxDepth caps the displayed tree depth below the root; deeper nodes
+	// are hidden and their parents flagged Collapsed. Default 3;
+	// negative means unlimited.
+	MaxDepth int
+	// Focus re-roots the layout at the named node (drill-in); empty keeps
+	// the schema root.
+	Focus string
+	// NodeGap is the spacing between sibling leaves in the tree layout and
+	// the ring gap in the radial layout. Default 40.
+	NodeGap float64
+	// LevelGap is the vertical spacing between tree levels. Default 80.
+	LevelGap float64
+}
+
+func (o *Options) defaults() {
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 3
+	}
+	if o.NodeGap == 0 {
+		o.NodeGap = 40
+	}
+	if o.LevelGap == 0 {
+		o.LevelGap = 80
+	}
+}
+
+// Place is one laid-out node.
+type Place struct {
+	Node  graphml.Node
+	X, Y  float64
+	Depth int
+	// Collapsed marks a node whose descendants were hidden by the depth
+	// cap; the GUI renders an expand affordance ("double click ... to view
+	// its descendants in further detail").
+	Collapsed bool
+	// HiddenDescendants counts the nodes hidden beneath a collapsed node.
+	HiddenDescendants int
+}
+
+// Layout is a computed visualization: placed nodes plus the visible edges
+// between them.
+type Layout struct {
+	Kind   string // "tree" or "radial"
+	Places []Place
+	// Edges lists visible edges as indexes into Places.
+	Edges []LaidEdge
+	// Width and Height bound the drawing (radial layouts center at
+	// Width/2, Height/2).
+	Width, Height float64
+}
+
+// LaidEdge is a visible edge between two placed nodes.
+type LaidEdge struct {
+	From, To int
+	Type     string
+}
+
+// Place returns the placement of the node with the given ID, or nil.
+func (l *Layout) Place(id string) *Place {
+	for i := range l.Places {
+		if l.Places[i].Node.ID == id {
+			return &l.Places[i]
+		}
+	}
+	return nil
+}
+
+// tree is the containment tree extracted from a graph.
+type tree struct {
+	graph    *graphml.Graph
+	children map[string][]string
+	parent   map[string]string
+	root     string
+}
+
+// buildTree derives the containment tree. The root is the node with kind
+// "schema" (fallback: the first node with no containment parent).
+func buildTree(g *graphml.Graph, focus string) (*tree, error) {
+	if len(g.Nodes) == 0 {
+		return nil, fmt.Errorf("layout: empty graph")
+	}
+	t := &tree{
+		graph:    g,
+		children: make(map[string][]string),
+		parent:   make(map[string]string),
+	}
+	for _, e := range g.Edges {
+		if e.Type != graphml.EdgeContains {
+			continue
+		}
+		if _, dup := t.parent[e.Target]; dup {
+			continue // keep the first containment parent
+		}
+		t.parent[e.Target] = e.Source
+		t.children[e.Source] = append(t.children[e.Source], e.Target)
+	}
+	for _, n := range g.Nodes {
+		if n.Kind == "schema" {
+			t.root = n.ID
+			break
+		}
+	}
+	if t.root == "" {
+		for _, n := range g.Nodes {
+			if _, hasParent := t.parent[n.ID]; !hasParent {
+				t.root = n.ID
+				break
+			}
+		}
+	}
+	if t.root == "" {
+		t.root = g.Nodes[0].ID // fully cyclic containment; arbitrary root
+	}
+	if focus != "" {
+		if g.Node(focus) == nil {
+			return nil, fmt.Errorf("layout: focus node %q not in graph", focus)
+		}
+		t.root = focus
+	}
+	return t, nil
+}
+
+// descendantCount counts all descendants of id.
+func (t *tree) descendantCount(id string) int {
+	n := 0
+	for _, c := range t.children[id] {
+		n += 1 + t.descendantCount(c)
+	}
+	return n
+}
+
+// visible computes the depth-capped visible tree as (id → depth), plus the
+// set of collapsed nodes with hidden-descendant counts.
+func (t *tree) visible(maxDepth int) (depths map[string]int, collapsed map[string]int) {
+	depths = map[string]int{t.root: 0}
+	collapsed = map[string]int{}
+	var walk func(id string, depth int)
+	walk = func(id string, depth int) {
+		kids := t.children[id]
+		if len(kids) == 0 {
+			return
+		}
+		if maxDepth >= 0 && depth == maxDepth {
+			collapsed[id] = t.descendantCount(id)
+			return
+		}
+		for _, c := range kids {
+			if _, ok := depths[c]; ok {
+				continue // containment cycle guard
+			}
+			depths[c] = depth + 1
+			walk(c, depth+1)
+		}
+	}
+	walk(t.root, 0)
+	return depths, collapsed
+}
+
+// Tree computes a hierarchical top-down tree layout: leaves get consecutive
+// x slots, parents center over their children, y grows with depth.
+func Tree(g *graphml.Graph, opts Options) (*Layout, error) {
+	opts.defaults()
+	t, err := buildTree(g, opts.Focus)
+	if err != nil {
+		return nil, err
+	}
+	depths, collapsed := t.visible(opts.MaxDepth)
+
+	xs := make(map[string]float64, len(depths))
+	nextLeaf := 0.0
+	var assign func(id string, depth int) float64
+	assign = func(id string, depth int) float64 {
+		var visKids []string
+		for _, c := range t.children[id] {
+			if d, ok := depths[c]; ok && d == depth+1 {
+				visKids = append(visKids, c)
+			}
+		}
+		if len(visKids) == 0 {
+			x := nextLeaf * opts.NodeGap
+			nextLeaf++
+			xs[id] = x
+			return x
+		}
+		sum := 0.0
+		for _, c := range visKids {
+			sum += assign(c, depth+1)
+		}
+		x := sum / float64(len(visKids))
+		xs[id] = x
+		return x
+	}
+	assign(t.root, 0)
+
+	return t.finish("tree", depths, collapsed, func(id string) (float64, float64) {
+		return xs[id], float64(depths[id]) * opts.LevelGap
+	}, opts)
+}
+
+// Radial computes a radial layout: the root at the center, each depth on a
+// concentric ring, children fanning out within their parent's angular
+// sector.
+func Radial(g *graphml.Graph, opts Options) (*Layout, error) {
+	opts.defaults()
+	t, err := buildTree(g, opts.Focus)
+	if err != nil {
+		return nil, err
+	}
+	depths, collapsed := t.visible(opts.MaxDepth)
+
+	// Leaf counting over the visible tree drives angular allocation.
+	var leaves func(id string, depth int) int
+	leaves = func(id string, depth int) int {
+		n := 0
+		for _, c := range t.children[id] {
+			if d, ok := depths[c]; ok && d == depth+1 {
+				n += leaves(c, depth+1)
+			}
+		}
+		if n == 0 {
+			return 1
+		}
+		return n
+	}
+	type polar struct{ r, theta float64 }
+	pos := map[string]polar{t.root: {0, 0}}
+	var spread func(id string, depth int, from, to float64)
+	spread = func(id string, depth int, from, to float64) {
+		var visKids []string
+		total := 0
+		for _, c := range t.children[id] {
+			if d, ok := depths[c]; ok && d == depth+1 {
+				visKids = append(visKids, c)
+				total += leaves(c, depth+1)
+			}
+		}
+		if total == 0 {
+			return
+		}
+		at := from
+		for _, c := range visKids {
+			share := (to - from) * float64(leaves(c, depth+1)) / float64(total)
+			mid := at + share/2
+			pos[c] = polar{r: float64(depth+1) * 2 * opts.NodeGap, theta: mid}
+			spread(c, depth+1, at, at+share)
+			at += share
+		}
+	}
+	spread(t.root, 0, 0, 2*math.Pi)
+
+	maxR := 0.0
+	for _, p := range pos {
+		if p.r > maxR {
+			maxR = p.r
+		}
+	}
+	cx := maxR + opts.NodeGap
+	return t.finish("radial", depths, collapsed, func(id string) (float64, float64) {
+		p := pos[id]
+		return cx + p.r*math.Cos(p.theta), cx + p.r*math.Sin(p.theta)
+	}, opts)
+}
+
+// finish assembles the Layout: placed visible nodes in stable (graph) order
+// and the visible edges (containment within the visible set, plus FK edges
+// whose endpoints are both visible).
+func (t *tree) finish(kind string, depths map[string]int, collapsed map[string]int,
+	xy func(id string) (float64, float64), opts Options) (*Layout, error) {
+
+	l := &Layout{Kind: kind}
+	indexOf := make(map[string]int, len(depths))
+	for _, n := range t.graph.Nodes {
+		d, ok := depths[n.ID]
+		if !ok {
+			continue
+		}
+		x, y := xy(n.ID)
+		p := Place{Node: n, X: x, Y: y, Depth: d}
+		if hidden, ok := collapsed[n.ID]; ok {
+			p.Collapsed = true
+			p.HiddenDescendants = hidden
+		}
+		indexOf[n.ID] = len(l.Places)
+		l.Places = append(l.Places, p)
+	}
+	for _, e := range t.graph.Edges {
+		fi, okF := indexOf[e.Source]
+		ti, okT := indexOf[e.Target]
+		if !okF || !okT {
+			continue
+		}
+		if e.Type == graphml.EdgeContains {
+			// Only tree edges of the visible tree (skip duplicate containment).
+			if t.parent[e.Target] != e.Source || depths[e.Target] != depths[e.Source]+1 {
+				continue
+			}
+		}
+		l.Edges = append(l.Edges, LaidEdge{From: fi, To: ti, Type: e.Type})
+	}
+	// Bounds with a margin.
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range l.Places {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	margin := opts.NodeGap
+	for i := range l.Places {
+		l.Places[i].X += margin - minX
+		l.Places[i].Y += margin - minY
+	}
+	l.Width = maxX - minX + 2*margin
+	l.Height = maxY - minY + 2*margin
+	return l, nil
+}
+
+// VisibleByDepth reports how many nodes are placed at each depth, sorted by
+// depth — used by the depth-cap experiment.
+func (l *Layout) VisibleByDepth() []int {
+	byDepth := map[int]int{}
+	maxD := 0
+	for _, p := range l.Places {
+		byDepth[p.Depth]++
+		if p.Depth > maxD {
+			maxD = p.Depth
+		}
+	}
+	out := make([]int, maxD+1)
+	for d, n := range byDepth {
+		out[d] = n
+	}
+	return out
+}
+
+// CollapsedNodes lists the IDs of collapsed frontier nodes, sorted.
+func (l *Layout) CollapsedNodes() []string {
+	var out []string
+	for _, p := range l.Places {
+		if p.Collapsed {
+			out = append(out, p.Node.ID)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

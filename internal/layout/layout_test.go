@@ -1,0 +1,317 @@
+package layout
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"schemr/internal/graphml"
+	"schemr/internal/model"
+)
+
+// deepSchema builds an XSD-style chain: root ⊃ l1 ⊃ l2 ⊃ l3 ⊃ l4 ⊃ l5, each
+// level with a couple of attributes — deep enough to trip the depth cap.
+func deepSchema() *model.Schema {
+	s := &model.Schema{Name: "deep"}
+	parent := ""
+	for i := 0; i <= 5; i++ {
+		name := "l" + string(rune('0'+i))
+		e := &model.Entity{Name: name, Parent: parent, Attributes: []*model.Attribute{
+			{Name: name + "a"}, {Name: name + "b"},
+		}}
+		s.Entities = append(s.Entities, e)
+		parent = name
+	}
+	return s
+}
+
+func flatSchema() *model.Schema {
+	return &model.Schema{
+		Name: "clinic",
+		Entities: []*model.Entity{
+			{Name: "patient", Attributes: []*model.Attribute{{Name: "height"}, {Name: "gender"}}},
+			{Name: "case", Attributes: []*model.Attribute{{Name: "diagnosis"}}},
+		},
+		ForeignKeys: []model.ForeignKey{
+			{FromEntity: "case", FromColumns: []string{"diagnosis"}, ToEntity: "patient"},
+		},
+	}
+}
+
+func TestTreeLayoutBasics(t *testing.T) {
+	g := graphml.FromSchema(flatSchema(), nil)
+	l, err := Tree(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Kind != "tree" {
+		t.Errorf("kind = %s", l.Kind)
+	}
+	// All 6 nodes visible (depth ≤ 2 < cap 3).
+	if len(l.Places) != 6 {
+		t.Fatalf("places = %d", len(l.Places))
+	}
+	root := l.Place("schema")
+	if root == nil || root.Depth != 0 {
+		t.Fatalf("root = %+v", root)
+	}
+	// y grows with depth; entities at depth 1, attributes at depth 2.
+	pat := l.Place("e:patient")
+	h := l.Place("a:patient.height")
+	if pat.Depth != 1 || h.Depth != 2 {
+		t.Errorf("depths: %d %d", pat.Depth, h.Depth)
+	}
+	if !(root.Y < pat.Y && pat.Y < h.Y) {
+		t.Errorf("y not monotone with depth: %v %v %v", root.Y, pat.Y, h.Y)
+	}
+	// Parent centered over children: patient.x between its two attrs.
+	gdr := l.Place("a:patient.gender")
+	lo, hi := math.Min(h.X, gdr.X), math.Max(h.X, gdr.X)
+	if pat.X < lo || pat.X > hi {
+		t.Errorf("parent x %v not within children [%v,%v]", pat.X, lo, hi)
+	}
+	// FK edge visible between the two entities.
+	foundFK := false
+	for _, e := range l.Edges {
+		if e.Type == graphml.EdgeFK {
+			foundFK = true
+		}
+	}
+	if !foundFK {
+		t.Error("fk edge missing from layout")
+	}
+	// Sibling leaves don't collide.
+	seen := map[[2]int]string{}
+	for _, p := range l.Places {
+		key := [2]int{int(p.X), int(p.Y)}
+		if other, ok := seen[key]; ok {
+			t.Errorf("nodes %s and %s collide at %v", other, p.Node.ID, key)
+		}
+		seen[key] = p.Node.ID
+	}
+	if l.Width <= 0 || l.Height <= 0 {
+		t.Errorf("bounds = %v×%v", l.Width, l.Height)
+	}
+}
+
+func TestDepthCapAndCollapse(t *testing.T) {
+	g := graphml.FromSchema(deepSchema(), nil)
+	l, err := Tree(g, Options{}) // default MaxDepth 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range l.Places {
+		if p.Depth > 3 {
+			t.Errorf("node %s at depth %d beyond cap", p.Node.ID, p.Depth)
+		}
+	}
+	collapsed := l.CollapsedNodes()
+	if len(collapsed) == 0 {
+		t.Fatal("no collapsed frontier on a deep schema")
+	}
+	// l2 sits at depth 3 (schema→l0→l1→l2) and hides l3..l5 + attrs.
+	cp := l.Place("e:l2")
+	if cp == nil || !cp.Collapsed {
+		t.Fatalf("e:l2 = %+v, want collapsed", cp)
+	}
+	// Hidden: l3, l4, l5 and their 2 attrs each, plus l2's own attrs
+	// (depth 4) = 3 + 6 + 2 = 11.
+	if cp.HiddenDescendants != 11 {
+		t.Errorf("hidden = %d, want 11", cp.HiddenDescendants)
+	}
+	// Unlimited depth shows everything: 1 + 6 entities + 12 attrs = 19.
+	full, err := Tree(g, Options{MaxDepth: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Places) != 19 {
+		t.Errorf("uncapped places = %d, want 19", len(full.Places))
+	}
+	if len(full.CollapsedNodes()) != 0 {
+		t.Error("uncapped layout has collapsed nodes")
+	}
+}
+
+func TestDrillInFocus(t *testing.T) {
+	g := graphml.FromSchema(deepSchema(), nil)
+	l, err := Tree(g, Options{Focus: "e:l2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := l.Place("e:l2")
+	if root == nil || root.Depth != 0 {
+		t.Fatalf("focus root = %+v", root)
+	}
+	// Drill-in exposes descendants previously hidden: l3, l4 visible now
+	// (l5 at depth 3 collapses).
+	if l.Place("e:l3") == nil || l.Place("e:l4") == nil {
+		t.Error("descendants not exposed by drill-in")
+	}
+	if p := l.Place("e:l5"); p == nil || !p.Collapsed {
+		t.Errorf("e:l5 = %+v, want visible and collapsed", p)
+	}
+	// Ancestors are out of view.
+	if l.Place("e:l1") != nil || l.Place("schema") != nil {
+		t.Error("ancestors visible after re-root")
+	}
+	if _, err := Tree(g, Options{Focus: "nope"}); err == nil {
+		t.Error("unknown focus accepted")
+	}
+}
+
+func TestRadialLayout(t *testing.T) {
+	g := graphml.FromSchema(flatSchema(), nil)
+	l, err := Radial(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Kind != "radial" {
+		t.Errorf("kind = %s", l.Kind)
+	}
+	root := l.Place("schema")
+	cx, cy := root.X, root.Y
+	// Radius grows with depth.
+	var r1, r2 float64
+	for _, p := range l.Places {
+		r := math.Hypot(p.X-cx, p.Y-cy)
+		switch p.Depth {
+		case 1:
+			r1 = r
+		case 2:
+			r2 = r
+		}
+	}
+	if !(r1 > 1 && r2 > r1) {
+		t.Errorf("radii not monotone: depth1=%v depth2=%v", r1, r2)
+	}
+	// Same-depth nodes share a ring.
+	rings := map[int]float64{}
+	for _, p := range l.Places {
+		r := math.Hypot(p.X-cx, p.Y-cy)
+		if prev, ok := rings[p.Depth]; ok {
+			if math.Abs(prev-r) > 1e-6 {
+				t.Errorf("depth %d on two rings: %v vs %v", p.Depth, prev, r)
+			}
+		} else {
+			rings[p.Depth] = r
+		}
+	}
+	// All positions within bounds.
+	for _, p := range l.Places {
+		if p.X < 0 || p.Y < 0 || p.X > l.Width || p.Y > l.Height {
+			t.Errorf("node %s out of bounds: (%v,%v) in %vx%v", p.Node.ID, p.X, p.Y, l.Width, l.Height)
+		}
+	}
+}
+
+func TestRadialDistinctAngles(t *testing.T) {
+	// A wide schema: many entities on ring 1 must all get distinct angles.
+	s := &model.Schema{Name: "wide"}
+	for i := 0; i < 12; i++ {
+		s.Entities = append(s.Entities, &model.Entity{
+			Name:       "e" + string(rune('a'+i)),
+			Attributes: []*model.Attribute{{Name: "x" + string(rune('a'+i))}},
+		})
+	}
+	g := graphml.FromSchema(s, nil)
+	l, err := Radial(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[[2]int]string{}
+	for _, p := range l.Places {
+		if p.Depth != 1 {
+			continue
+		}
+		key := [2]int{int(p.X * 10), int(p.Y * 10)}
+		if other, ok := seen[key]; ok {
+			t.Errorf("entities %s and %s collide", other, p.Node.ID)
+		}
+		seen[key] = p.Node.ID
+	}
+	if len(seen) != 12 {
+		t.Errorf("ring-1 nodes = %d", len(seen))
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	if _, err := Tree(&graphml.Graph{}, Options{}); err == nil {
+		t.Error("empty graph accepted by Tree")
+	}
+	if _, err := Radial(&graphml.Graph{}, Options{}); err == nil {
+		t.Error("empty graph accepted by Radial")
+	}
+}
+
+func TestVisibleByDepth(t *testing.T) {
+	g := graphml.FromSchema(flatSchema(), nil)
+	l, err := Tree(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := l.VisibleByDepth()
+	want := []int{1, 2, 3} // schema; 2 entities; 3 attributes
+	if len(counts) != len(want) {
+		t.Fatalf("counts = %v", counts)
+	}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("depth %d count = %d, want %d", i, counts[i], want[i])
+		}
+	}
+}
+
+func TestScoredNodesSurviveLayout(t *testing.T) {
+	g := graphml.FromSchema(flatSchema(), map[string]float64{"patient.height": 0.9})
+	l, err := Tree(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := l.Place("a:patient.height")
+	if p == nil || !p.Node.HasScore || p.Node.Score != 0.9 {
+		t.Errorf("score lost in layout: %+v", p)
+	}
+}
+
+func TestCycleGuard(t *testing.T) {
+	// Containment cycle (corrupt input): layout must terminate.
+	g := &graphml.Graph{
+		ID: "cyc",
+		Nodes: []graphml.Node{
+			{ID: "a", Kind: "entity", Label: "a"},
+			{ID: "b", Kind: "entity", Label: "b"},
+		},
+		Edges: []graphml.Edge{
+			{Source: "a", Target: "b", Type: graphml.EdgeContains},
+			{Source: "b", Target: "a", Type: graphml.EdgeContains},
+		},
+	}
+	l, err := Tree(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Places) == 0 {
+		t.Error("no places")
+	}
+	if _, err := Radial(g, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayoutKindsShareVisibility(t *testing.T) {
+	g := graphml.FromSchema(deepSchema(), nil)
+	tr, err := Tree(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := Radial(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Places) != len(ra.Places) {
+		t.Errorf("tree shows %d nodes, radial %d", len(tr.Places), len(ra.Places))
+	}
+	if strings.Join(tr.CollapsedNodes(), ",") != strings.Join(ra.CollapsedNodes(), ",") {
+		t.Errorf("collapsed sets differ: %v vs %v", tr.CollapsedNodes(), ra.CollapsedNodes())
+	}
+}

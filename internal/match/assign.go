@@ -1,0 +1,58 @@
+package match
+
+import "sort"
+
+// MappingPair is one element correspondence in a derived mapping.
+type MappingPair struct {
+	QueryIndex  int // index into Matrix.Query
+	SchemaIndex int // index into Matrix.Schema
+	Score       float64
+}
+
+// Assignment derives a one-to-one mapping between query elements and
+// schema elements from a similarity matrix: greedy global matching (the
+// standard stable heuristic for schema matching's mapping-selection step
+// [Rahm & Bernstein 2001]) — repeatedly take the highest-scoring unused
+// (query, schema) pair at or above minScore. The result is sorted by
+// query index. While Schemr's ranking deliberately does not need a mapping
+// (the tightness measurement consumes the raw matrix), the design loop the
+// paper sketches does: grafting a search result into a working schema
+// "capture[s] implicit semantic mappings between schema elements", and
+// those mappings are exactly this assignment.
+func (m *Matrix) Assignment(minScore float64) []MappingPair {
+	type cell struct {
+		qi, si int
+		v      float64
+	}
+	var cells []cell
+	for qi := range m.Query {
+		for si := range m.Schema {
+			v := m.Scores[qi][si]
+			if v != NotApplicable && v >= minScore && v > 0 {
+				cells = append(cells, cell{qi, si, v})
+			}
+		}
+	}
+	sort.SliceStable(cells, func(i, j int) bool {
+		if cells[i].v != cells[j].v {
+			return cells[i].v > cells[j].v
+		}
+		if cells[i].qi != cells[j].qi {
+			return cells[i].qi < cells[j].qi
+		}
+		return cells[i].si < cells[j].si
+	})
+	usedQ := make(map[int]bool)
+	usedS := make(map[int]bool)
+	var out []MappingPair
+	for _, c := range cells {
+		if usedQ[c.qi] || usedS[c.si] {
+			continue
+		}
+		usedQ[c.qi] = true
+		usedS[c.si] = true
+		out = append(out, MappingPair{QueryIndex: c.qi, SchemaIndex: c.si, Score: c.v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].QueryIndex < out[j].QueryIndex })
+	return out
+}

@@ -1,0 +1,161 @@
+package match
+
+import (
+	"schemr/internal/model"
+	"schemr/internal/query"
+	"schemr/internal/text"
+)
+
+// ContextMatcher builds, for each element, the set of terms of its
+// neighboring elements, and "tries to capture matches when
+// neighboring-element sets are similar to each other" [Madhavan et al.;
+// Rahm & Bernstein]. An attribute's context is its entity's name and its
+// sibling attributes; an entity's context is its attributes and the
+// entities adjacent to it via foreign keys or containment. Set similarity
+// is a soft Jaccard that credits near-matching terms using the name
+// matcher's n-gram similarity.
+//
+// Bare keywords have no neighborhood, so the matcher reports NotApplicable
+// for keyword rows; the ensemble renormalizes weights there.
+type ContextMatcher struct {
+	nm *NameMatcher
+	// minTermSim is the per-term similarity below which two context terms
+	// are considered unrelated (soft-Jaccard credit 0).
+	minTermSim float64
+}
+
+// NewContextMatcher returns a context matcher with the default term
+// threshold (0.3).
+func NewContextMatcher() *ContextMatcher {
+	return &ContextMatcher{nm: NewNameMatcher(), minTermSim: 0.3}
+}
+
+// Name implements Matcher.
+func (cm *ContextMatcher) Name() string { return "context" }
+
+// contextSets returns each element's neighbor-term set.
+func contextSets(s *model.Schema) map[model.ElementRef][]string {
+	g := model.NewEntityGraph(s)
+	out := make(map[model.ElementRef][]string, s.NumElements())
+	for _, e := range s.Entities {
+		var entCtx []string
+		for _, a := range e.Attributes {
+			entCtx = append(entCtx, a.Name)
+		}
+		entCtx = append(entCtx, g.Adjacent(e.Name)...)
+		out[model.ElementRef{Entity: e.Name}] = entCtx
+
+		for _, a := range e.Attributes {
+			ctx := make([]string, 0, len(e.Attributes))
+			ctx = append(ctx, e.Name)
+			for _, sib := range e.Attributes {
+				if sib.Name != a.Name {
+					ctx = append(ctx, sib.Name)
+				}
+			}
+			out[model.ElementRef{Entity: e.Name, Attribute: a.Name}] = ctx
+		}
+	}
+	return out
+}
+
+// simCache memoizes name-pair similarities on normalized forms; context
+// terms repeat heavily across elements of one schema.
+type simCache struct {
+	nm    *NameMatcher
+	grams map[string]map[string]int
+	sims  map[[2]string]float64
+}
+
+func newSimCache(nm *NameMatcher) *simCache {
+	return &simCache{nm: nm, grams: make(map[string]map[string]int), sims: make(map[[2]string]float64)}
+}
+
+func (c *simCache) gramsOf(term string) map[string]int {
+	n := text.Normalize(term)
+	if g, ok := c.grams[n]; ok {
+		return g
+	}
+	g := c.nm.grams(n)
+	c.grams[n] = g
+	return g
+}
+
+func (c *simCache) sim(a, b string) float64 {
+	na, nb := text.Normalize(a), text.Normalize(b)
+	if na > nb {
+		na, nb = nb, na
+	}
+	key := [2]string{na, nb}
+	if v, ok := c.sims[key]; ok {
+		return v
+	}
+	v := c.nm.gramSim(c.gramsOf(na), c.gramsOf(nb))
+	c.sims[key] = v
+	return v
+}
+
+// softJaccard scores two term sets in [0,1]: for each term the best
+// similarity to any term of the other set (zeroed below the threshold),
+// summed both ways and divided by the total term count.
+func (cm *ContextMatcher) softJaccard(cache *simCache, a, b []string) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, ta := range a {
+		best := 0.0
+		for _, tb := range b {
+			if v := cache.sim(ta, tb); v > best {
+				best = v
+			}
+		}
+		if best >= cm.minTermSim {
+			total += best
+		}
+	}
+	for _, tb := range b {
+		best := 0.0
+		for _, ta := range a {
+			if v := cache.sim(ta, tb); v > best {
+				best = v
+			}
+		}
+		if best >= cm.minTermSim {
+			total += best
+		}
+	}
+	return total / float64(len(a)+len(b))
+}
+
+// Match implements Matcher.
+func (cm *ContextMatcher) Match(q *query.Query, s *model.Schema) *Matrix {
+	qe := q.Elements()
+	se := s.Elements()
+	m := NewMatrix(qe, se)
+
+	sCtx := contextSets(s)
+	fragCtx := make([]map[model.ElementRef][]string, len(q.Fragments))
+	for i, frag := range q.Fragments {
+		fragCtx[i] = contextSets(frag)
+	}
+	cache := newSimCache(cm.nm)
+
+	for qi, qel := range qe {
+		if qel.IsKeyword() {
+			continue // row stays NotApplicable
+		}
+		qctx := fragCtx[qel.Fragment][qel.Ref]
+		for si, sel := range se {
+			// Contexts only compare like with like: entity neighborhoods
+			// against entity neighborhoods, attribute siblings against
+			// attribute siblings.
+			if qel.Kind != sel.Kind {
+				m.Set(qi, si, 0)
+				continue
+			}
+			m.Set(qi, si, cm.softJaccard(cache, qctx, sCtx[sel.Ref]))
+		}
+	}
+	return m
+}

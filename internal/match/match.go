@@ -1,0 +1,256 @@
+// Package match implements Schemr's fine-grained schema matching phase: an
+// ensemble of matchers, each producing a similarity matrix between query
+// graph elements and candidate schema elements with values in [0,1], and a
+// weighting scheme that combines the matrices into total similarity scores
+// [Rahm & Bernstein 2001; Doan et al. 2003]. The combined matrix feeds the
+// tightness-of-fit measurement that ranks final results.
+package match
+
+import (
+	"fmt"
+	"sort"
+
+	"schemr/internal/model"
+	"schemr/internal/query"
+)
+
+// NotApplicable marks a matrix cell a matcher has no opinion about (e.g.
+// the context matcher on a bare keyword). Combine skips such cells and
+// renormalizes the remaining weights.
+const NotApplicable = -1
+
+// Matrix is a similarity matrix: rows are query-graph elements, columns are
+// candidate schema elements. Cells hold [0,1] scores or NotApplicable.
+type Matrix struct {
+	Query  []query.Element
+	Schema []model.Element
+	Scores [][]float64
+}
+
+// NewMatrix allocates a matrix of the given shape filled with NotApplicable.
+func NewMatrix(q []query.Element, s []model.Element) *Matrix {
+	scores := make([][]float64, len(q))
+	for i := range scores {
+		row := make([]float64, len(s))
+		for j := range row {
+			row[j] = NotApplicable
+		}
+		scores[i] = row
+	}
+	return &Matrix{Query: q, Schema: s, Scores: scores}
+}
+
+// At returns the score of cell (qi, si).
+func (m *Matrix) At(qi, si int) float64 { return m.Scores[qi][si] }
+
+// Set stores a score; it panics on out-of-range values other than
+// NotApplicable, catching matcher bugs early.
+func (m *Matrix) Set(qi, si int, v float64) {
+	if v != NotApplicable && (v < 0 || v > 1) {
+		panic(fmt.Sprintf("match: score %v out of [0,1]", v))
+	}
+	m.Scores[qi][si] = v
+}
+
+// ElementBest returns, for each schema element, the maximum score over all
+// query elements (NotApplicable cells ignored) along with the index of the
+// query element achieving it (-1 when nothing applies). This is the paper's
+// "maximum value of each schema element's entry in the matrix as the final
+// match score for that element".
+func (m *Matrix) ElementBest() (scores []float64, argmax []int) {
+	scores = make([]float64, len(m.Schema))
+	argmax = make([]int, len(m.Schema))
+	for si := range m.Schema {
+		best, arg := 0.0, -1
+		for qi := range m.Query {
+			v := m.Scores[qi][si]
+			if v == NotApplicable {
+				continue
+			}
+			if arg == -1 || v > best {
+				best, arg = v, qi
+			}
+		}
+		scores[si] = best
+		argmax[si] = arg
+	}
+	return scores, argmax
+}
+
+// Matcher scores the semantic similarity between query elements and the
+// elements of one candidate schema.
+type Matcher interface {
+	// Name identifies the matcher in weight tables and reports.
+	Name() string
+	// Match fills a matrix for the query against the candidate schema.
+	Match(q *query.Query, s *model.Schema) *Matrix
+}
+
+// Ensemble combines several matchers with a weighting scheme, initially
+// uniform. "As Schemr is utilized in practice", recorded search histories
+// train a meta-learner whose weights replace the uniform ones (SetWeights;
+// see the learn package).
+type Ensemble struct {
+	matchers []Matcher
+	weights  map[string]float64
+}
+
+// NewEnsemble builds an ensemble with uniform weights. At least one matcher
+// is required.
+func NewEnsemble(ms ...Matcher) (*Ensemble, error) {
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("match: ensemble needs at least one matcher")
+	}
+	seen := map[string]bool{}
+	w := make(map[string]float64, len(ms))
+	for _, m := range ms {
+		if seen[m.Name()] {
+			return nil, fmt.Errorf("match: duplicate matcher %q", m.Name())
+		}
+		seen[m.Name()] = true
+		w[m.Name()] = 1
+	}
+	return &Ensemble{matchers: ms, weights: w}, nil
+}
+
+// DefaultEnsemble returns the paper's configuration: the name matcher and
+// the context matcher with uniform weights ("We summarize two matchers we
+// found to be most useful").
+func DefaultEnsemble() *Ensemble {
+	e, err := NewEnsemble(NewNameMatcher(), NewContextMatcher())
+	if err != nil {
+		panic(err) // static configuration; cannot fail
+	}
+	return e
+}
+
+// ExtendedEnsemble adds the exact and type matchers — the paper's "other
+// matchers may be used as well" extension point. The extras sharpen
+// query-by-example at some cost to abbreviation recall (an exact matcher
+// scores an abbreviation 0 and dilutes the n-gram evidence), which is why
+// they are not the default; the meta-learner can weight them in when
+// search histories support it.
+func ExtendedEnsemble() *Ensemble {
+	e, err := NewEnsemble(NewNameMatcher(), NewContextMatcher(), NewExactMatcher(), NewTypeMatcher())
+	if err != nil {
+		panic(err) // static configuration; cannot fail
+	}
+	return e
+}
+
+// MatcherNames lists the ensemble's matcher names in order.
+func (e *Ensemble) MatcherNames() []string {
+	out := make([]string, len(e.matchers))
+	for i, m := range e.matchers {
+		out[i] = m.Name()
+	}
+	return out
+}
+
+// Weights returns a copy of the current weight table.
+func (e *Ensemble) Weights() map[string]float64 {
+	out := make(map[string]float64, len(e.weights))
+	for k, v := range e.weights {
+		out[k] = v
+	}
+	return out
+}
+
+// SetWeights installs a learned weighting scheme. Every matcher must get a
+// non-negative weight and at least one must be positive.
+func (e *Ensemble) SetWeights(w map[string]float64) error {
+	total := 0.0
+	for _, m := range e.matchers {
+		v, ok := w[m.Name()]
+		if !ok {
+			return fmt.Errorf("match: no weight for matcher %q", m.Name())
+		}
+		if v < 0 {
+			return fmt.Errorf("match: negative weight %v for matcher %q", v, m.Name())
+		}
+		total += v
+	}
+	if total == 0 {
+		return fmt.Errorf("match: all weights zero")
+	}
+	nw := make(map[string]float64, len(w))
+	for _, m := range e.matchers {
+		nw[m.Name()] = w[m.Name()]
+	}
+	e.weights = nw
+	return nil
+}
+
+// Match runs every matcher and combines the similarity matrices into a
+// single matrix of total similarity scores: the per-cell weighted average
+// over the matchers that had an opinion (NotApplicable cells are excluded
+// and the weights renormalized, so a keyword's score is not diluted by
+// matchers that cannot apply to keywords).
+func (e *Ensemble) Match(q *query.Query, s *model.Schema) *Matrix {
+	qe := q.Elements()
+	se := s.Elements()
+	combined := NewMatrix(qe, se)
+
+	mats := make([]*Matrix, len(e.matchers))
+	for i, m := range e.matchers {
+		mats[i] = m.Match(q, s)
+	}
+	for qi := range qe {
+		for si := range se {
+			sum, wsum := 0.0, 0.0
+			for i, m := range e.matchers {
+				v := mats[i].Scores[qi][si]
+				if v == NotApplicable {
+					continue
+				}
+				w := e.weights[m.Name()]
+				sum += w * v
+				wsum += w
+			}
+			if wsum > 0 {
+				combined.Set(qi, si, sum/wsum)
+			} else {
+				combined.Set(qi, si, 0)
+			}
+		}
+	}
+	return combined
+}
+
+// PerMatcher runs every matcher separately and returns the matrices keyed
+// by matcher name — the feature extraction path for the meta-learner.
+func (e *Ensemble) PerMatcher(q *query.Query, s *model.Schema) map[string]*Matrix {
+	out := make(map[string]*Matrix, len(e.matchers))
+	for _, m := range e.matchers {
+		out[m.Name()] = m.Match(q, s)
+	}
+	return out
+}
+
+// TopPairs lists the strongest (query element, schema element) pairs of a
+// matrix in descending score order, up to limit — the drill-in detail the
+// GUI shows per result. Ties break by position for determinism.
+func (m *Matrix) TopPairs(limit int) []Pair {
+	var pairs []Pair
+	for qi := range m.Query {
+		for si := range m.Schema {
+			v := m.Scores[qi][si]
+			if v > 0 {
+				pairs = append(pairs, Pair{Query: m.Query[qi], Schema: m.Schema[si], Score: v})
+			}
+		}
+	}
+	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].Score > pairs[j].Score })
+	if limit > 0 && len(pairs) > limit {
+		pairs = pairs[:limit]
+	}
+	return pairs
+}
+
+// Pair is one scored correspondence between a query element and a schema
+// element.
+type Pair struct {
+	Query  query.Element
+	Schema model.Element
+	Score  float64
+}

@@ -1,0 +1,83 @@
+package match
+
+import (
+	"schemr/internal/model"
+	"schemr/internal/query"
+	"schemr/internal/text"
+)
+
+// NameMatcher normalizes element names and scores their character n-gram
+// overlap: each name is parsed into the set of all possible n-grams from
+// length one to the length of the word, and two names score the Dice
+// coefficient of their n-gram multisets. Per the paper, this matcher is
+// "particularly helpful for properly ranking schemas containing abbreviated
+// terms, alternate grammatical forms, and delimiter characters not in the
+// original query": normalization removes delimiter/casing noise, and
+// sub-word n-grams connect "pt_hght" to "patient height" and "diagnoses"
+// to "diagnosis".
+type NameMatcher struct {
+	// maxGram caps n-gram length to bound cost on pathological names;
+	// names shorter than the cap still use their full length.
+	maxGram int
+}
+
+// NewNameMatcher returns a name matcher with the default n-gram cap (32).
+func NewNameMatcher() *NameMatcher { return &NameMatcher{maxGram: 32} }
+
+// Name implements Matcher.
+func (nm *NameMatcher) Name() string { return "name" }
+
+// Similarity scores two raw element names in [0,1]: 1 for identical
+// normalized forms, 0 for no shared character n-grams. Exported because the
+// context matcher and evaluation harness reuse it.
+func (nm *NameMatcher) Similarity(a, b string) float64 {
+	return nm.gramSim(nm.grams(a), nm.grams(b))
+}
+
+func (nm *NameMatcher) grams(s string) map[string]int {
+	n := text.Normalize(s)
+	max := len([]rune(n))
+	if max > nm.maxGram {
+		max = nm.maxGram
+	}
+	return text.NGramSet(n, 1, max)
+}
+
+// gramSim blends two views of n-gram overlap: the Dice coefficient, which
+// rewards morphological and delimiter variants of similar length, and a
+// down-weighted overlap coefficient, which rewards containment and so keeps
+// abbreviations ("qty" ⊂ "quantity", "pt hght" ⊂ "patient height") from
+// being drowned by the expansion's extra grams. Taking the max keeps both
+// regimes in [0,1] with identical names still scoring exactly 1.
+func (nm *NameMatcher) gramSim(a, b map[string]int) float64 {
+	dice := text.DiceOverlap(a, b)
+	if overlap := 0.8 * text.OverlapCoefficient(a, b); overlap > dice {
+		return overlap
+	}
+	return dice
+}
+
+// Match implements Matcher: every query element (keywords included — a
+// keyword is just a name) is scored against every schema element.
+func (nm *NameMatcher) Match(q *query.Query, s *model.Schema) *Matrix {
+	qe := q.Elements()
+	se := s.Elements()
+	m := NewMatrix(qe, se)
+
+	qGrams := make([]map[string]int, len(qe))
+	for i, el := range qe {
+		qGrams[i] = nm.grams(el.Name)
+	}
+	// Candidate names repeat rarely, but normalize+grams is the hot loop;
+	// compute once per schema element.
+	sGrams := make([]map[string]int, len(se))
+	for j, el := range se {
+		sGrams[j] = nm.grams(el.Name)
+	}
+	for i := range qe {
+		for j := range se {
+			m.Set(i, j, nm.gramSim(qGrams[i], sGrams[j]))
+		}
+	}
+	return m
+}

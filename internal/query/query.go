@@ -1,0 +1,178 @@
+// Package query implements Schemr's query graph: the forest of trees the
+// query parser builds from user input before a search (the paper's
+// Figure 1). A query combines free keywords — each a one-node graph — with
+// schema fragments uploaded as DDL or XSD; the same abstraction therefore
+// captures relational and XML query formats. The query graph is flattened
+// to a keyword list for candidate extraction and enumerated as elements for
+// the fine-grained matching phase.
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"schemr/internal/ddl"
+	"schemr/internal/model"
+	"schemr/internal/text"
+	"schemr/internal/xsd"
+)
+
+// Input is raw user input: a keyword string plus optional schema fragments.
+type Input struct {
+	// Keywords is the free-text search box content; terms are separated by
+	// whitespace or commas.
+	Keywords string
+	// DDL is an optional SQL schema fragment ("query by example").
+	DDL string
+	// XSD is an optional XML Schema fragment.
+	XSD string
+}
+
+// Element is one node of the query graph that the match engine scores
+// against candidate schema elements.
+type Element struct {
+	// Name is the element's label: the keyword itself, or the fragment
+	// element's name.
+	Name string
+	// Kind distinguishes keywords (KindSchema is never used here),
+	// fragment entities and fragment attributes. Keywords use KindAttribute
+	// semantics for matching but are flagged by Fragment == -1.
+	Kind model.ElementKind
+	// Fragment indexes into Query.Fragments, or -1 for a keyword.
+	Fragment int
+	// Ref addresses the element within its fragment (zero for keywords).
+	Ref model.ElementRef
+}
+
+// IsKeyword reports whether the element is a free keyword rather than part
+// of a schema fragment.
+func (e Element) IsKeyword() bool { return e.Fragment < 0 }
+
+// String renders the element for logs and explanations.
+func (e Element) String() string {
+	if e.IsKeyword() {
+		return fmt.Sprintf("keyword(%s)", e.Name)
+	}
+	return fmt.Sprintf("fragment%d(%s)", e.Fragment, e.Ref)
+}
+
+// Query is a parsed query graph.
+type Query struct {
+	Keywords  []string
+	Fragments []*model.Schema
+}
+
+// Parse builds a query graph from raw input. Keywords are split on
+// whitespace and commas and kept verbatim (analysis happens downstream so
+// that matchers can see the original form). Empty input yields an error, as
+// does an unparsable fragment.
+func Parse(in Input) (*Query, error) {
+	q := &Query{}
+	for _, k := range strings.FieldsFunc(in.Keywords, func(r rune) bool {
+		return r == ',' || r == ' ' || r == '\t' || r == '\n' || r == '\r'
+	}) {
+		if k != "" {
+			q.Keywords = append(q.Keywords, k)
+		}
+	}
+	if strings.TrimSpace(in.DDL) != "" {
+		frag, err := ddl.Parse("query-fragment", in.DDL)
+		if err != nil {
+			return nil, fmt.Errorf("query: parsing DDL fragment: %w", err)
+		}
+		q.Fragments = append(q.Fragments, frag)
+	}
+	if strings.TrimSpace(in.XSD) != "" {
+		frag, err := xsd.Parse("query-fragment", in.XSD)
+		if err != nil {
+			return nil, fmt.Errorf("query: parsing XSD fragment: %w", err)
+		}
+		q.Fragments = append(q.Fragments, frag)
+	}
+	if q.IsEmpty() {
+		return nil, fmt.Errorf("query: empty query: supply keywords and/or a schema fragment")
+	}
+	return q, nil
+}
+
+// FromSchema builds a query-by-example graph directly from a schema value —
+// the path used when another OpenII component (e.g. a schema editor) hands
+// Schemr a working schema rather than DDL text.
+func FromSchema(s *model.Schema) *Query {
+	return &Query{Fragments: []*model.Schema{s}}
+}
+
+// IsEmpty reports whether the query has neither keywords nor fragments.
+func (q *Query) IsEmpty() bool {
+	return len(q.Keywords) == 0 && len(q.Fragments) == 0
+}
+
+// Elements enumerates the query graph's nodes: one element per keyword,
+// then every entity and attribute of each fragment, in stable order.
+func (q *Query) Elements() []Element {
+	var out []Element
+	for _, k := range q.Keywords {
+		out = append(out, Element{Name: k, Kind: model.KindAttribute, Fragment: -1})
+	}
+	for fi, frag := range q.Fragments {
+		for _, el := range frag.Elements() {
+			out = append(out, Element{
+				Name:     el.Name,
+				Kind:     el.Kind,
+				Fragment: fi,
+				Ref:      el.Ref,
+			})
+		}
+	}
+	return out
+}
+
+// Flatten reduces the query graph to the keyword list used for candidate
+// extraction: analyzed tokens of every keyword and every fragment element
+// name, deduplicated, in first-appearance order.
+func (q *Query) Flatten() []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(s string) {
+		for _, tok := range text.Tokenize(s) {
+			if !seen[tok] {
+				seen[tok] = true
+				out = append(out, tok)
+			}
+		}
+	}
+	for _, k := range q.Keywords {
+		add(k)
+	}
+	for _, frag := range q.Fragments {
+		for _, el := range frag.Elements() {
+			add(el.Name)
+		}
+	}
+	return out
+}
+
+// NumElements returns the number of query-graph elements.
+func (q *Query) NumElements() int {
+	n := len(q.Keywords)
+	for _, f := range q.Fragments {
+		n += f.NumElements()
+	}
+	return n
+}
+
+// String renders a compact description, e.g.
+// `keywords[patient diagnosis] + 1 fragment (4 elements)`.
+func (q *Query) String() string {
+	var parts []string
+	if len(q.Keywords) > 0 {
+		parts = append(parts, fmt.Sprintf("keywords[%s]", strings.Join(q.Keywords, " ")))
+	}
+	for _, f := range q.Fragments {
+		parts = append(parts, fmt.Sprintf("fragment(%d elements)", f.NumElements()))
+	}
+	if len(parts) == 0 {
+		return "empty query"
+	}
+	return strings.Join(parts, " + ")
+}

@@ -1,0 +1,163 @@
+package query
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"schemr/internal/model"
+)
+
+// fig1DDL is the schema fragment of the paper's Figure 1: a partially
+// designed patient table.
+const fig1DDL = `CREATE TABLE patient (height FLOAT, gender VARCHAR(8));`
+
+func TestParseFigure1(t *testing.T) {
+	// Figure 1: a query graph consisting of (A) a schema fragment and (B) a
+	// keyword.
+	q, err := Parse(Input{Keywords: "diagnosis", DDL: fig1DDL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(q.Keywords, []string{"diagnosis"}) {
+		t.Errorf("keywords = %v", q.Keywords)
+	}
+	if len(q.Fragments) != 1 {
+		t.Fatalf("fragments = %d", len(q.Fragments))
+	}
+	els := q.Elements()
+	// 1 keyword + entity patient + 2 attributes = 4 elements.
+	if len(els) != 4 {
+		t.Fatalf("elements = %v", els)
+	}
+	if !els[0].IsKeyword() || els[0].Name != "diagnosis" {
+		t.Errorf("first element = %+v", els[0])
+	}
+	if els[1].Kind != model.KindEntity || els[1].Name != "patient" || els[1].IsKeyword() {
+		t.Errorf("entity element = %+v", els[1])
+	}
+	if els[2].Ref.String() != "patient.height" || els[3].Ref.String() != "patient.gender" {
+		t.Errorf("attribute elements = %+v %+v", els[2], els[3])
+	}
+	if q.NumElements() != 4 {
+		t.Errorf("NumElements = %d", q.NumElements())
+	}
+}
+
+func TestParseKeywordsOnly(t *testing.T) {
+	q, err := Parse(Input{Keywords: "patient, height,gender  diagnosis"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"patient", "height", "gender", "diagnosis"}
+	if !reflect.DeepEqual(q.Keywords, want) {
+		t.Errorf("keywords = %v, want %v", q.Keywords, want)
+	}
+	if len(q.Fragments) != 0 {
+		t.Error("unexpected fragment")
+	}
+}
+
+func TestParseXSDFragment(t *testing.T) {
+	src := `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+	  <xs:element name="visit"><xs:complexType><xs:sequence>
+	    <xs:element name="patientRef" type="xs:string"/>
+	  </xs:sequence></xs:complexType></xs:element>
+	</xs:schema>`
+	q, err := Parse(Input{XSD: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	els := q.Elements()
+	if len(els) != 2 || els[0].Name != "visit" || els[1].Name != "patientRef" {
+		t.Errorf("elements = %v", els)
+	}
+}
+
+func TestParseBothFragments(t *testing.T) {
+	src := `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+	  <xs:element name="note" type="xs:string"/>
+	</xs:schema>`
+	q, err := Parse(Input{Keywords: "x", DDL: fig1DDL, XSD: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Fragments) != 2 {
+		t.Fatalf("fragments = %d", len(q.Fragments))
+	}
+	// Element Fragment indexes must address the right fragment.
+	for _, el := range q.Elements() {
+		if el.IsKeyword() {
+			continue
+		}
+		frag := q.Fragments[el.Fragment]
+		if frag.Entity(el.Ref.Entity) == nil {
+			t.Errorf("element %v not found in its fragment", el)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(Input{}); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Parse(Input{Keywords: " , "}); err == nil {
+		t.Error("all-separator keywords accepted")
+	}
+	if _, err := Parse(Input{DDL: "NOT SQL AT ALL ((("}); err == nil {
+		t.Error("bad DDL accepted")
+	}
+	if _, err := Parse(Input{Keywords: "x", XSD: "<html/>"}); err == nil {
+		t.Error("bad XSD accepted")
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	q, err := Parse(Input{Keywords: "diagnosis bloodPressure", DDL: fig1DDL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := q.Flatten()
+	want := []string{"diagnosis", "blood", "pressure", "patient", "height", "gender"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Flatten = %v, want %v", got, want)
+	}
+	// Duplicates collapse: "patient" keyword + patient entity.
+	q2, _ := Parse(Input{Keywords: "patient", DDL: fig1DDL})
+	got2 := q2.Flatten()
+	count := 0
+	for _, tok := range got2 {
+		if tok == "patient" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("Flatten kept duplicates: %v", got2)
+	}
+}
+
+func TestFromSchema(t *testing.T) {
+	s := &model.Schema{Name: "x", Entities: []*model.Entity{{Name: "t", Attributes: []*model.Attribute{{Name: "a"}}}}}
+	q := FromSchema(s)
+	if q.IsEmpty() || len(q.Elements()) != 2 {
+		t.Errorf("FromSchema = %+v", q)
+	}
+}
+
+func TestString(t *testing.T) {
+	q, _ := Parse(Input{Keywords: "patient diagnosis", DDL: fig1DDL})
+	s := q.String()
+	if !strings.Contains(s, "keywords[patient diagnosis]") || !strings.Contains(s, "fragment(3 elements)") {
+		t.Errorf("String = %q", s)
+	}
+	if (&Query{}).String() != "empty query" {
+		t.Error("empty query string")
+	}
+	els := q.Elements()
+	if got := els[0].String(); got != "keyword(patient)" {
+		t.Errorf("element string = %q", got)
+	}
+	if got := els[2].String(); got != "fragment0(patient)" {
+		t.Errorf("element string = %q", got)
+	}
+}

@@ -1,0 +1,447 @@
+// Package repository implements Schemr's schema store — the role the
+// open-source Yggdrasil repository plays in the paper's architecture. It
+// holds the schema corpus with provenance and community metadata (tags,
+// comments, ratings — the collaboration features the paper plans for),
+// persists to a single JSON file, and exposes a change feed so the offline
+// text indexer can refresh the document index "at scheduled intervals"
+// without rescanning the whole corpus.
+package repository
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"schemr/internal/model"
+)
+
+// Comment is community feedback attached to a schema: the paper's planned
+// "mechanisms for users to leave ratings and comments on schemas".
+type Comment struct {
+	Author string    `json:"author"`
+	Text   string    `json:"text"`
+	Rating int       `json:"rating,omitempty"` // 0 = no rating, else 1..5
+	At     time.Time `json:"at"`
+}
+
+// Usage holds a schema's search interaction counters — the "usage
+// statistics" collaboration feature the paper plans: how often a schema
+// surfaced in results and how often a user drilled into it.
+type Usage struct {
+	Impressions int `json:"impressions,omitempty"`
+	Selections  int `json:"selections,omitempty"`
+}
+
+// Entry is one stored schema plus its repository metadata.
+type Entry struct {
+	Schema   *model.Schema `json:"schema"`
+	Tags     []string      `json:"tags,omitempty"`
+	Comments []Comment     `json:"comments,omitempty"`
+	Usage    Usage         `json:"usage,omitempty"`
+	AddedAt  time.Time     `json:"addedAt"`
+	Seq      uint64        `json:"seq"` // change-feed sequence of last modification
+}
+
+// Repository is a concurrent-safe schema store. The zero value is not
+// usable; construct with New or Open.
+type Repository struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+	order   []string          // insertion order of live ids
+	byPrint map[string]string // fingerprint → id, for dedupe
+	nextID  int
+	seq     uint64
+	deleted map[string]uint64 // id → seq of deletion
+}
+
+// New returns an empty repository.
+func New() *Repository {
+	return &Repository{
+		entries: make(map[string]*Entry),
+		byPrint: make(map[string]string),
+		deleted: make(map[string]uint64),
+	}
+}
+
+// Len returns the number of stored schemas.
+func (r *Repository) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// Seq returns the current change-feed sequence number. It increases on
+// every mutation; a reader that has processed everything up to Seq() is up
+// to date.
+func (r *Repository) Seq() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.seq
+}
+
+// Put stores a schema and returns its ID. A schema with an empty ID is
+// assigned one; putting an existing ID replaces that schema. The schema
+// must validate. The repository takes ownership of the value (callers that
+// keep mutating the schema should Put a Clone).
+func (r *Repository) Put(s *model.Schema) (string, error) {
+	if s == nil {
+		return "", fmt.Errorf("repository: nil schema")
+	}
+	if err := s.Validate(); err != nil {
+		return "", fmt.Errorf("repository: %w", err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.ID == "" {
+		r.nextID++
+		s.ID = fmt.Sprintf("s%06d", r.nextID)
+		for r.entries[s.ID] != nil { // survive collisions with loaded data
+			r.nextID++
+			s.ID = fmt.Sprintf("s%06d", r.nextID)
+		}
+	}
+	r.seq++
+	old, replacing := r.entries[s.ID]
+	e := &Entry{Schema: s, AddedAt: time.Now().UTC(), Seq: r.seq}
+	if replacing {
+		e.Tags = old.Tags
+		e.Comments = old.Comments
+		e.AddedAt = old.AddedAt
+		delete(r.byPrint, old.Schema.Fingerprint())
+	} else {
+		r.order = append(r.order, s.ID)
+	}
+	r.entries[s.ID] = e
+	r.byPrint[s.Fingerprint()] = s.ID
+	delete(r.deleted, s.ID)
+	return s.ID, nil
+}
+
+// PutDedup stores a schema unless a structurally identical one (same
+// fingerprint) already exists, in which case it returns the existing ID and
+// dup=true. The corpus import pipeline uses this to drop duplicates.
+func (r *Repository) PutDedup(s *model.Schema) (id string, dup bool, err error) {
+	if s == nil {
+		return "", false, fmt.Errorf("repository: nil schema")
+	}
+	fp := s.Fingerprint()
+	r.mu.RLock()
+	existing, ok := r.byPrint[fp]
+	r.mu.RUnlock()
+	if ok {
+		return existing, true, nil
+	}
+	id, err = r.Put(s)
+	return id, false, err
+}
+
+// Get returns the schema with the given ID, or nil. The returned schema is
+// shared; callers must not mutate it.
+func (r *Repository) Get(id string) *model.Schema {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if e, ok := r.entries[id]; ok {
+		return e.Schema
+	}
+	return nil
+}
+
+// Entry returns the full entry (schema + metadata) for id, or nil.
+func (r *Repository) Entry(id string) *Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.entries[id]
+}
+
+// Delete removes a schema. It reports whether anything was removed.
+func (r *Repository) Delete(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[id]
+	if !ok {
+		return false
+	}
+	delete(r.entries, id)
+	delete(r.byPrint, e.Schema.Fingerprint())
+	for i, oid := range r.order {
+		if oid == id {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	r.seq++
+	r.deleted[id] = r.seq
+	return true
+}
+
+// IDs returns all schema IDs in insertion order.
+func (r *Repository) IDs() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.order...)
+}
+
+// All returns all schemas in insertion order. The schemas are shared, not
+// copies.
+func (r *Repository) All() []*model.Schema {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*model.Schema, len(r.order))
+	for i, id := range r.order {
+		out[i] = r.entries[id].Schema
+	}
+	return out
+}
+
+// Tag adds tags to a schema (deduplicated, sorted). It reports whether the
+// schema exists.
+func (r *Repository) Tag(id string, tags ...string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[id]
+	if !ok {
+		return false
+	}
+	set := make(map[string]bool, len(e.Tags)+len(tags))
+	for _, t := range e.Tags {
+		set[t] = true
+	}
+	for _, t := range tags {
+		if t != "" {
+			set[t] = true
+		}
+	}
+	e.Tags = e.Tags[:0]
+	for t := range set {
+		e.Tags = append(e.Tags, t)
+	}
+	sort.Strings(e.Tags)
+	r.seq++
+	e.Seq = r.seq
+	return true
+}
+
+// ByTag returns the IDs of schemas carrying the tag, in insertion order.
+func (r *Repository) ByTag(tag string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []string
+	for _, id := range r.order {
+		for _, t := range r.entries[id].Tags {
+			if t == tag {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// AddComment attaches a comment (optionally with a 1–5 rating) to a schema.
+func (r *Repository) AddComment(id string, c Comment) error {
+	if c.Rating < 0 || c.Rating > 5 {
+		return fmt.Errorf("repository: rating %d out of range 0..5", c.Rating)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[id]
+	if !ok {
+		return fmt.Errorf("repository: no schema %q", id)
+	}
+	if c.At.IsZero() {
+		c.At = time.Now().UTC()
+	}
+	e.Comments = append(e.Comments, c)
+	r.seq++
+	e.Seq = r.seq
+	return nil
+}
+
+// Rating returns the average rating of a schema and the number of ratings;
+// zero-rating comments don't count.
+func (r *Repository) Rating(id string) (avg float64, n int) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[id]
+	if !ok {
+		return 0, 0
+	}
+	sum := 0
+	for _, c := range e.Comments {
+		if c.Rating > 0 {
+			sum += c.Rating
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return float64(sum) / float64(n), n
+}
+
+// RecordImpressions bumps the impression counter of each listed schema
+// (unknown IDs are ignored). Usage updates deliberately do not advance the
+// change feed: counters change on every search, and re-indexing for them
+// would be churn without benefit — the document index carries no usage.
+func (r *Repository) RecordImpressions(ids ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, id := range ids {
+		if e, ok := r.entries[id]; ok {
+			e.Usage.Impressions++
+		}
+	}
+}
+
+// RecordSelection bumps the selection (click-through) counter. It reports
+// whether the schema exists.
+func (r *Repository) RecordSelection(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[id]
+	if !ok {
+		return false
+	}
+	e.Usage.Selections++
+	return true
+}
+
+// Usage returns a schema's interaction counters (zero for unknown IDs).
+func (r *Repository) Usage(id string) Usage {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if e, ok := r.entries[id]; ok {
+		return e.Usage
+	}
+	return Usage{}
+}
+
+// Changes describes what happened after a given change-feed sequence.
+type Changes struct {
+	// Updated holds IDs added or modified since the cursor, in seq order.
+	Updated []string
+	// Deleted holds IDs removed since the cursor.
+	Deleted []string
+	// Seq is the new cursor.
+	Seq uint64
+}
+
+// ChangedSince returns the IDs touched after cursor seq. The offline
+// indexer runs this on a schedule and applies the delta to the document
+// index.
+func (r *Repository) ChangedSince(seq uint64) Changes {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ch := Changes{Seq: r.seq}
+	type upd struct {
+		id  string
+		seq uint64
+	}
+	var ups []upd
+	for id, e := range r.entries {
+		if e.Seq > seq {
+			ups = append(ups, upd{id, e.Seq})
+		}
+	}
+	sort.Slice(ups, func(i, j int) bool { return ups[i].seq < ups[j].seq })
+	for _, u := range ups {
+		ch.Updated = append(ch.Updated, u.id)
+	}
+	for id, dseq := range r.deleted {
+		if dseq > seq {
+			ch.Deleted = append(ch.Deleted, id)
+		}
+	}
+	sort.Strings(ch.Deleted)
+	return ch
+}
+
+// persisted is the on-disk JSON shape.
+type persisted struct {
+	Version int               `json:"version"`
+	NextID  int               `json:"nextId"`
+	Seq     uint64            `json:"seq"`
+	Order   []string          `json:"order"`
+	Entries map[string]*Entry `json:"entries"`
+	Deleted map[string]uint64 `json:"deleted,omitempty"`
+}
+
+// Save writes the repository to path atomically (tmp file + rename).
+func (r *Repository) Save(path string) error {
+	r.mu.RLock()
+	p := persisted{
+		Version: 1,
+		NextID:  r.nextID,
+		Seq:     r.seq,
+		Order:   r.order,
+		Entries: r.entries,
+		Deleted: r.deleted,
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		r.mu.RUnlock()
+		return fmt.Errorf("repository: save: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	enc := json.NewEncoder(bw)
+	err = enc.Encode(&p)
+	r.mu.RUnlock()
+	if err == nil {
+		err = bw.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("repository: save: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("repository: save: %w", err)
+	}
+	return nil
+}
+
+// Open loads a repository saved by Save.
+func Open(path string) (*Repository, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("repository: open: %w", err)
+	}
+	defer f.Close()
+	var p persisted
+	if err := json.NewDecoder(bufio.NewReader(f)).Decode(&p); err != nil {
+		return nil, fmt.Errorf("repository: open %s: %w", path, err)
+	}
+	if p.Version != 1 {
+		return nil, fmt.Errorf("repository: open %s: unsupported version %d", path, p.Version)
+	}
+	r := New()
+	r.nextID = p.NextID
+	r.seq = p.Seq
+	if p.Deleted != nil {
+		r.deleted = p.Deleted
+	}
+	for _, id := range p.Order {
+		e, ok := p.Entries[id]
+		if !ok || e.Schema == nil {
+			return nil, fmt.Errorf("repository: open %s: order lists %q but entry missing", path, id)
+		}
+		if err := e.Schema.Validate(); err != nil {
+			return nil, fmt.Errorf("repository: open %s: %w", path, err)
+		}
+		if e.Schema.ID != id {
+			return nil, fmt.Errorf("repository: open %s: entry %q holds schema id %q", path, id, e.Schema.ID)
+		}
+		r.entries[id] = e
+		r.order = append(r.order, id)
+		r.byPrint[e.Schema.Fingerprint()] = id
+	}
+	return r, nil
+}

@@ -1,0 +1,521 @@
+// Package server exposes Schemr over HTTP, mirroring the paper's Figure 5
+// architecture: the GUI sends search requests to the Search Service, which
+// consults the document index and Match Engine and answers with an XML
+// response; clicking a result fetches the schema as GraphML; and an offline
+// indexer refreshes the document index from the schema repository at
+// scheduled intervals. A server-side SVG renderer stands in for the Flash
+// visualization client.
+package server
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"schemr/internal/codebook"
+	"schemr/internal/core"
+	"schemr/internal/ddl"
+	"schemr/internal/graphml"
+	"schemr/internal/layout"
+	"schemr/internal/model"
+	"schemr/internal/query"
+	"schemr/internal/summary"
+	"schemr/internal/svg"
+	"schemr/internal/xsd"
+)
+
+// Server wires the search engine into an http.Handler.
+type Server struct {
+	engine *core.Engine
+	mux    *http.ServeMux
+}
+
+// New builds a server over an engine.
+func New(engine *core.Engine) *Server {
+	s := &Server{engine: engine, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /{$}", s.handleHome)
+	s.mux.HandleFunc("GET /api/search", s.handleSearch)
+	s.mux.HandleFunc("POST /api/search", s.handleSearch)
+	s.mux.HandleFunc("GET /api/schema/{id}", s.handleSchemaGraphML)
+	s.mux.HandleFunc("GET /api/schema/{id}/svg", s.handleSchemaSVG)
+	s.mux.HandleFunc("GET /api/schema/{id}/ddl", s.handleSchemaDDL)
+	s.mux.HandleFunc("POST /api/schemas", s.handleImport)
+	s.mux.HandleFunc("DELETE /api/schema/{id}", s.handleDelete)
+	s.mux.HandleFunc("GET /api/stats", s.handleStats)
+	s.mux.HandleFunc("GET /api/codebook", s.handleCodebook)
+	s.mux.HandleFunc("POST /api/schema/{id}/select", s.handleSelect)
+	s.mux.HandleFunc("GET /api/schemas", s.handleList)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// StartIndexer launches the scheduled offline indexer: every interval it
+// applies the repository change feed to the document index. The returned
+// stop function halts it.
+func (s *Server) StartIndexer(interval time.Duration) (stop func()) {
+	ticker := time.NewTicker(interval)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-ticker.C:
+				s.engine.Sync() // errors surface on the next search; nothing actionable here
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		ticker.Stop()
+		close(done)
+	}
+}
+
+// --- XML response shapes ---
+
+// SearchResponse is the XML document returned by /api/search.
+type SearchResponse struct {
+	XMLName xml.Name    `xml:"results"`
+	Query   string      `xml:"query,attr"`
+	Total   int         `xml:"total,attr"`
+	Offset  int         `xml:"offset,attr,omitempty"`
+	TookMS  float64     `xml:"tookMs,attr"`
+	Results []ResultXML `xml:"result"`
+}
+
+// ResultXML is one search result row: the tabular columns of the paper's
+// GUI (name, score, matches, entities, attributes, description) plus the
+// matched elements for similarity-encoded rendering.
+type ResultXML struct {
+	ID          string       `xml:"id,attr"`
+	Score       float64      `xml:"score,attr"`
+	Name        string       `xml:"name"`
+	Description string       `xml:"description,omitempty"`
+	Matches     int          `xml:"matches"`
+	Entities    int          `xml:"entities"`
+	Attributes  int          `xml:"attributes"`
+	Anchor      string       `xml:"anchor,omitempty"`
+	Elements    []ElementXML `xml:"element"`
+}
+
+// ElementXML is one matched element with its similarity score and, when
+// the codebook recognizes the attribute, its semantic concepts.
+type ElementXML struct {
+	Ref      string  `xml:"ref,attr"`
+	Kind     string  `xml:"kind,attr"`
+	Score    float64 `xml:"score,attr"`
+	Penalty  float64 `xml:"penalty,attr,omitempty"`
+	Concepts string  `xml:"concepts,attr,omitempty"`
+}
+
+// ErrorXML is the error envelope.
+type ErrorXML struct {
+	XMLName xml.Name `xml:"error"`
+	Status  int      `xml:"status,attr"`
+	Message string   `xml:",chardata"`
+}
+
+// StatsXML reports repository and index counters.
+type StatsXML struct {
+	XMLName xml.Name `xml:"stats"`
+	Schemas int      `xml:"schemas"`
+	Indexed int      `xml:"indexed"`
+}
+
+// ImportResponse acknowledges a schema import.
+type ImportResponse struct {
+	XMLName xml.Name `xml:"imported"`
+	ID      string   `xml:"id,attr"`
+	Name    string   `xml:"name"`
+}
+
+func (s *Server) xmlError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	w.WriteHeader(status)
+	out, _ := xml.Marshal(ErrorXML{Status: status, Message: fmt.Sprintf(format, args...)})
+	w.Write(out)
+}
+
+func (s *Server) writeXML(w http.ResponseWriter, v any) {
+	out, err := xml.MarshalIndent(v, "", "  ")
+	if err != nil {
+		s.xmlError(w, http.StatusInternalServerError, "encoding response: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	w.Write([]byte(xml.Header))
+	w.Write(out)
+}
+
+// parseQuery builds a query graph from request parameters: q (keywords),
+// ddl, xsd. POST accepts form-encoded bodies; GET reads the URL.
+func parseQuery(r *http.Request) (*query.Query, error) {
+	if r.Method == http.MethodPost {
+		if err := r.ParseForm(); err != nil {
+			return nil, fmt.Errorf("parsing form: %w", err)
+		}
+	}
+	return query.Parse(query.Input{
+		Keywords: r.FormValue("q"),
+		DDL:      r.FormValue("ddl"),
+		XSD:      r.FormValue("xsd"),
+	})
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q, err := parseQuery(r)
+	if err != nil {
+		s.xmlError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	limit := 10
+	if v := r.FormValue("limit"); v != "" {
+		limit, err = strconv.Atoi(v)
+		if err != nil || limit < 1 || limit > 500 {
+			s.xmlError(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+	}
+	// Pagination: the GUI can "ask for the next n schemas".
+	offset := 0
+	if v := r.FormValue("offset"); v != "" {
+		offset, err = strconv.Atoi(v)
+		if err != nil || offset < 0 || offset > 10_000 {
+			s.xmlError(w, http.StatusBadRequest, "bad offset %q", v)
+			return
+		}
+	}
+	results, stats, err := s.engine.SearchWithStats(q, offset+limit)
+	if err != nil {
+		s.xmlError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	total := len(results)
+	if offset >= len(results) {
+		results = nil
+	} else {
+		results = results[offset:]
+	}
+	resp := SearchResponse{
+		Query:  q.String(),
+		Total:  total,
+		Offset: offset,
+		TookMS: float64(stats.Total().Microseconds()) / 1000,
+	}
+	for _, res := range results {
+		rx := ResultXML{
+			ID: res.ID, Score: res.Score, Name: res.Name, Description: res.Description,
+			Matches: res.NumMatches(), Entities: res.Entities, Attributes: res.Attributes,
+			Anchor: res.Anchor,
+		}
+		var ann codebook.Annotation
+		if schema := s.engine.Repository().Get(res.ID); schema != nil {
+			ann = codebook.Annotate(schema)
+		}
+		for _, el := range res.Matched {
+			ex := ElementXML{
+				Ref: el.Ref.String(), Kind: el.Kind.String(), Score: el.Score, Penalty: el.Penalty,
+			}
+			if cs := ann[el.Ref]; len(cs) > 0 {
+				names := make([]string, len(cs))
+				for i, c := range cs {
+					names[i] = string(c)
+				}
+				ex.Concepts = strings.Join(names, ",")
+			}
+			rx.Elements = append(rx.Elements, ex)
+		}
+		resp.Results = append(resp.Results, rx)
+	}
+	// Usage statistics: every returned result is an impression.
+	ids := make([]string, len(results))
+	for i, res := range results {
+		ids[i] = res.ID
+	}
+	s.engine.Repository().RecordImpressions(ids...)
+	s.writeXML(w, resp)
+}
+
+// handleSelect records a click-through on a search result — the usage
+// signal the popularity boost and future ranking improvements feed on.
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	if !s.engine.Repository().RecordSelection(r.PathValue("id")) {
+		s.xmlError(w, http.StatusNotFound, "no schema %q", r.PathValue("id"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) schemaByID(w http.ResponseWriter, r *http.Request) *model.Schema {
+	id := r.PathValue("id")
+	schema := s.engine.Repository().Get(id)
+	if schema == nil {
+		s.xmlError(w, http.StatusNotFound, "no schema %q", id)
+		return nil
+	}
+	// Optional summarization for very large schemas: keep the k most
+	// important entities.
+	if v := r.FormValue("summarize"); v != "" {
+		k, err := strconv.Atoi(v)
+		if err != nil || k < 1 {
+			s.xmlError(w, http.StatusBadRequest, "bad summarize %q", v)
+			return nil
+		}
+		sum, _, err := summary.Summarize(schema, summary.Options{K: k})
+		if err != nil {
+			s.xmlError(w, http.StatusInternalServerError, "%v", err)
+			return nil
+		}
+		return sum
+	}
+	return schema
+}
+
+// resultScores re-runs matching for one schema when the request carries a
+// query, so the visualization can encode similarity ("visually encoded
+// similarity measures"). Returns nil when no query is supplied.
+func (s *Server) resultScores(r *http.Request, schema *model.Schema) (map[string]float64, error) {
+	if r.FormValue("q") == "" && r.FormValue("ddl") == "" && r.FormValue("xsd") == "" {
+		return nil, nil
+	}
+	q, err := parseQuery(r)
+	if err != nil {
+		return nil, err
+	}
+	m := s.engine.Ensemble().Match(q, schema)
+	best, argmax := m.ElementBest()
+	scores := make(map[string]float64)
+	for si, el := range m.Schema {
+		if argmax[si] >= 0 && best[si] > 0 {
+			scores[el.Ref.String()] = best[si]
+		}
+	}
+	return scores, nil
+}
+
+func (s *Server) handleSchemaGraphML(w http.ResponseWriter, r *http.Request) {
+	schema := s.schemaByID(w, r)
+	if schema == nil {
+		return
+	}
+	scores, err := s.resultScores(r, schema)
+	if err != nil {
+		s.xmlError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	g := graphml.FromSchema(schema, scores)
+	data, err := g.Marshal()
+	if err != nil {
+		s.xmlError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	w.Write(data)
+}
+
+func (s *Server) handleSchemaSVG(w http.ResponseWriter, r *http.Request) {
+	schema := s.schemaByID(w, r)
+	if schema == nil {
+		return
+	}
+	scores, err := s.resultScores(r, schema)
+	if err != nil {
+		s.xmlError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	opts := layout.Options{Focus: r.FormValue("focus")}
+	if v := r.FormValue("depth"); v != "" {
+		d, err := strconv.Atoi(v)
+		if err != nil {
+			s.xmlError(w, http.StatusBadRequest, "bad depth %q", v)
+			return
+		}
+		opts.MaxDepth = d
+	}
+	g := graphml.FromSchema(schema, scores)
+	var l *layout.Layout
+	switch r.FormValue("layout") {
+	case "", "tree":
+		l, err = layout.Tree(g, opts)
+	case "radial":
+		l, err = layout.Radial(g, opts)
+	default:
+		s.xmlError(w, http.StatusBadRequest, "unknown layout %q", r.FormValue("layout"))
+		return
+	}
+	if err != nil {
+		s.xmlError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	io.WriteString(w, svg.Render(l, svg.Options{}))
+}
+
+func (s *Server) handleSchemaDDL(w http.ResponseWriter, r *http.Request) {
+	schema := s.schemaByID(w, r)
+	if schema == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, ddl.Print(schema))
+}
+
+// handleImport accepts a new schema as form fields: name plus ddl or xsd.
+// The document index picks it up on the next scheduled sync (or Reindex).
+func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
+	if err := r.ParseForm(); err != nil {
+		s.xmlError(w, http.StatusBadRequest, "parsing form: %v", err)
+		return
+	}
+	name := r.FormValue("name")
+	if name == "" {
+		s.xmlError(w, http.StatusBadRequest, "missing name")
+		return
+	}
+	var schema *model.Schema
+	var err error
+	switch {
+	case r.FormValue("ddl") != "":
+		schema, err = ddl.Parse(name, r.FormValue("ddl"))
+	case r.FormValue("xsd") != "":
+		schema, err = xsd.Parse(name, r.FormValue("xsd"))
+	default:
+		s.xmlError(w, http.StatusBadRequest, "supply ddl or xsd")
+		return
+	}
+	if err != nil {
+		s.xmlError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	schema.Source = "import:" + r.RemoteAddr
+	id, err := s.engine.Repository().Put(schema)
+	if err != nil {
+		s.xmlError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+	s.writeXML(w, ImportResponse{ID: id, Name: name})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.engine.Repository().Delete(id) {
+		s.xmlError(w, http.StatusNotFound, "no schema %q", id)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// SchemaListXML is the browse view of the repository.
+type SchemaListXML struct {
+	XMLName xml.Name       `xml:"schemas"`
+	Total   int            `xml:"total,attr"`
+	Offset  int            `xml:"offset,attr,omitempty"`
+	Items   []SchemaRowXML `xml:"schema"`
+}
+
+// SchemaRowXML is one repository entry in the browse view.
+type SchemaRowXML struct {
+	ID          string  `xml:"id,attr"`
+	Name        string  `xml:"name"`
+	Description string  `xml:"description,omitempty"`
+	Entities    int     `xml:"entities"`
+	Attributes  int     `xml:"attributes"`
+	Format      string  `xml:"format,omitempty"`
+	Tags        string  `xml:"tags,omitempty"`
+	Rating      float64 `xml:"rating,omitempty"`
+	Selections  int     `xml:"selections,omitempty"`
+}
+
+// handleList pages through the repository ordered by insertion — the
+// browse companion to search, with optional tag filtering.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	repo := s.engine.Repository()
+	ids := repo.IDs()
+	if tag := r.FormValue("tag"); tag != "" {
+		ids = repo.ByTag(tag)
+	}
+	total := len(ids)
+	offset, limit := 0, 50
+	var err error
+	if v := r.FormValue("offset"); v != "" {
+		if offset, err = strconv.Atoi(v); err != nil || offset < 0 {
+			s.xmlError(w, http.StatusBadRequest, "bad offset %q", v)
+			return
+		}
+	}
+	if v := r.FormValue("limit"); v != "" {
+		if limit, err = strconv.Atoi(v); err != nil || limit < 1 || limit > 500 {
+			s.xmlError(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+	}
+	if offset > len(ids) {
+		offset = len(ids)
+	}
+	ids = ids[offset:]
+	if len(ids) > limit {
+		ids = ids[:limit]
+	}
+	out := SchemaListXML{Total: total, Offset: offset}
+	for _, id := range ids {
+		entry := repo.Entry(id)
+		if entry == nil {
+			continue
+		}
+		sc := entry.Schema
+		avg, _ := repo.Rating(id)
+		out.Items = append(out.Items, SchemaRowXML{
+			ID: id, Name: sc.Name, Description: sc.Description,
+			Entities: sc.NumEntities(), Attributes: sc.NumAttributes(),
+			Format: sc.Format, Tags: strings.Join(entry.Tags, ","),
+			Rating: avg, Selections: entry.Usage.Selections,
+		})
+	}
+	s.writeXML(w, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.writeXML(w, StatsXML{
+		Schemas: s.engine.Repository().Len(),
+		Indexed: s.engine.IndexedDocs(),
+	})
+}
+
+// CodebookXML reports corpus-wide concept usage: the standardization
+// profile the paper's codebook integration aims at.
+type CodebookXML struct {
+	XMLName  xml.Name          `xml:"codebook"`
+	Concepts []CodebookConcept `xml:"concept"`
+}
+
+// CodebookConcept is one concept row of the profile.
+type CodebookConcept struct {
+	Name     string `xml:"name,attr"`
+	Count    int    `xml:"count,attr"`
+	TopNames string `xml:"commonNames,attr"`
+}
+
+func (s *Server) handleCodebook(w http.ResponseWriter, r *http.Request) {
+	profiles := codebook.ProfileCorpus(s.engine.Repository().All())
+	out := CodebookXML{}
+	for _, p := range profiles {
+		out.Concepts = append(out.Concepts, CodebookConcept{
+			Name: string(p.Concept), Count: p.Count, TopNames: strings.Join(p.TopNames, ","),
+		})
+	}
+	s.writeXML(w, out)
+}
+
+func (s *Server) handleHome(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	io.WriteString(w, strings.TrimSpace(homePage))
+}

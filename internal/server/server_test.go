@@ -1,0 +1,561 @@
+package server
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"schemr/internal/core"
+	"schemr/internal/graphml"
+	"schemr/internal/model"
+	"schemr/internal/repository"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *core.Engine, map[string]string) {
+	t.Helper()
+	repo := repository.New()
+	ids := map[string]string{}
+	clinic := &model.Schema{
+		Name:        "clinic records",
+		Description: "rural health clinic model",
+		Entities: []*model.Entity{
+			{Name: "patient", Attributes: []*model.Attribute{
+				{Name: "id", Type: "INT"}, {Name: "height", Type: "FLOAT"}, {Name: "gender", Type: "VARCHAR(8)"},
+			}},
+			{Name: "case", Attributes: []*model.Attribute{
+				{Name: "id", Type: "INT"}, {Name: "patient", Type: "INT"}, {Name: "diagnosis", Type: "VARCHAR(64)"},
+			}},
+		},
+		ForeignKeys: []model.ForeignKey{
+			{FromEntity: "case", FromColumns: []string{"patient"}, ToEntity: "patient", ToColumns: []string{"id"}},
+		},
+	}
+	id, err := repo.Put(clinic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids["clinic"] = id
+	id, err = repo.Put(&model.Schema{
+		Name: "retail orders",
+		Entities: []*model.Entity{{Name: "order", Attributes: []*model.Attribute{
+			{Name: "sku"}, {Name: "price"}, {Name: "quantity"}, {Name: "customer"},
+		}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids["retail"] = id
+	engine := core.NewEngine(repo, core.Options{})
+	if err := engine.Reindex(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(engine))
+	t.Cleanup(ts.Close)
+	return ts, engine, ids
+}
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestSearchEndpointGET(t *testing.T) {
+	ts, _, ids := testServer(t)
+	code, body, hdr := get(t, ts.URL+"/api/search?q=patient+height+gender+diagnosis")
+	if code != 200 {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if !strings.Contains(hdr.Get("Content-Type"), "application/xml") {
+		t.Errorf("content type = %s", hdr.Get("Content-Type"))
+	}
+	var resp SearchResponse
+	if err := xml.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("bad xml: %v\n%s", err, body)
+	}
+	if resp.Total < 1 || resp.Results[0].ID != ids["clinic"] {
+		t.Fatalf("response = %+v", resp)
+	}
+	top := resp.Results[0]
+	if top.Matches < 3 || top.Entities != 2 || top.Attributes != 6 || len(top.Elements) != top.Matches {
+		t.Errorf("result row = %+v", top)
+	}
+	if top.Elements[0].Kind == "" || top.Elements[0].Ref == "" {
+		t.Errorf("element = %+v", top.Elements[0])
+	}
+}
+
+func TestSearchEndpointPOSTWithFragment(t *testing.T) {
+	ts, _, ids := testServer(t)
+	form := url.Values{
+		"ddl":   {"CREATE TABLE patient (height FLOAT, gender VARCHAR(8));"},
+		"q":     {"diagnosis"},
+		"limit": {"5"},
+	}
+	resp, err := http.PostForm(ts.URL+"/api/search", form)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr SearchResponse
+	if err := xml.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Total < 1 || sr.Results[0].ID != ids["clinic"] {
+		t.Fatalf("response = %+v", sr)
+	}
+	if !strings.Contains(sr.Query, "fragment") {
+		t.Errorf("query echo = %q", sr.Query)
+	}
+}
+
+func TestSearchEndpointErrors(t *testing.T) {
+	ts, _, _ := testServer(t)
+	for _, bad := range []string{
+		"/api/search",                 // empty query
+		"/api/search?q=x&limit=0",     // bad limit
+		"/api/search?q=x&limit=wat",   // bad limit
+		"/api/search?q=x&limit=10000", // limit too large
+		"/api/search?ddl=NOT+SQL",     // bad fragment
+	} {
+		code, body, _ := get(t, ts.URL+bad)
+		if code != 400 {
+			t.Errorf("%s: status %d", bad, code)
+		}
+		var e ErrorXML
+		if err := xml.Unmarshal([]byte(body), &e); err != nil || e.Status != 400 {
+			t.Errorf("%s: error envelope = %q", bad, body)
+		}
+	}
+}
+
+func TestSchemaGraphMLEndpoint(t *testing.T) {
+	ts, _, ids := testServer(t)
+	code, body, _ := get(t, ts.URL+"/api/schema/"+ids["clinic"])
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	g, err := graphml.Unmarshal([]byte(body))
+	if err != nil {
+		t.Fatalf("bad graphml: %v", err)
+	}
+	if g.Node("e:patient") == nil || g.Node("a:case.diagnosis") == nil {
+		t.Error("nodes missing")
+	}
+	// Plain fetch carries no scores.
+	for _, n := range g.Nodes {
+		if n.HasScore {
+			t.Errorf("unexpected score on %s", n.ID)
+		}
+	}
+	// With a query, matched nodes carry scores.
+	code, body, _ = get(t, ts.URL+"/api/schema/"+ids["clinic"]+"?q=height+diagnosis")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	g, err = graphml.Unmarshal([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := g.Node("a:patient.height")
+	if h == nil || !h.HasScore || h.Score < 0.5 {
+		t.Errorf("scored node = %+v", h)
+	}
+
+	code, _, _ = get(t, ts.URL+"/api/schema/nope")
+	if code != 404 {
+		t.Errorf("missing schema status = %d", code)
+	}
+}
+
+func TestSchemaSVGEndpoint(t *testing.T) {
+	ts, _, ids := testServer(t)
+	for _, kind := range []string{"tree", "radial"} {
+		code, body, hdr := get(t, ts.URL+"/api/schema/"+ids["clinic"]+"/svg?layout="+kind+"&q=height")
+		if code != 200 {
+			t.Fatalf("%s: status %d: %s", kind, code, body)
+		}
+		if !strings.Contains(hdr.Get("Content-Type"), "image/svg") {
+			t.Errorf("%s: content type %s", kind, hdr.Get("Content-Type"))
+		}
+		if !strings.Contains(body, "<svg") || !strings.Contains(body, ">patient<") {
+			t.Errorf("%s: body = %.100s", kind, body)
+		}
+	}
+	// Focus drill-in.
+	code, body, _ := get(t, ts.URL+"/api/schema/"+ids["clinic"]+"/svg?focus=e:patient")
+	if code != 200 || strings.Contains(body, ">case<") {
+		t.Errorf("focus: status %d, case visible: %v", code, strings.Contains(body, ">case<"))
+	}
+	// Depth control.
+	code, body, _ = get(t, ts.URL+"/api/schema/"+ids["clinic"]+"/svg?depth=1")
+	if code != 200 || !strings.Contains(body, "[+") {
+		t.Errorf("depth=1 should collapse entities: %d", code)
+	}
+	// Summarization: keep only the most important entity.
+	code, body, _ = get(t, ts.URL+"/api/schema/"+ids["clinic"]+"/svg?summarize=1")
+	if code != 200 {
+		t.Fatalf("summarize status %d", code)
+	}
+	if strings.Count(body, "<circle") >= 9 { // full clinic renders 9 nodes
+		t.Errorf("summarize did not reduce the rendering")
+	}
+	// Errors.
+	for _, bad := range []string{"?layout=pie", "?depth=wat", "?focus=zz", "?q=&ddl=NOT+SQL", "?summarize=0", "?summarize=wat"} {
+		code, _, _ := get(t, ts.URL+"/api/schema/"+ids["clinic"]+"/svg"+bad)
+		if code != 400 {
+			t.Errorf("%s: status %d", bad, code)
+		}
+	}
+}
+
+func TestSchemaDDLEndpoint(t *testing.T) {
+	ts, _, ids := testServer(t)
+	code, body, _ := get(t, ts.URL+"/api/schema/"+ids["clinic"]+"/ddl")
+	if code != 200 || !strings.Contains(body, "CREATE TABLE patient") {
+		t.Errorf("status %d body %.80s", code, body)
+	}
+}
+
+func TestImportAndIndexerLifecycle(t *testing.T) {
+	ts, engine, _ := testServer(t)
+	srv := New(engine)
+	stop := srv.StartIndexer(10 * time.Millisecond)
+	defer stop()
+
+	form := url.Values{
+		"name": {"greenhouse"},
+		"ddl":  {"CREATE TABLE sensor (humidity FLOAT, soil_moisture FLOAT, lux INT, co2 INT);"},
+	}
+	resp, err := http.PostForm(ts.URL+"/api/schemas", form)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 201 {
+		t.Fatalf("import status %d: %s", resp.StatusCode, body)
+	}
+	var imp ImportResponse
+	if err := xml.Unmarshal(body, &imp); err != nil || imp.ID == "" {
+		t.Fatalf("import response %q: %v", body, err)
+	}
+
+	// The scheduled indexer picks it up.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		code, out, _ := get(t, ts.URL+"/api/search?q=humidity+soil")
+		if code != 200 {
+			t.Fatalf("status %d", code)
+		}
+		var sr SearchResponse
+		if err := xml.Unmarshal([]byte(out), &sr); err != nil {
+			t.Fatal(err)
+		}
+		if sr.Total >= 1 && sr.Results[0].ID == imp.ID {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("imported schema never became searchable: %s", out)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Delete via API.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/api/schema/"+imp.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != 204 {
+		t.Errorf("delete status %d", dresp.StatusCode)
+	}
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/api/schema/"+imp.ID, nil)
+	dresp, _ = http.DefaultClient.Do(req)
+	dresp.Body.Close()
+	if dresp.StatusCode != 404 {
+		t.Errorf("double delete status %d", dresp.StatusCode)
+	}
+}
+
+func TestImportXSD(t *testing.T) {
+	ts, engine, _ := testServer(t)
+	form := url.Values{
+		"name": {"po"},
+		"xsd": {`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+		  <xs:element name="order"><xs:complexType><xs:sequence>
+		    <xs:element name="sku" type="xs:string"/>
+		    <xs:element name="shipping_city" type="xs:string"/>
+		  </xs:sequence></xs:complexType></xs:element>
+		</xs:schema>`},
+	}
+	resp, err := http.PostForm(ts.URL+"/api/schemas", form)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 201 {
+		t.Fatalf("xsd import status %d: %s", resp.StatusCode, body)
+	}
+	var imp ImportResponse
+	if err := xml.Unmarshal(body, &imp); err != nil {
+		t.Fatal(err)
+	}
+	if s := engine.Repository().Get(imp.ID); s == nil || s.Format != "xsd" || s.Entity("order") == nil {
+		t.Errorf("imported schema = %+v", s)
+	}
+}
+
+func TestImportErrors(t *testing.T) {
+	ts, _, _ := testServer(t)
+	cases := []url.Values{
+		{},                              // no name
+		{"name": {"x"}},                 // no body
+		{"name": {"x"}, "ddl": {"(("}},  // bad ddl
+		{"name": {"x"}, "xsd": {"<p/"}}, // bad xsd
+	}
+	for i, form := range cases {
+		resp, err := http.PostForm(ts.URL+"/api/schemas", form)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 400 {
+			t.Errorf("case %d: status %d", i, resp.StatusCode)
+		}
+	}
+}
+
+func TestSearchPagination(t *testing.T) {
+	ts, engine, _ := testServer(t)
+	// Add enough matching schemas to paginate over.
+	for i := 0; i < 7; i++ {
+		_, err := engine.Repository().Put(&model.Schema{
+			Name: fmt.Sprintf("ward %d", i),
+			Entities: []*model.Entity{{Name: "patient", Attributes: []*model.Attribute{
+				{Name: "patient"}, {Name: "height"}, {Name: "gender"}, {Name: fmt.Sprintf("extra%d", i)},
+			}}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := engine.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	page := func(offset int) SearchResponse {
+		t.Helper()
+		code, body, _ := get(t, fmt.Sprintf("%s/api/search?q=patient+height+gender&limit=3&offset=%d", ts.URL, offset))
+		if code != 200 {
+			t.Fatalf("status %d: %s", code, body)
+		}
+		var sr SearchResponse
+		if err := xml.Unmarshal([]byte(body), &sr); err != nil {
+			t.Fatal(err)
+		}
+		return sr
+	}
+	p0 := page(0)
+	p1 := page(3)
+	if len(p0.Results) != 3 || len(p1.Results) != 3 {
+		t.Fatalf("page sizes: %d, %d", len(p0.Results), len(p1.Results))
+	}
+	if p1.Offset != 3 {
+		t.Errorf("offset echo = %d", p1.Offset)
+	}
+	// No overlap between pages; page 2 continues where page 1 ended.
+	seen := map[string]bool{}
+	for _, r := range p0.Results {
+		seen[r.ID] = true
+	}
+	for _, r := range p1.Results {
+		if seen[r.ID] {
+			t.Errorf("result %s appears on both pages", r.ID)
+		}
+	}
+	// Past the end: empty page, total still reported.
+	pEnd := page(1000)
+	if len(pEnd.Results) != 0 {
+		t.Errorf("past-the-end page has %d results", len(pEnd.Results))
+	}
+	// Bad offset.
+	code, _, _ := get(t, ts.URL+"/api/search?q=patient&offset=-1")
+	if code != 400 {
+		t.Errorf("bad offset status %d", code)
+	}
+}
+
+func TestCodebookAnnotationsAndEndpoint(t *testing.T) {
+	ts, _, _ := testServer(t)
+	// Matched elements carry concepts: height → length, id → identifier.
+	code, body, _ := get(t, ts.URL+"/api/search?q=patient+height+diagnosis")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	var sr SearchResponse
+	if err := xml.Unmarshal([]byte(body), &sr); err != nil {
+		t.Fatal(err)
+	}
+	foundLength := false
+	for _, r := range sr.Results {
+		for _, el := range r.Elements {
+			if el.Ref == "patient.height" && strings.Contains(el.Concepts, "length") {
+				foundLength = true
+			}
+		}
+	}
+	if !foundLength {
+		t.Errorf("height concept missing: %s", body)
+	}
+
+	// Corpus profile endpoint.
+	code, body, _ = get(t, ts.URL+"/api/codebook")
+	if code != 200 {
+		t.Fatalf("codebook status %d", code)
+	}
+	var cb CodebookXML
+	if err := xml.Unmarshal([]byte(body), &cb); err != nil {
+		t.Fatal(err)
+	}
+	concepts := map[string]CodebookConcept{}
+	for _, c := range cb.Concepts {
+		concepts[c.Name] = c
+	}
+	if concepts["identifier"].Count == 0 || concepts["length"].Count == 0 {
+		t.Errorf("profile = %+v", cb)
+	}
+	if !strings.Contains(concepts["length"].TopNames, "height") {
+		t.Errorf("length names = %q", concepts["length"].TopNames)
+	}
+}
+
+func TestListEndpoint(t *testing.T) {
+	ts, engine, ids := testServer(t)
+	engine.Repository().Tag(ids["clinic"], "health")
+	engine.Repository().AddComment(ids["clinic"], repository.Comment{Author: "kc", Text: "good", Rating: 4})
+
+	code, body, _ := get(t, ts.URL+"/api/schemas")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	var list SchemaListXML
+	if err := xml.Unmarshal([]byte(body), &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Total != 2 || len(list.Items) != 2 {
+		t.Fatalf("list = %+v", list)
+	}
+	if list.Items[0].Name != "clinic records" || list.Items[0].Entities != 2 ||
+		list.Items[0].Tags != "health" || list.Items[0].Rating != 4 {
+		t.Errorf("row = %+v", list.Items[0])
+	}
+
+	// Tag filter. (Fresh structs each time: Unmarshal appends to slices.)
+	code, body, _ = get(t, ts.URL+"/api/schemas?tag=health")
+	if code != 200 {
+		t.Fatal("tag filter failed")
+	}
+	var tagged SchemaListXML
+	xml.Unmarshal([]byte(body), &tagged)
+	if tagged.Total != 1 || tagged.Items[0].ID != ids["clinic"] {
+		t.Errorf("tag filter = %+v", tagged)
+	}
+
+	// Paging.
+	code, body, _ = get(t, ts.URL+"/api/schemas?limit=1&offset=1")
+	var paged SchemaListXML
+	xml.Unmarshal([]byte(body), &paged)
+	if code != 200 || len(paged.Items) != 1 || paged.Items[0].ID != ids["retail"] {
+		t.Errorf("paged list = %+v", paged)
+	}
+	// Past the end.
+	code, body, _ = get(t, ts.URL+"/api/schemas?offset=99")
+	var past SchemaListXML
+	xml.Unmarshal([]byte(body), &past)
+	if code != 200 || len(past.Items) != 0 || past.Total != 2 {
+		t.Errorf("past-end list = %+v", past)
+	}
+	// Errors.
+	for _, bad := range []string{"?offset=-1", "?limit=0", "?limit=wat"} {
+		code, _, _ := get(t, ts.URL+"/api/schemas"+bad)
+		if code != 400 {
+			t.Errorf("%s status %d", bad, code)
+		}
+	}
+}
+
+func TestUsageEndpoints(t *testing.T) {
+	ts, engine, ids := testServer(t)
+	// A search records impressions on returned results.
+	code, _, _ := get(t, ts.URL+"/api/search?q=patient+height")
+	if code != 200 {
+		t.Fatal("search failed")
+	}
+	if u := engine.Repository().Usage(ids["clinic"]); u.Impressions != 1 {
+		t.Errorf("impressions = %+v", u)
+	}
+	// A click-through records a selection.
+	resp, err := http.Post(ts.URL+"/api/schema/"+ids["clinic"]+"/select", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 204 {
+		t.Errorf("select status %d", resp.StatusCode)
+	}
+	if u := engine.Repository().Usage(ids["clinic"]); u.Selections != 1 {
+		t.Errorf("selections = %+v", u)
+	}
+	resp, _ = http.Post(ts.URL+"/api/schema/missing/select", "", nil)
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("missing select status %d", resp.StatusCode)
+	}
+}
+
+func TestStatsAndHome(t *testing.T) {
+	ts, _, _ := testServer(t)
+	code, body, _ := get(t, ts.URL+"/api/stats")
+	if code != 200 {
+		t.Fatalf("stats status %d", code)
+	}
+	var st StatsXML
+	if err := xml.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Schemas != 2 || st.Indexed != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	code, body, hdr := get(t, ts.URL+"/")
+	if code != 200 || !strings.Contains(hdr.Get("Content-Type"), "text/html") {
+		t.Fatalf("home status %d type %s", code, hdr.Get("Content-Type"))
+	}
+	if !strings.Contains(body, "Schemr") || !strings.Contains(body, "/api/search") {
+		t.Error("home page content wrong")
+	}
+	// Unknown path under root 404s (the {$} pattern).
+	code, _, _ = get(t, ts.URL+"/nope")
+	if code != 404 {
+		t.Errorf("unknown path status %d", code)
+	}
+}

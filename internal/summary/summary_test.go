@@ -1,0 +1,203 @@
+package summary
+
+import (
+	"fmt"
+	"testing"
+
+	"schemr/internal/model"
+	"schemr/internal/webtables"
+)
+
+// star builds a hub entity linked to n satellites; hub has few attributes,
+// satellites vary.
+func star(nSat int) *model.Schema {
+	s := &model.Schema{Name: "star"}
+	hub := &model.Entity{Name: "hub", Attributes: []*model.Attribute{{Name: "id"}}}
+	s.Entities = append(s.Entities, hub)
+	for i := 0; i < nSat; i++ {
+		name := fmt.Sprintf("sat%d", i)
+		e := &model.Entity{Name: name, Attributes: []*model.Attribute{{Name: name + "_id"}}}
+		for j := 0; j <= i; j++ {
+			e.Attributes = append(e.Attributes, &model.Attribute{Name: fmt.Sprintf("%s_a%d", name, j)})
+		}
+		s.Entities = append(s.Entities, e)
+		s.ForeignKeys = append(s.ForeignKeys, model.ForeignKey{
+			FromEntity: name, FromColumns: []string{name + "_id"}, ToEntity: "hub",
+		})
+	}
+	return s
+}
+
+func TestRankFavorsConnectedAndLarge(t *testing.T) {
+	s := star(4)
+	scores := Rank(s, Options{})
+	if len(scores) != 5 {
+		t.Fatalf("scores = %d", len(scores))
+	}
+	// The hub receives influence from all satellites: despite having the
+	// fewest attributes it must outrank the small satellites.
+	pos := map[string]int{}
+	for i, sc := range scores {
+		pos[sc.Name] = i
+		if sc.Importance <= 0 {
+			t.Errorf("%s importance %v", sc.Name, sc.Importance)
+		}
+	}
+	if pos["hub"] > pos["sat0"] || pos["hub"] > pos["sat1"] {
+		t.Errorf("hub not lifted by neighborhood influence: %v", scores)
+	}
+	// The largest satellite still ranks above the smallest.
+	if pos["sat3"] > pos["sat0"] {
+		t.Errorf("size ignored: %v", scores)
+	}
+}
+
+func TestSummarizeClinic(t *testing.T) {
+	s := &model.Schema{
+		Name: "clinic",
+		Entities: []*model.Entity{
+			{Name: "patient", Attributes: []*model.Attribute{{Name: "id"}, {Name: "height"}, {Name: "gender"}, {Name: "dob"}}},
+			{Name: "case", Attributes: []*model.Attribute{{Name: "id"}, {Name: "patient"}, {Name: "doctor"}, {Name: "diagnosis"}}},
+			{Name: "doctor", Attributes: []*model.Attribute{{Name: "id"}, {Name: "gender"}}},
+			{Name: "lookup", Attributes: []*model.Attribute{{Name: "code"}}},
+		},
+		ForeignKeys: []model.ForeignKey{
+			{FromEntity: "case", FromColumns: []string{"patient"}, ToEntity: "patient"},
+			{FromEntity: "case", FromColumns: []string{"doctor"}, ToEntity: "doctor"},
+		},
+	}
+	sum, scores, err := Summarize(s, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.NumEntities() != 2 {
+		t.Fatalf("summary entities = %v", sum.Entities)
+	}
+	// patient and case are the important pair; the disconnected lookup and
+	// small doctor drop.
+	if sum.Entity("patient") == nil || sum.Entity("case") == nil {
+		names := []string{}
+		for _, e := range sum.Entities {
+			names = append(names, e.Name)
+		}
+		t.Fatalf("summary = %v (scores %v)", names, scores)
+	}
+	// The FK between the kept pair survives; others are gone.
+	if len(sum.ForeignKeys) != 1 || sum.ForeignKeys[0].ToEntity != "patient" {
+		t.Errorf("fks = %+v", sum.ForeignKeys)
+	}
+	// Attributes intact.
+	if sum.Entity("patient").Attribute("height") == nil {
+		t.Error("attributes lost")
+	}
+	if err := sum.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Selected flags agree.
+	sel := 0
+	for _, sc := range scores {
+		if sc.Selected {
+			sel++
+		}
+	}
+	if sel != 2 {
+		t.Errorf("selected = %d", sel)
+	}
+}
+
+func TestSummarizeCoverageSpreads(t *testing.T) {
+	// Two disconnected clusters; K=2 must pick one entity from each rather
+	// than both from the bigger cluster.
+	s := &model.Schema{Name: "two"}
+	for c := 0; c < 2; c++ {
+		hub := &model.Entity{Name: fmt.Sprintf("hub%d", c)}
+		for j := 0; j < 6-c; j++ { // cluster 0 slightly bigger
+			hub.Attributes = append(hub.Attributes, &model.Attribute{Name: fmt.Sprintf("h%d_a%d", c, j)})
+		}
+		s.Entities = append(s.Entities, hub)
+		leaf := &model.Entity{Name: fmt.Sprintf("leaf%d", c), Attributes: []*model.Attribute{
+			{Name: fmt.Sprintf("l%d_id", c)}, {Name: fmt.Sprintf("l%d_x", c)}, {Name: fmt.Sprintf("l%d_y", c)},
+		}}
+		s.Entities = append(s.Entities, leaf)
+		s.ForeignKeys = append(s.ForeignKeys, model.ForeignKey{
+			FromEntity: leaf.Name, FromColumns: []string{fmt.Sprintf("l%d_id", c)}, ToEntity: hub.Name,
+		})
+	}
+	sum, _, err := Summarize(s, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Entity("hub0") == nil || sum.Entity("hub1") == nil {
+		names := []string{}
+		for _, e := range sum.Entities {
+			names = append(names, e.Name)
+		}
+		t.Errorf("coverage rule failed, kept %v", names)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	s := star(3)
+	// K ≥ entities: identity clone.
+	sum, scores, err := Summarize(s, Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.NumEntities() != s.NumEntities() || sum.Fingerprint() != s.Fingerprint() {
+		t.Error("identity summary changed structure")
+	}
+	for _, sc := range scores {
+		if !sc.Selected {
+			t.Error("identity summary must select everything")
+		}
+	}
+	// Bad K.
+	if _, _, err := Summarize(s, Options{}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	// Containment parent elision: child kept, parent dropped → floats.
+	h := &model.Schema{Name: "h", Entities: []*model.Entity{
+		{Name: "root", Attributes: []*model.Attribute{{Name: "r"}}},
+		{Name: "mid", Parent: "root", Attributes: []*model.Attribute{{Name: "m1"}, {Name: "m2"}, {Name: "m3"}, {Name: "m4"}}},
+		{Name: "leaf", Parent: "mid", Attributes: []*model.Attribute{{Name: "l1"}, {Name: "l2"}, {Name: "l3"}}},
+	}}
+	sum, _, err = Summarize(h, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sum.Validate(); err != nil {
+		t.Fatalf("summary with elided parent invalid: %v", err)
+	}
+}
+
+func TestSummarizeGeneratedCorpus(t *testing.T) {
+	for _, s := range webtables.GenerateRelational(13, 30) {
+		k := 2
+		sum, _, err := Summarize(s, Options{K: k})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if sum.NumEntities() != min(k, s.NumEntities()) {
+			t.Errorf("%s: entities = %d", s.Name, sum.NumEntities())
+		}
+		if err := sum.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+	for _, s := range webtables.GenerateHierarchical(14, 20) {
+		sum, _, err := Summarize(s, Options{K: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if err := sum.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,152 @@
+// Package svg renders computed layouts as standalone SVG documents — the
+// stdlib substitute for the demo's Flash (Flex + Flare) client. The visual
+// encodings match the paper's Figure 2: node color corresponds to schema
+// element type (schema root, entity, attribute), match quality shades the
+// node fill, collapsed nodes advertise their hidden descendants, and
+// foreign-key edges render dashed so structure and reference links read
+// differently.
+package svg
+
+import (
+	"fmt"
+	"strings"
+
+	"schemr/internal/graphml"
+	"schemr/internal/layout"
+)
+
+// Palette maps element kinds to fill colors. The zero Options uses
+// DefaultPalette.
+type Palette struct {
+	Schema    string
+	Entity    string
+	Attribute string
+	Edge      string
+	FKEdge    string
+	Text      string
+	MatchRing string
+}
+
+// DefaultPalette is a readable default.
+var DefaultPalette = Palette{
+	Schema:    "#4a6fa5",
+	Entity:    "#e8a33d",
+	Attribute: "#7cb342",
+	Edge:      "#9e9e9e",
+	FKEdge:    "#c62828",
+	Text:      "#212121",
+	MatchRing: "#1565c0",
+}
+
+// Options tunes rendering.
+type Options struct {
+	Palette *Palette
+	// NodeRadius is the circle radius; default 12.
+	NodeRadius float64
+	// FontSize for labels; default 11.
+	FontSize float64
+}
+
+func (o *Options) defaults() {
+	if o.Palette == nil {
+		o.Palette = &DefaultPalette
+	}
+	if o.NodeRadius == 0 {
+		o.NodeRadius = 12
+	}
+	if o.FontSize == 0 {
+		o.FontSize = 11
+	}
+}
+
+// Render draws a layout as an SVG document.
+func Render(l *layout.Layout, opts Options) string {
+	opts.defaults()
+	p := opts.Palette
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		l.Width, l.Height+20, l.Width, l.Height+20)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+
+	// Edges under nodes.
+	for _, e := range l.Edges {
+		a, b := l.Places[e.From], l.Places[e.To]
+		if e.Type == graphml.EdgeFK {
+			fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1.2" stroke-dasharray="5,3"/>`+"\n",
+				a.X, a.Y, b.X, b.Y, p.FKEdge)
+		} else {
+			fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n",
+				a.X, a.Y, b.X, b.Y, p.Edge)
+		}
+	}
+
+	for _, pl := range l.Places {
+		fill := p.Attribute
+		switch pl.Node.Kind {
+		case "schema":
+			fill = p.Schema
+		case "entity":
+			fill = p.Entity
+		}
+		r := opts.NodeRadius
+		if pl.Node.Kind == "attribute" {
+			r = opts.NodeRadius * 0.75
+		}
+		// Match quality: scored nodes get a ring whose width scales with
+		// the score, and their fill opacity tracks the score too.
+		if pl.Node.HasScore {
+			ring := 1.5 + 3*pl.Node.Score
+			fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" stroke="%s" stroke-width="%.1f" fill-opacity="%.2f"/>`+"\n",
+				pl.X, pl.Y, r, fill, p.MatchRing, ring, 0.35+0.65*pl.Node.Score)
+		} else {
+			fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" fill-opacity="0.9"/>`+"\n",
+				pl.X, pl.Y, r, fill)
+		}
+		label := escape(pl.Node.Label)
+		if pl.Collapsed {
+			label = fmt.Sprintf("%s [+%d]", label, pl.HiddenDescendants)
+		}
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="%.0f" font-family="sans-serif" text-anchor="middle" fill="%s">%s</text>`+"\n",
+			pl.X, pl.Y+r+opts.FontSize, opts.FontSize, p.Text, label)
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+// RenderSideBySide lays several rendered schemas out horizontally in one
+// SVG — the paper's side-by-side schema comparison workspace.
+func RenderSideBySide(layouts []*layout.Layout, opts Options) string {
+	opts.defaults()
+	totalW, maxH := 0.0, 0.0
+	for _, l := range layouts {
+		totalW += l.Width + 20
+		if l.Height > maxH {
+			maxH = l.Height
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f">`+"\n", totalW, maxH+40)
+	x := 0.0
+	for _, l := range layouts {
+		inner := Render(l, opts)
+		// Strip the inner document wrapper and translate into place.
+		body := inner
+		if i := strings.Index(body, ">\n"); i >= 0 {
+			body = body[i+2:]
+		}
+		body = strings.TrimSuffix(body, "</svg>\n")
+		fmt.Fprintf(&sb, `<g transform="translate(%.1f,10)">`+"\n", x)
+		sb.WriteString(body)
+		sb.WriteString("</g>\n")
+		x += l.Width + 20
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}

@@ -1,0 +1,150 @@
+package svg
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"schemr/internal/graphml"
+	"schemr/internal/layout"
+	"schemr/internal/model"
+)
+
+func testLayout(t *testing.T, scores map[string]float64) *layout.Layout {
+	t.Helper()
+	s := &model.Schema{
+		Name: "clinic",
+		Entities: []*model.Entity{
+			{Name: "patient", Attributes: []*model.Attribute{{Name: "height"}, {Name: "gender"}}},
+			{Name: "case", Attributes: []*model.Attribute{{Name: "diagnosis"}}},
+		},
+		ForeignKeys: []model.ForeignKey{
+			{FromEntity: "case", FromColumns: []string{"diagnosis"}, ToEntity: "patient"},
+		},
+	}
+	g := graphml.FromSchema(s, scores)
+	l, err := layout.Tree(g, layout.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestRenderWellFormed(t *testing.T) {
+	out := Render(testLayout(t, nil), Options{})
+	var probe struct {
+		XMLName xml.Name
+	}
+	if err := xml.Unmarshal([]byte(out), &probe); err != nil {
+		t.Fatalf("svg not well-formed: %v\n%s", err, out)
+	}
+	if probe.XMLName.Local != "svg" {
+		t.Errorf("root = %s", probe.XMLName.Local)
+	}
+}
+
+func TestRenderEncodings(t *testing.T) {
+	out := Render(testLayout(t, map[string]float64{"patient.height": 0.9}), Options{})
+	// Kind colors present.
+	for _, color := range []string{DefaultPalette.Schema, DefaultPalette.Entity, DefaultPalette.Attribute} {
+		if !strings.Contains(out, color) {
+			t.Errorf("color %s missing", color)
+		}
+	}
+	// FK edge dashed.
+	if !strings.Contains(out, "stroke-dasharray") {
+		t.Error("fk edge not dashed")
+	}
+	// Scored node gets the match ring.
+	if !strings.Contains(out, DefaultPalette.MatchRing) {
+		t.Error("match ring missing")
+	}
+	// Labels rendered.
+	for _, label := range []string{"clinic", "patient", "height", "diagnosis"} {
+		if !strings.Contains(out, ">"+label+"<") {
+			t.Errorf("label %q missing", label)
+		}
+	}
+	// Unscored render must not contain the ring.
+	plain := Render(testLayout(t, nil), Options{})
+	if strings.Contains(plain, DefaultPalette.MatchRing) {
+		t.Error("plain render has match ring")
+	}
+}
+
+func TestRenderEscapesLabels(t *testing.T) {
+	s := &model.Schema{
+		Name: "we<ird & names",
+		Entities: []*model.Entity{
+			{Name: "a<b", Attributes: []*model.Attribute{{Name: "x&y"}}},
+		},
+	}
+	g := graphml.FromSchema(s, nil)
+	l, err := layout.Tree(g, layout.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Render(l, Options{})
+	var probe struct{ XMLName xml.Name }
+	if err := xml.Unmarshal([]byte(out), &probe); err != nil {
+		t.Fatalf("svg with hostile labels not well-formed: %v", err)
+	}
+	if strings.Contains(out, "a<b<") {
+		t.Error("unescaped label")
+	}
+}
+
+func TestRenderCollapsedMarker(t *testing.T) {
+	s := &model.Schema{Name: "deep"}
+	parent := ""
+	for i := 0; i <= 4; i++ {
+		name := "l" + string(rune('0'+i))
+		s.Entities = append(s.Entities, &model.Entity{Name: name, Parent: parent,
+			Attributes: []*model.Attribute{{Name: name + "x"}}})
+		parent = name
+	}
+	g := graphml.FromSchema(s, nil)
+	l, err := layout.Tree(g, layout.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Render(l, Options{})
+	if !strings.Contains(out, "[+") {
+		t.Error("collapsed marker missing")
+	}
+}
+
+func TestRenderSideBySide(t *testing.T) {
+	a := testLayout(t, nil)
+	b := testLayout(t, map[string]float64{"patient.height": 0.5})
+	out := RenderSideBySide([]*layout.Layout{a, b}, Options{})
+	var probe struct{ XMLName xml.Name }
+	if err := xml.Unmarshal([]byte(out), &probe); err != nil {
+		t.Fatalf("side-by-side not well-formed: %v", err)
+	}
+	if strings.Count(out, ">clinic<") != 2 {
+		t.Error("expected two schema roots side by side")
+	}
+	if !strings.Contains(out, "translate(") {
+		t.Error("second layout not translated")
+	}
+}
+
+func TestRadialRenders(t *testing.T) {
+	s := &model.Schema{
+		Name: "r",
+		Entities: []*model.Entity{
+			{Name: "a", Attributes: []*model.Attribute{{Name: "x"}, {Name: "y"}}},
+		},
+	}
+	g := graphml.FromSchema(s, nil)
+	l, err := layout.Radial(g, layout.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Render(l, Options{})
+	var probe struct{ XMLName xml.Name }
+	if err := xml.Unmarshal([]byte(out), &probe); err != nil {
+		t.Fatalf("radial svg not well-formed: %v", err)
+	}
+}

@@ -1,0 +1,254 @@
+package webtables
+
+// domain is a generation template: a subject area with table archetypes
+// whose column pools mimic the headers found in public HTML tables. The
+// paper's corpus spans "many domains"; these templates drive both the flat
+// web-table generator and the composite relational/hierarchical generators.
+type domain struct {
+	name       string
+	archetypes []archetype
+}
+
+// archetype is one kind of table within a domain. Core columns appear in
+// (almost) every instance; optional columns are sampled, mimicking the
+// Zipfian popularity of web-table attributes.
+type archetype struct {
+	name     string
+	core     []string
+	optional []string
+}
+
+var domains = []domain{
+	{"health", []archetype{
+		{"patient", []string{"patient id", "name", "gender", "dob"},
+			[]string{"height", "weight", "blood type", "phone", "address", "insurance", "emergency contact", "marital status", "occupation", "ethnicity"}},
+		{"case", []string{"case id", "patient", "diagnosis"},
+			[]string{"doctor", "admission date", "discharge date", "ward", "severity", "outcome", "notes", "followup"}},
+		{"doctor", []string{"doctor id", "name", "specialty"},
+			[]string{"gender", "department", "phone", "pager", "license number", "years experience"}},
+		{"prescription", []string{"prescription id", "patient", "drug", "dose"},
+			[]string{"frequency", "route", "start date", "end date", "prescriber", "refills"}},
+		{"lab result", []string{"test", "value", "unit"},
+			[]string{"patient", "reference range", "collected at", "flag", "lab", "ordered by"}},
+	}},
+	{"environment", []archetype{
+		{"monitoring site", []string{"site id", "name", "latitude", "longitude"},
+			[]string{"elevation", "habitat", "county", "steward", "established", "protected status"}},
+		{"observation", []string{"site", "species", "count", "date"},
+			[]string{"observer", "method", "weather", "confidence", "lifecycle stage", "notes"}},
+		{"species", []string{"species id", "common name", "scientific name"},
+			[]string{"family", "genus", "conservation status", "native", "habitat type"}},
+		{"water sample", []string{"sample id", "site", "ph", "temperature"},
+			[]string{"dissolved oxygen", "turbidity", "nitrates", "phosphates", "collected by", "depth"}},
+	}},
+	{"retail", []archetype{
+		{"product", []string{"sku", "name", "price"},
+			[]string{"category", "brand", "description", "weight", "color", "size", "stock", "supplier", "rating"}},
+		{"order", []string{"order id", "customer", "date", "total"},
+			[]string{"status", "shipping address", "billing address", "payment method", "discount", "tax", "carrier"}},
+		{"customer", []string{"customer id", "name", "email"},
+			[]string{"phone", "address", "city", "country", "loyalty tier", "signup date"}},
+		{"order item", []string{"order", "sku", "quantity", "unit price"},
+			[]string{"discount", "tax", "gift wrap", "status"}},
+	}},
+	{"education", []archetype{
+		{"student", []string{"student id", "name", "grade"},
+			[]string{"dob", "gender", "homeroom", "guardian", "phone", "address", "enrollment date", "gpa"}},
+		{"course", []string{"course id", "title", "credits"},
+			[]string{"department", "instructor", "term", "capacity", "room", "schedule", "prerequisites"}},
+		{"enrollment", []string{"student", "course", "term"},
+			[]string{"grade", "status", "credits earned", "attendance"}},
+		{"teacher", []string{"teacher id", "name", "subject"},
+			[]string{"department", "email", "room", "tenure", "certifications"}},
+	}},
+	{"finance", []archetype{
+		{"account", []string{"account number", "holder", "balance"},
+			[]string{"type", "currency", "opened", "branch", "status", "interest rate", "overdraft limit"}},
+		{"transaction", []string{"transaction id", "account", "amount", "date"},
+			[]string{"type", "merchant", "category", "balance after", "reference", "channel"}},
+		{"loan", []string{"loan id", "borrower", "principal", "rate"},
+			[]string{"term months", "start date", "status", "collateral", "monthly payment", "remaining balance"}},
+	}},
+	{"sports", []archetype{
+		{"player", []string{"name", "team", "position"},
+			[]string{"number", "height", "weight", "age", "nationality", "salary", "college", "draft year"}},
+		{"team", []string{"team", "city", "league"},
+			[]string{"coach", "stadium", "founded", "championships", "division", "owner"}},
+		{"game", []string{"date", "home team", "away team", "score"},
+			[]string{"venue", "attendance", "referee", "season", "overtime", "broadcast"}},
+		{"standings", []string{"team", "wins", "losses"},
+			[]string{"ties", "points", "games back", "streak", "home record", "away record"}},
+	}},
+	{"geography", []archetype{
+		{"country", []string{"country", "capital", "population"},
+			[]string{"area", "continent", "currency", "language", "gdp", "iso code", "timezone"}},
+		{"city", []string{"city", "country", "population"},
+			[]string{"latitude", "longitude", "elevation", "mayor", "founded", "area", "density"}},
+		{"river", []string{"name", "length", "outflow"},
+			[]string{"source", "countries", "discharge", "basin area"}},
+	}},
+	{"library", []archetype{
+		{"book", []string{"isbn", "title", "author"},
+			[]string{"publisher", "year", "pages", "language", "genre", "edition", "shelf", "copies"}},
+		{"member", []string{"member id", "name", "joined"},
+			[]string{"email", "phone", "address", "status", "fines due"}},
+		{"loan", []string{"book", "member", "due date"},
+			[]string{"checked out", "returned", "renewals", "fine"}},
+	}},
+	{"transport", []archetype{
+		{"flight", []string{"flight number", "origin", "destination", "departure"},
+			[]string{"arrival", "airline", "aircraft", "gate", "status", "duration", "price"}},
+		{"vehicle", []string{"vin", "make", "model", "year"},
+			[]string{"color", "mileage", "owner", "plate", "fuel type", "transmission", "price"}},
+		{"route", []string{"route id", "origin", "destination"},
+			[]string{"distance", "duration", "stops", "operator", "frequency", "fare"}},
+	}},
+	{"hr", []archetype{
+		{"employee", []string{"employee id", "name", "department"},
+			[]string{"title", "manager", "hire date", "salary", "email", "phone", "office", "status"}},
+		{"department", []string{"department id", "name", "head"},
+			[]string{"budget", "headcount", "location", "cost center"}},
+		{"payroll", []string{"employee", "period", "gross pay"},
+			[]string{"net pay", "tax", "benefits", "overtime", "bonus"}},
+	}},
+	{"real estate", []archetype{
+		{"listing", []string{"address", "price", "bedrooms"},
+			[]string{"bathrooms", "square feet", "lot size", "year built", "agent", "status", "hoa fee", "days on market"}},
+		{"agent", []string{"agent id", "name", "agency"},
+			[]string{"phone", "email", "license", "sales volume", "region"}},
+	}},
+	{"weather", []archetype{
+		{"daily weather", []string{"date", "station", "high", "low"},
+			[]string{"precipitation", "humidity", "wind speed", "wind direction", "pressure", "conditions", "snowfall"}},
+		{"station", []string{"station id", "name", "latitude", "longitude"},
+			[]string{"elevation", "state", "operator", "commissioned"}},
+	}},
+	{"music", []archetype{
+		{"album", []string{"title", "artist", "year"},
+			[]string{"label", "genre", "tracks", "length", "producer", "chart peak", "certification"}},
+		{"track", []string{"title", "album", "duration"},
+			[]string{"artist", "track number", "writer", "plays", "explicit"}},
+		{"concert", []string{"artist", "venue", "date"},
+			[]string{"city", "tour", "attendance", "revenue", "opener", "setlist length"}},
+	}},
+	{"food", []archetype{
+		{"recipe", []string{"name", "cuisine", "servings"},
+			[]string{"prep time", "cook time", "calories", "difficulty", "author", "rating", "course"}},
+		{"ingredient", []string{"recipe", "ingredient", "amount"},
+			[]string{"unit", "preparation", "optional", "substitute"}},
+		{"restaurant", []string{"name", "cuisine", "city"},
+			[]string{"address", "phone", "rating", "price range", "seats", "owner", "opened"}},
+	}},
+	{"research", []archetype{
+		{"publication", []string{"title", "authors", "year", "venue"},
+			[]string{"doi", "pages", "citations", "abstract", "keywords", "volume", "issue"}},
+		{"grant", []string{"grant id", "pi", "amount"},
+			[]string{"agency", "start date", "end date", "institution", "program", "status"}},
+		{"dataset", []string{"name", "source", "records"},
+			[]string{"format", "license", "updated", "size", "url", "domain"}},
+	}},
+	{"government", []archetype{
+		{"permit", []string{"permit number", "applicant", "type", "status"},
+			[]string{"issued", "expires", "address", "fee", "inspector", "conditions"}},
+		{"election result", []string{"candidate", "party", "votes"},
+			[]string{"district", "percent", "incumbent", "office", "year"}},
+		{"budget line", []string{"department", "program", "amount"},
+			[]string{"fiscal year", "category", "fund", "change from prior"}},
+	}},
+	{"energy", []archetype{
+		{"meter reading", []string{"meter id", "reading", "date"},
+			[]string{"customer", "usage", "unit", "estimated", "reader"}},
+		{"power plant", []string{"name", "type", "capacity"},
+			[]string{"operator", "commissioned", "location", "fuel", "emissions", "efficiency"}},
+	}},
+	{"agriculture", []archetype{
+		{"field", []string{"field id", "crop", "acres"},
+			[]string{"soil type", "irrigation", "planted", "expected yield", "owner", "county"}},
+		{"harvest", []string{"field", "date", "yield"},
+			[]string{"moisture", "grade", "price", "buyer", "storage"}},
+		{"livestock", []string{"tag", "species", "breed"},
+			[]string{"dob", "weight", "sex", "pasture", "vaccinations", "sire", "dam"}},
+	}},
+	{"events", []archetype{
+		{"event", []string{"name", "date", "venue"},
+			[]string{"organizer", "capacity", "tickets sold", "price", "category", "sponsor", "status"}},
+		{"registration", []string{"event", "attendee", "ticket type"},
+			[]string{"paid", "registered at", "dietary", "company", "checked in"}},
+	}},
+	{"it", []archetype{
+		{"server", []string{"hostname", "ip address", "os"},
+			[]string{"cpu", "memory", "disk", "rack", "owner", "environment", "status", "purchased"}},
+		{"incident", []string{"incident id", "severity", "opened"},
+			[]string{"assignee", "service", "status", "resolved", "root cause", "duration"}},
+		{"software license", []string{"product", "vendor", "seats"},
+			[]string{"expires", "cost", "owner", "key", "support level"}},
+	}},
+	{"astronomy", []archetype{
+		{"star", []string{"name", "constellation", "magnitude"},
+			[]string{"distance", "spectral class", "right ascension", "declination", "mass", "radius"}},
+		{"observation log", []string{"object", "date", "telescope"},
+			[]string{"observer", "seeing", "exposure", "filter", "notes"}},
+	}},
+	{"manufacturing", []archetype{
+		{"work order", []string{"order number", "product", "quantity", "due date"},
+			[]string{"line", "shift", "status", "priority", "supervisor", "scrap"}},
+		{"machine", []string{"machine id", "type", "location"},
+			[]string{"manufacturer", "installed", "last service", "uptime", "operator"}},
+		{"defect", []string{"defect id", "product", "category"},
+			[]string{"severity", "detected", "station", "disposition", "root cause"}},
+	}},
+	{"insurance", []archetype{
+		{"policy", []string{"policy number", "holder", "type", "premium"},
+			[]string{"start date", "end date", "deductible", "coverage", "agent", "status"}},
+		{"claim", []string{"claim number", "policy", "amount", "filed"},
+			[]string{"status", "adjuster", "incident date", "paid", "reserve", "description"}},
+	}},
+	{"logistics", []archetype{
+		{"shipment", []string{"tracking number", "origin", "destination", "weight"},
+			[]string{"carrier", "service level", "shipped", "delivered", "pieces", "declared value"}},
+		{"warehouse", []string{"warehouse id", "name", "city"},
+			[]string{"capacity", "manager", "docks", "square feet", "zone"}},
+		{"inventory", []string{"sku", "warehouse", "on hand"},
+			[]string{"reserved", "reorder point", "bin", "last counted", "unit cost"}},
+	}},
+	{"social", []archetype{
+		{"user profile", []string{"username", "joined", "followers"},
+			[]string{"bio", "location", "website", "posts", "verified", "last active"}},
+		{"post", []string{"post id", "author", "posted"},
+			[]string{"likes", "shares", "replies", "language", "hashtags"}},
+	}},
+	{"hospitality", []archetype{
+		{"hotel", []string{"name", "city", "stars"},
+			[]string{"rooms", "rate", "manager", "amenities", "opened", "chain"}},
+		{"reservation", []string{"confirmation", "guest", "check in", "check out"},
+			[]string{"room type", "rate", "adults", "children", "status", "channel"}},
+	}},
+	{"telecom", []archetype{
+		{"subscriber", []string{"account number", "name", "plan"},
+			[]string{"phone", "activated", "status", "data allowance", "contract end"}},
+		{"call record", []string{"caller", "callee", "duration", "started"},
+			[]string{"type", "cell", "charge", "roaming"}},
+	}},
+	{"legal", []archetype{
+		{"case file", []string{"docket number", "parties", "filed"},
+			[]string{"court", "judge", "status", "next hearing", "category", "attorney"}},
+		{"contract", []string{"contract id", "counterparty", "value"},
+			[]string{"effective", "expires", "owner", "status", "renewal", "governing law"}},
+	}},
+}
+
+// abbreviations maps full words to the abbreviated forms seen in real
+// headers; the noise model substitutes these to exercise the name matcher's
+// n-gram robustness.
+var abbreviations = map[string]string{
+	"patient": "pt", "height": "hght", "weight": "wt", "gender": "gndr",
+	"diagnosis": "dx", "prescription": "rx", "doctor": "dr", "number": "num",
+	"quantity": "qty", "address": "addr", "department": "dept", "employee": "emp",
+	"customer": "cust", "account": "acct", "transaction": "txn", "amount": "amt",
+	"average": "avg", "temperature": "temp", "latitude": "lat", "longitude": "lon",
+	"population": "pop", "manager": "mgr", "date": "dt", "identifier": "id",
+	"description": "desc", "category": "cat", "reference": "ref", "percent": "pct",
+	"minimum": "min", "maximum": "max", "student": "stu", "professor": "prof",
+	"organization": "org", "government": "govt", "international": "intl",
+	"miscellaneous": "misc", "received": "rcvd", "required": "reqd",
+}

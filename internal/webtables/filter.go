@@ -1,0 +1,190 @@
+package webtables
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"schemr/internal/model"
+	"schemr/internal/text"
+)
+
+// Verdict is the filter pipeline's decision for one raw table.
+type Verdict int
+
+const (
+	// Keep: the table becomes a corpus schema.
+	Keep Verdict = iota
+	// DropNonAlphabetic: a column contains non-alphabetical characters
+	// (rule 1 of the paper's filter).
+	DropNonAlphabetic
+	// DropSingleton: the schema appeared only once on the web (rule 2).
+	DropSingleton
+	// DropTrivial: the schema has three or fewer elements (rule 3).
+	DropTrivial
+	// DropDuplicate: a structurally identical schema was already kept; the
+	// corpus stores one copy with an occurrence count.
+	DropDuplicate
+)
+
+// String names the verdict for reports.
+func (v Verdict) String() string {
+	switch v {
+	case Keep:
+		return "keep"
+	case DropNonAlphabetic:
+		return "non-alphabetic"
+	case DropSingleton:
+		return "singleton"
+	case DropTrivial:
+		return "trivial"
+	case DropDuplicate:
+		return "duplicate"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// FilterStats is the corpus funnel: how many raw tables each rule removed.
+// Rules apply in the paper's order; each table is charged to the first rule
+// that rejects it.
+type FilterStats struct {
+	Raw           int
+	NonAlphabetic int
+	Singleton     int
+	Trivial       int
+	Duplicate     int
+	Retained      int
+}
+
+// RetentionRate is Retained/Raw (0 when empty). The paper's funnel is
+// 10M → 30k ≈ 0.3%; the default generator lands in the same regime.
+func (fs FilterStats) RetentionRate() float64 {
+	if fs.Raw == 0 {
+		return 0
+	}
+	return float64(fs.Retained) / float64(fs.Raw)
+}
+
+// String renders the funnel as one report line.
+func (fs FilterStats) String() string {
+	return fmt.Sprintf("raw=%d nonalpha=%d singleton=%d trivial=%d duplicate=%d retained=%d (%.2f%%)",
+		fs.Raw, fs.NonAlphabetic, fs.Singleton, fs.Trivial, fs.Duplicate, fs.Retained, 100*fs.RetentionRate())
+}
+
+// fingerprint identifies a logical schema for occurrence counting and
+// deduplication: the normalized caption plus the sorted normalized column
+// names, hashed to 64 bits so web-scale counting stays in memory.
+func fingerprint(t RawTable) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(text.Normalize(t.Caption)))
+	h.Write([]byte{0})
+	cols := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		cols[i] = text.Normalize(c)
+	}
+	sort.Strings(cols)
+	for _, c := range cols {
+		h.Write([]byte(c))
+		h.Write([]byte{1})
+	}
+	return h.Sum64()
+}
+
+// Pipeline is the two-pass streaming filter. First pass: Count every table.
+// Second pass: Classify every table (in any order); Keep verdicts should be
+// converted with ToSchema. Filter wraps both passes for in-memory corpora.
+type Pipeline struct {
+	counts map[uint64]int
+	kept   map[uint64]bool
+	Stats  FilterStats
+}
+
+// NewPipeline returns an empty pipeline.
+func NewPipeline() *Pipeline {
+	return &Pipeline{
+		counts: make(map[uint64]int),
+		kept:   make(map[uint64]bool),
+	}
+}
+
+// Count records one crawl occurrence of the table (first pass).
+func (p *Pipeline) Count(t RawTable) {
+	p.counts[fingerprint(t)]++
+}
+
+// Occurrences returns how many times the table's logical schema was seen
+// during the count pass.
+func (p *Pipeline) Occurrences(t RawTable) int {
+	return p.counts[fingerprint(t)]
+}
+
+// Classify applies the paper's three filter rules plus deduplication to one
+// table (second pass) and updates Stats.
+func (p *Pipeline) Classify(t RawTable) Verdict {
+	p.Stats.Raw++
+	for _, c := range t.Columns {
+		if !text.IsAlphabetic(c) {
+			p.Stats.NonAlphabetic++
+			return DropNonAlphabetic
+		}
+	}
+	fp := fingerprint(t)
+	if p.counts[fp] <= 1 {
+		p.Stats.Singleton++
+		return DropSingleton
+	}
+	if len(t.Columns) <= 3 {
+		p.Stats.Trivial++
+		return DropTrivial
+	}
+	if p.kept[fp] {
+		p.Stats.Duplicate++
+		return DropDuplicate
+	}
+	p.kept[fp] = true
+	p.Stats.Retained++
+	return Keep
+}
+
+// ToSchema converts a kept raw table into a corpus schema: one entity named
+// after the caption whose attributes are the columns, with crawl provenance
+// and the occurrence count in the description.
+func (p *Pipeline) ToSchema(t RawTable) *model.Schema {
+	entName := strings.TrimSpace(t.Caption)
+	if entName == "" {
+		entName = "table"
+	}
+	ent := &model.Entity{Name: entName}
+	for _, c := range t.Columns {
+		name := strings.TrimSpace(c)
+		if name == "" || ent.Attribute(name) != nil {
+			continue
+		}
+		ent.Attributes = append(ent.Attributes, &model.Attribute{Name: name})
+	}
+	return &model.Schema{
+		Name:        entName,
+		Description: fmt.Sprintf("web table schema appearing %d times on the web", p.Occurrences(t)),
+		Source:      t.URL,
+		Format:      "webtable",
+		Entities:    []*model.Entity{ent},
+	}
+}
+
+// Filter runs the full two-pass pipeline over an in-memory crawl and
+// returns the retained schemas in first-seen order plus the funnel stats.
+func Filter(tables []RawTable) ([]*model.Schema, FilterStats) {
+	p := NewPipeline()
+	for _, t := range tables {
+		p.Count(t)
+	}
+	var out []*model.Schema
+	for _, t := range tables {
+		if p.Classify(t) == Keep {
+			out = append(out, p.ToSchema(t))
+		}
+	}
+	return out, p.Stats
+}

@@ -1,0 +1,40 @@
+package webtables
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzExtractTables exercises the HTML table scanner with arbitrary
+// markup: it must never panic, and re-rendering whatever it extracted must
+// extract back to the same tables (render∘extract is a fixed point).
+func FuzzExtractTables(f *testing.F) {
+	seeds := []string{
+		"<table><tr><th>a</th><th>b</th></tr></table>",
+		"<TABLE class=x><CAPTION>c</CAPTION><tr><td>one<td>two</table>",
+		"<table><caption>outer</caption><tr><th>x</th></tr></table><table><tr><th>y</th></tr></table>",
+		"<p>no tables</p>",
+		"<table><tr><th>&amp;&lt;&gt;</th></tr></table>",
+		"<table><tr><th>unclosed",
+		"<!-- comment --><table><tr><th>a</th>",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		tables := ExtractTables(src)
+		for _, tb := range tables {
+			if len(tb.Columns) == 0 {
+				t.Fatalf("extracted table with no columns from %q", src)
+			}
+			again := ExtractTables(RenderHTML(tb))
+			if len(again) != 1 {
+				t.Fatalf("re-render of %+v extracted %d tables", tb, len(again))
+			}
+			if again[0].Caption != tb.Caption || !reflect.DeepEqual(again[0].Columns, tb.Columns) {
+				t.Fatalf("render/extract not a fixed point: %+v vs %+v", tb, again[0])
+			}
+		}
+	})
+}

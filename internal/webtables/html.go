@@ -1,0 +1,170 @@
+package webtables
+
+import (
+	"strings"
+)
+
+// RenderHTML renders a raw table as the HTML snippet a crawler would see: a
+// <table> with an optional <caption> and a header row of <th> cells.
+func RenderHTML(t RawTable) string {
+	var sb strings.Builder
+	sb.WriteString("<table>\n")
+	if t.Caption != "" {
+		sb.WriteString("  <caption>")
+		sb.WriteString(escape(t.Caption))
+		sb.WriteString("</caption>\n")
+	}
+	sb.WriteString("  <tr>")
+	for _, c := range t.Columns {
+		sb.WriteString("<th>")
+		sb.WriteString(escape(c))
+		sb.WriteString("</th>")
+	}
+	sb.WriteString("</tr>\n")
+	sb.WriteString("  <tr>")
+	for range t.Columns {
+		sb.WriteString("<td>...</td>")
+	}
+	sb.WriteString("</tr>\n</table>\n")
+	return sb.String()
+}
+
+// ExtractTables scans an HTML document for tables and extracts each one's
+// caption and header row — the schema-extraction step of the WebTables
+// pipeline. It is a forgiving tag scanner, not a full HTML parser: it
+// handles attributes, mixed case tags, missing </tr>, and treats the first
+// row's cells (th or td) as the header. Tables with no cells are skipped.
+func ExtractTables(html string) []RawTable {
+	var out []RawTable
+	s := scanner{src: html}
+	for {
+		if !s.seekTag("table") {
+			return out
+		}
+		t := s.extractTable()
+		if len(t.Columns) > 0 {
+			out = append(out, t)
+		}
+	}
+}
+
+type scanner struct {
+	src string
+	pos int
+}
+
+// seekTag advances past the next opening tag with the given name,
+// returning false at end of input.
+func (s *scanner) seekTag(name string) bool {
+	for {
+		tag, ok := s.nextTag()
+		if !ok {
+			return false
+		}
+		if tag == name {
+			return true
+		}
+	}
+}
+
+// nextTag advances to the next tag and returns its lower-case name;
+// closing tags are returned with a leading '/'.
+func (s *scanner) nextTag() (string, bool) {
+	for s.pos < len(s.src) {
+		i := strings.IndexByte(s.src[s.pos:], '<')
+		if i < 0 {
+			s.pos = len(s.src)
+			return "", false
+		}
+		s.pos += i + 1
+		j := strings.IndexByte(s.src[s.pos:], '>')
+		if j < 0 {
+			s.pos = len(s.src)
+			return "", false
+		}
+		inner := s.src[s.pos : s.pos+j]
+		s.pos += j + 1
+		name := strings.ToLower(strings.TrimSpace(inner))
+		if k := strings.IndexAny(name, " \t\n\r"); k >= 0 {
+			name = name[:k]
+		}
+		if name == "" || strings.HasPrefix(name, "!") {
+			continue // comment or doctype
+		}
+		return name, true
+	}
+	return "", false
+}
+
+// textUntilTag collects text up to the next '<'.
+func (s *scanner) textUntilTag() string {
+	i := strings.IndexByte(s.src[s.pos:], '<')
+	if i < 0 {
+		t := s.src[s.pos:]
+		s.pos = len(s.src)
+		return t
+	}
+	t := s.src[s.pos : s.pos+i]
+	s.pos += i
+	return t
+}
+
+// extractTable consumes the body of a table whose opening tag was just
+// passed, returning its caption and first-row cells.
+func (s *scanner) extractTable() RawTable {
+	var t RawTable
+	headerDone := false
+	inFirstRow := false
+	for {
+		start := s.pos
+		tag, ok := s.nextTag()
+		if !ok {
+			return t
+		}
+		switch tag {
+		case "caption":
+			t.Caption = unescape(strings.TrimSpace(s.textUntilTag()))
+		case "tr":
+			if !headerDone && !inFirstRow {
+				inFirstRow = true
+			} else {
+				headerDone = true
+			}
+		case "/tr":
+			if inFirstRow {
+				headerDone = true
+				inFirstRow = false
+			}
+		case "th", "td":
+			if inFirstRow && !headerDone {
+				cell := unescape(strings.TrimSpace(s.textUntilTag()))
+				if cell != "" {
+					t.Columns = append(t.Columns, cell)
+				}
+			}
+		case "/table":
+			return t
+		case "table":
+			// Nested table: rewind so the outer loop re-enters it after we
+			// finish; simpler: recurse and discard (headers of nested tables
+			// are separate tables found by the next seek).
+			s.pos = start
+			return t
+		}
+	}
+}
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}
+
+func unescape(s string) string {
+	s = strings.ReplaceAll(s, "&lt;", "<")
+	s = strings.ReplaceAll(s, "&gt;", ">")
+	s = strings.ReplaceAll(s, "&nbsp;", " ")
+	s = strings.ReplaceAll(s, "&amp;", "&")
+	return s
+}

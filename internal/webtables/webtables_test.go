@@ -1,0 +1,320 @@
+package webtables
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"schemr/internal/text"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := NewGenerator(Options{Seed: 1, NumTables: 200}).All()
+	b := NewGenerator(Options{Seed: 1, NumTables: 200}).All()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must generate the same corpus")
+	}
+	c := NewGenerator(Options{Seed: 2, NumTables: 200}).All()
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds generated identical corpora")
+	}
+	if len(a) != 200 {
+		t.Fatalf("len = %d", len(a))
+	}
+}
+
+func TestGeneratorShape(t *testing.T) {
+	tables := NewGenerator(Options{Seed: 7, NumTables: 5000}).All()
+	var trivial, nonAlpha int
+	captions := map[string]bool{}
+	for _, tb := range tables {
+		if len(tb.Columns) == 0 {
+			t.Fatal("table with no columns")
+		}
+		if tb.Caption == "" {
+			t.Fatal("table with no caption")
+		}
+		if tb.URL == "" {
+			t.Fatal("table with no url")
+		}
+		captions[tb.Caption] = true
+		if len(tb.Columns) <= 3 {
+			trivial++
+		}
+		for _, c := range tb.Columns {
+			if !text.IsAlphabetic(c) {
+				nonAlpha++
+				break
+			}
+		}
+	}
+	if len(captions) < 20 {
+		t.Errorf("caption diversity too low: %d", len(captions))
+	}
+	// Noise knobs must visibly express themselves.
+	if trivial < 500 || nonAlpha < 300 {
+		t.Errorf("trivial=%d nonAlpha=%d — noise model not expressing", trivial, nonAlpha)
+	}
+}
+
+func TestGeneratorAbbreviationNoise(t *testing.T) {
+	tables := NewGenerator(Options{Seed: 3, NumTables: 5000}).All()
+	found := false
+	for _, tb := range tables {
+		for _, c := range tb.Columns {
+			lc := strings.ToLower(c)
+			if lc == "pt" || strings.Contains(lc, "qty") || strings.Contains(lc, "gndr") || strings.Contains(lc, "dx") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("abbreviation noise never fired in 5000 tables")
+	}
+}
+
+func TestRenderExtractRoundTrip(t *testing.T) {
+	in := RawTable{
+		Caption: "patient <records> & notes",
+		Columns: []string{"patient id", "height", "gender", "a<b"},
+	}
+	html := RenderHTML(in)
+	out := ExtractTables(html)
+	if len(out) != 1 {
+		t.Fatalf("extracted %d tables", len(out))
+	}
+	if out[0].Caption != in.Caption {
+		t.Errorf("caption = %q, want %q", out[0].Caption, in.Caption)
+	}
+	if !reflect.DeepEqual(out[0].Columns, in.Columns) {
+		t.Errorf("columns = %v, want %v", out[0].Columns, in.Columns)
+	}
+}
+
+func TestExtractMessyHTML(t *testing.T) {
+	html := `<html><body>
+	<p>intro</p>
+	<TABLE class="data" border="1">
+	  <CAPTION> standings </CAPTION>
+	  <tr><TH scope="col">team</th><th>wins</th><td>losses</td>
+	  <tr><td>1</td><td>2</td><td>3</td></tr>
+	</TABLE>
+	<table><tr><td></td></tr></table>
+	<table><tr><th>city</th><th>population</th></tr></table>
+	</body></html>`
+	out := ExtractTables(html)
+	if len(out) != 2 {
+		t.Fatalf("extracted %d tables, want 2 (empty one skipped)", len(out))
+	}
+	if out[0].Caption != "standings" {
+		t.Errorf("caption = %q", out[0].Caption)
+	}
+	if !reflect.DeepEqual(out[0].Columns, []string{"team", "wins", "losses"}) {
+		t.Errorf("columns = %v", out[0].Columns)
+	}
+	if !reflect.DeepEqual(out[1].Columns, []string{"city", "population"}) {
+		t.Errorf("columns = %v", out[1].Columns)
+	}
+}
+
+func TestExtractNoTables(t *testing.T) {
+	if out := ExtractTables("<html><p>nothing here</p></html>"); len(out) != 0 {
+		t.Errorf("extracted %v", out)
+	}
+	if out := ExtractTables(""); len(out) != 0 {
+		t.Errorf("extracted %v from empty input", out)
+	}
+	if out := ExtractTables("<table><tr><th>x</th>"); len(out) != 1 {
+		t.Errorf("unclosed table: %v", out)
+	}
+}
+
+func TestViaHTMLMatchesDirect(t *testing.T) {
+	direct := NewGenerator(Options{Seed: 11, NumTables: 300}).All()
+	via := NewGenerator(Options{Seed: 11, NumTables: 300, ViaHTML: true}).All()
+	if len(direct) != len(via) {
+		t.Fatalf("lengths differ: %d vs %d", len(direct), len(via))
+	}
+	for i := range direct {
+		if direct[i].Caption != via[i].Caption || !reflect.DeepEqual(direct[i].Columns, via[i].Columns) {
+			t.Fatalf("table %d differs:\ndirect: %+v\nvia:    %+v", i, direct[i], via[i])
+		}
+	}
+}
+
+func TestFilterRules(t *testing.T) {
+	dup := RawTable{Caption: "patients", Columns: []string{"name", "height", "gender", "dob"}}
+	tables := []RawTable{
+		dup, dup, dup, // appears 3 times → kept once, 2 duplicates
+		{Caption: "prices", Columns: []string{"item", "price ($)", "qty", "note"}}, // rule 1
+		{Caption: "one off", Columns: []string{"alpha", "beta", "gamma", "delta"}}, // rule 2
+		{Caption: "tiny", Columns: []string{"a", "b", "c"}},                        // rule 3 (appears twice)
+		{Caption: "tiny", Columns: []string{"a", "b", "c"}},                        // rule 3
+		{Caption: "teams", Columns: []string{"team", "wins", "losses", "points"}},  // kept
+		{Caption: "teams", Columns: []string{"Team", "Wins", "Losses", "Points"}},  // same normalized → duplicate
+	}
+	schemas, stats := Filter(tables)
+	if stats.Raw != 9 {
+		t.Errorf("raw = %d", stats.Raw)
+	}
+	if stats.NonAlphabetic != 1 {
+		t.Errorf("nonalpha = %d", stats.NonAlphabetic)
+	}
+	if stats.Singleton != 1 {
+		t.Errorf("singleton = %d", stats.Singleton)
+	}
+	if stats.Trivial != 2 {
+		t.Errorf("trivial = %d", stats.Trivial)
+	}
+	if stats.Duplicate != 3 {
+		t.Errorf("duplicate = %d", stats.Duplicate)
+	}
+	if stats.Retained != 2 || len(schemas) != 2 {
+		t.Fatalf("retained = %d, schemas = %d", stats.Retained, len(schemas))
+	}
+	if schemas[0].Name != "patients" || schemas[1].Name != "teams" {
+		t.Errorf("kept schemas: %s, %s", schemas[0].Name, schemas[1].Name)
+	}
+	// Occurrence count lands in the description.
+	if !strings.Contains(schemas[0].Description, "3 times") {
+		t.Errorf("description = %q", schemas[0].Description)
+	}
+	if schemas[0].Format != "webtable" || schemas[0].NumAttributes() != 4 {
+		t.Errorf("schema conversion wrong: %+v", schemas[0])
+	}
+	for _, s := range schemas {
+		if err := s.Validate(); err != nil {
+			t.Errorf("kept schema invalid: %v", err)
+		}
+	}
+	if got := stats.NonAlphabetic + stats.Singleton + stats.Trivial + stats.Duplicate + stats.Retained; got != stats.Raw {
+		t.Errorf("funnel does not add up: %v", stats)
+	}
+}
+
+func TestFilterFunnelAtScale(t *testing.T) {
+	tables := NewGenerator(Options{Seed: 42, NumTables: 50_000}).All()
+	schemas, stats := Filter(tables)
+	if stats.Raw != 50_000 {
+		t.Fatalf("raw = %d", stats.Raw)
+	}
+	rate := stats.RetentionRate()
+	// The paper's funnel retains ~0.3% (10M → 30k); the generator should
+	// land between 0.1% and 5% — aggressive filtering, non-empty corpus.
+	if rate < 0.001 || rate > 0.05 {
+		t.Errorf("retention rate %.4f out of expected regime; stats: %v", rate, stats)
+	}
+	if len(schemas) != stats.Retained {
+		t.Errorf("schemas %d != retained %d", len(schemas), stats.Retained)
+	}
+	// Every retained schema obeys all three rules.
+	for _, s := range schemas {
+		if s.NumAttributes() <= 3 {
+			t.Fatalf("trivial schema retained: %v", s)
+		}
+		for _, e := range s.Entities {
+			for _, a := range e.Attributes {
+				if !text.IsAlphabetic(a.Name) {
+					t.Fatalf("non-alphabetic attribute retained: %q", a.Name)
+				}
+			}
+		}
+	}
+	t.Logf("funnel: %v", stats)
+}
+
+func TestStreamingMatchesBatch(t *testing.T) {
+	opts := Options{Seed: 5, NumTables: 2000}
+	batchSchemas, batchStats := Filter(NewGenerator(opts).All())
+
+	// Two streaming passes with a fresh generator each (deterministic seed).
+	p := NewPipeline()
+	g := NewGenerator(opts)
+	for {
+		tb, ok := g.Next()
+		if !ok {
+			break
+		}
+		p.Count(tb)
+	}
+	g = NewGenerator(opts)
+	var kept int
+	for {
+		tb, ok := g.Next()
+		if !ok {
+			break
+		}
+		if p.Classify(tb) == Keep {
+			kept++
+		}
+	}
+	if p.Stats != batchStats {
+		t.Errorf("streaming stats %v != batch stats %v", p.Stats, batchStats)
+	}
+	if kept != len(batchSchemas) {
+		t.Errorf("streaming kept %d, batch kept %d", kept, len(batchSchemas))
+	}
+}
+
+func TestGenerateRelational(t *testing.T) {
+	schemas := GenerateRelational(9, 50)
+	if len(schemas) != 50 {
+		t.Fatalf("len = %d", len(schemas))
+	}
+	var withFK int
+	for _, s := range schemas {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("invalid: %v\n%+v", err, s)
+		}
+		if s.NumEntities() < 2 {
+			t.Errorf("%s has %d entities", s.Name, s.NumEntities())
+		}
+		if len(s.ForeignKeys) > 0 {
+			withFK++
+		}
+	}
+	if withFK != 50 {
+		t.Errorf("only %d/50 schemas have foreign keys", withFK)
+	}
+	// Determinism.
+	again := GenerateRelational(9, 50)
+	if schemas[0].Fingerprint() != again[0].Fingerprint() {
+		t.Error("not deterministic")
+	}
+}
+
+func TestGenerateHierarchical(t *testing.T) {
+	schemas := GenerateHierarchical(9, 50)
+	if len(schemas) != 50 {
+		t.Fatalf("len = %d", len(schemas))
+	}
+	var withDepth2 int
+	for _, s := range schemas {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("invalid: %v", err)
+		}
+		depth := map[string]int{}
+		for _, e := range s.Entities {
+			if e.Parent != "" {
+				depth[e.Name] = depth[e.Parent] + 1
+				if depth[e.Name] >= 2 {
+					withDepth2++
+				}
+			}
+		}
+	}
+	if withDepth2 == 0 {
+		t.Error("no hierarchical schema has depth ≥ 2; drill-in experiments need deep trees")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	for v, want := range map[Verdict]string{
+		Keep: "keep", DropNonAlphabetic: "non-alphabetic", DropSingleton: "singleton",
+		DropTrivial: "trivial", DropDuplicate: "duplicate", Verdict(99): "verdict(99)",
+	} {
+		if got := v.String(); got != want {
+			t.Errorf("Verdict(%d).String() = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package xsd
+
+import "testing"
+
+// FuzzParse exercises the XSD importer with arbitrary input: no panics;
+// whatever parses must validate and survive an export/import round trip
+// without growing.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		purchaseOrderXSD,
+		`<xs:schema xmlns:xs="x"><xs:element name="a" type="xs:string"/></xs:schema>`,
+		`<schema><element name="p"><complexType><sequence><element name="c" type="int"/></sequence></complexType></element></schema>`,
+		`<xs:schema xmlns:xs="x"><xs:element name="t" type="T"/><xs:complexType name="T"><xs:sequence><xs:element name="t2" type="T"/></xs:sequence></xs:complexType></xs:schema>`,
+		`<xs:schema xmlns:xs="x"><xs:complexType name="Orphan"><xs:attribute name="a" use="required"/></xs:complexType><xs:element name="r"/></xs:schema>`,
+		"",
+		"<html/>",
+		"<xs:schema",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := Parse("fuzz", src)
+		if err != nil {
+			return
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("parsed schema invalid: %v\ninput: %q", verr, src)
+		}
+		printed := Print(s)
+		s2, err := Parse("fuzz", printed)
+		if err != nil {
+			t.Fatalf("export/import round trip failed: %v\nexported: %q", err, printed)
+		}
+		if s2.NumElements() < s.NumElements() {
+			t.Fatalf("round trip lost elements: %d → %d\nexported: %q",
+				s.NumElements(), s2.NumElements(), printed)
+		}
+	})
+}

@@ -1,0 +1,149 @@
+package xsd
+
+import (
+	"fmt"
+	"strings"
+
+	"schemr/internal/model"
+)
+
+// Print renders a schema as an XML Schema document — the export half of
+// the repository's "schema import and export functionality". Top-level
+// entities become global elements with anonymous complex types; nested
+// entities (Entity.Parent) are emitted inline at their nesting site;
+// attributes become simple elements. Print∘Parse is structure-preserving
+// for hierarchical schemas (verified by property test). Relational
+// foreign keys have no direct XSD equivalent and are recorded as
+// xs:appinfo annotations so a round trip through Parse degrades gracefully
+// rather than silently.
+func Print(s *model.Schema) string {
+	var sb strings.Builder
+	sb.WriteString("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n")
+	sb.WriteString(`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">` + "\n")
+
+	children := map[string][]*model.Entity{}
+	var roots []*model.Entity
+	for _, e := range s.Entities {
+		if e.Parent == "" {
+			roots = append(roots, e)
+		} else {
+			children[e.Parent] = append(children[e.Parent], e)
+		}
+	}
+	for _, e := range roots {
+		printEntity(&sb, s, e, children, 1)
+	}
+	sb.WriteString("</xs:schema>\n")
+	return sb.String()
+}
+
+func printEntity(sb *strings.Builder, s *model.Schema, e *model.Entity, children map[string][]*model.Entity, depth int) {
+	ind := strings.Repeat("  ", depth)
+	fmt.Fprintf(sb, "%s<xs:element name=%q>\n", ind, xmlName(e.Name))
+	if e.Documentation != "" || hasFKs(s, e.Name) {
+		fmt.Fprintf(sb, "%s  <xs:annotation>\n", ind)
+		if e.Documentation != "" {
+			fmt.Fprintf(sb, "%s    <xs:documentation>%s</xs:documentation>\n", ind, escapeXML(e.Documentation))
+		}
+		for _, fk := range s.ForeignKeys {
+			if fk.FromEntity != e.Name {
+				continue
+			}
+			fmt.Fprintf(sb, "%s    <xs:appinfo>fk:%s(%s)-&gt;%s(%s)</xs:appinfo>\n", ind,
+				escapeXML(fk.FromEntity), escapeXML(strings.Join(fk.FromColumns, ",")),
+				escapeXML(fk.ToEntity), escapeXML(strings.Join(fk.ToColumns, ",")))
+		}
+		fmt.Fprintf(sb, "%s  </xs:annotation>\n", ind)
+	}
+	fmt.Fprintf(sb, "%s  <xs:complexType>\n", ind)
+	fmt.Fprintf(sb, "%s    <xs:sequence>\n", ind)
+	for _, a := range e.Attributes {
+		min := ""
+		if a.Nullable {
+			min = ` minOccurs="0"`
+		}
+		typ := xsdType(a.Type)
+		if a.Documentation != "" {
+			fmt.Fprintf(sb, "%s      <xs:element name=%q type=%q%s>\n", ind, xmlName(a.Name), typ, min)
+			fmt.Fprintf(sb, "%s        <xs:annotation><xs:documentation>%s</xs:documentation></xs:annotation>\n", ind, escapeXML(a.Documentation))
+			fmt.Fprintf(sb, "%s      </xs:element>\n", ind)
+		} else {
+			fmt.Fprintf(sb, "%s      <xs:element name=%q type=%q%s/>\n", ind, xmlName(a.Name), typ, min)
+		}
+	}
+	for _, c := range children[e.Name] { // declaration order
+		printEntity(sb, s, c, children, depth+3)
+	}
+	fmt.Fprintf(sb, "%s    </xs:sequence>\n", ind)
+	fmt.Fprintf(sb, "%s  </xs:complexType>\n", ind)
+	fmt.Fprintf(sb, "%s</xs:element>\n", ind)
+}
+
+func hasFKs(s *model.Schema, entity string) bool {
+	for _, fk := range s.ForeignKeys {
+		if fk.FromEntity == entity {
+			return true
+		}
+	}
+	return false
+}
+
+// xsdType maps a stored type (SQL or XSD vocabulary) to an XSD builtin.
+func xsdType(t string) string {
+	base := strings.ToLower(t)
+	if i := strings.IndexByte(base, '('); i >= 0 {
+		base = base[:i]
+	}
+	switch strings.TrimSpace(base) {
+	case "int", "integer", "smallint", "bigint", "tinyint", "serial", "long", "short":
+		return "xs:int"
+	case "float", "double", "real", "decimal", "numeric", "money", "double precision":
+		return "xs:decimal"
+	case "date":
+		return "xs:date"
+	case "time":
+		return "xs:time"
+	case "datetime", "timestamp", "timestamp with time zone", "timestamp without time zone":
+		return "xs:dateTime"
+	case "bool", "boolean", "bit":
+		return "xs:boolean"
+	case "":
+		return "xs:string"
+	default:
+		// Already an XSD builtin name? keep its local form.
+		if builtinTypes[localName(t)] {
+			return "xs:" + localName(t)
+		}
+		return "xs:string"
+	}
+}
+
+// xmlName sanitizes an identifier into a valid XML NCName: spaces and
+// punctuation become underscores, a leading digit gains one.
+func xmlName(s string) string {
+	var sb strings.Builder
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_':
+			sb.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				sb.WriteByte('_')
+			}
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	if sb.Len() == 0 {
+		return "_"
+	}
+	return sb.String()
+}
+
+func escapeXML(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}

@@ -1,0 +1,146 @@
+package xsd
+
+import (
+	"strings"
+	"testing"
+
+	"schemr/internal/model"
+	"schemr/internal/webtables"
+)
+
+func TestPrintParseRoundTripHierarchical(t *testing.T) {
+	// Every generated hierarchical schema must survive Print→Parse with
+	// entity tree, parents, and attribute sets intact.
+	for i, s := range webtables.GenerateHierarchical(17, 40) {
+		printed := Print(s)
+		back, err := Parse(s.Name, printed)
+		if err != nil {
+			t.Fatalf("schema %d: reparse failed: %v\n%s", i, err, printed)
+		}
+		if back.NumEntities() != s.NumEntities() {
+			t.Fatalf("schema %d: entities %d → %d\n%s", i, s.NumEntities(), back.NumEntities(), printed)
+		}
+		if back.NumAttributes() != s.NumAttributes() {
+			t.Fatalf("schema %d: attributes %d → %d", i, s.NumAttributes(), back.NumAttributes())
+		}
+		for _, e := range s.Entities {
+			be := back.Entity(xmlName(e.Name))
+			if be == nil {
+				t.Fatalf("schema %d: entity %q lost", i, e.Name)
+			}
+			wantParent := ""
+			if e.Parent != "" {
+				wantParent = xmlName(e.Parent)
+			}
+			if be.Parent != wantParent {
+				t.Fatalf("schema %d: entity %q parent %q → %q", i, e.Name, e.Parent, be.Parent)
+			}
+			for _, a := range e.Attributes {
+				if be.Attribute(xmlName(a.Name)) == nil {
+					t.Fatalf("schema %d: attribute %s.%s lost", i, e.Name, a.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestPrintDocumentationAndTypes(t *testing.T) {
+	s := &model.Schema{
+		Name: "clinic",
+		Entities: []*model.Entity{
+			{Name: "patient", Documentation: "a person <under> care", Attributes: []*model.Attribute{
+				{Name: "id", Type: "INT", Nullable: false},
+				{Name: "height", Type: "FLOAT", Nullable: true},
+				{Name: "dob", Type: "DATE", Documentation: "date of birth"},
+				{Name: "active", Type: "BOOLEAN"},
+				{Name: "notes", Type: ""},
+			}},
+		},
+	}
+	out := Print(s)
+	for _, want := range []string{
+		`type="xs:int"`, `type="xs:decimal"`, `type="xs:date"`, `type="xs:boolean"`, `type="xs:string"`,
+		"a person &lt;under&gt; care", "date of birth", `minOccurs="0"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	back, err := Parse("clinic", out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := back.Entity("patient")
+	if p == nil || p.Documentation != "a person <under> care" {
+		t.Errorf("documentation lost: %+v", p)
+	}
+	if a := p.Attribute("id"); a == nil || a.Nullable {
+		t.Errorf("required attribute became nullable: %+v", a)
+	}
+	if a := p.Attribute("height"); a == nil || !a.Nullable {
+		t.Errorf("nullable attribute lost minOccurs: %+v", a)
+	}
+}
+
+func TestPrintRelationalRecordsFKs(t *testing.T) {
+	s := &model.Schema{
+		Name: "rel",
+		Entities: []*model.Entity{
+			{Name: "case", Attributes: []*model.Attribute{{Name: "patient", Type: "INT"}}},
+			{Name: "patient", Attributes: []*model.Attribute{{Name: "id", Type: "INT"}}},
+		},
+		ForeignKeys: []model.ForeignKey{
+			{FromEntity: "case", FromColumns: []string{"patient"}, ToEntity: "patient", ToColumns: []string{"id"}},
+		},
+	}
+	out := Print(s)
+	if !strings.Contains(out, "fk:case(patient)-&gt;patient(id)") {
+		t.Errorf("fk annotation missing:\n%s", out)
+	}
+	// Round trip keeps both entities even though FKs degrade.
+	back, err := Parse("rel", out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEntities() != 2 {
+		t.Errorf("entities = %d", back.NumEntities())
+	}
+}
+
+func TestXMLNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"patient":    "patient",
+		"order item": "order_item",
+		"2fast":      "_2fast",
+		"price ($)":  "price____",
+		"":           "_",
+		"ALL_CAPS_9": "ALL_CAPS_9",
+	}
+	for in, want := range cases {
+		if got := xmlName(in); got != want {
+			t.Errorf("xmlName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPrintWebTableSchemas(t *testing.T) {
+	// Flat web-table schemas (spacey names, no types) must still export to
+	// well-formed XSD that reimports.
+	flat, _ := webtables.Filter(webtables.NewGenerator(webtables.Options{Seed: 21, NumTables: 4000}).All())
+	if len(flat) == 0 {
+		t.Skip("no retained schemas at this seed")
+	}
+	for _, s := range flat[:min(20, len(flat))] {
+		out := Print(s)
+		if _, err := Parse(s.Name, out); err != nil {
+			t.Fatalf("schema %q: %v\n%s", s.Name, err, out)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

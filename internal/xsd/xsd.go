@@ -1,0 +1,332 @@
+// Package xsd imports XML Schema Definition documents into Schemr's schema
+// graph. The paper's query-by-example flow accepts "a DDL ... or XSD"; XSD
+// is also the natural form of the semi-structured schemas in the corpus.
+//
+// The importer covers the XSD subset that matters for schema search:
+// global and local elements, named and anonymous complex types, sequence /
+// choice / all content models, attributes, element references, and
+// annotation/documentation. Complex content becomes entities; simple-typed
+// elements and XML attributes become attributes; nesting is recorded through
+// Entity.Parent, which the entity graph treats as a relatedness edge just
+// like a foreign key.
+package xsd
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strings"
+
+	"schemr/internal/model"
+)
+
+// Parse parses an XSD document into a schema named name. It fails on
+// malformed XML, on documents whose root is not an XML Schema, and on
+// schemas that declare no elements at all.
+func Parse(name, src string) (*model.Schema, error) {
+	var doc xsdSchema
+	dec := xml.NewDecoder(strings.NewReader(src))
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("xsd: %w", err)
+	}
+	if doc.XMLName.Local != "schema" {
+		return nil, fmt.Errorf("xsd: root element is <%s>, want <schema>", doc.XMLName.Local)
+	}
+	b := &builder{
+		schema: &model.Schema{Name: name, Format: "xsd"},
+		types:  make(map[string]*xsdComplexType, len(doc.ComplexTypes)),
+		used:   make(map[string]bool),
+	}
+	for i := range doc.ComplexTypes {
+		ct := &doc.ComplexTypes[i]
+		if ct.Name != "" {
+			b.types[ct.Name] = ct
+		}
+	}
+	for i := range doc.Elements {
+		el := &doc.Elements[i]
+		if err := b.globalElement(el); err != nil {
+			return nil, err
+		}
+	}
+	// Named complex types never referenced by an element still describe
+	// structure worth indexing; emit them as top-level entities.
+	for i := range doc.ComplexTypes {
+		ct := &doc.ComplexTypes[i]
+		if ct.Name != "" && !b.instantiated[ct.Name] {
+			if _, err := b.entityFor(ct.Name, ct, "", 0, ""); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(b.schema.Entities) == 0 {
+		return nil, fmt.Errorf("xsd: schema %q declares no elements", name)
+	}
+	if err := b.schema.Validate(); err != nil {
+		return nil, fmt.Errorf("xsd: parsed schema invalid: %w", err)
+	}
+	return b.schema, nil
+}
+
+// maxDepth bounds type recursion (an element of type T nested inside T);
+// beyond it the branch is truncated rather than erroring, matching the
+// forgiving import posture.
+const maxDepth = 12
+
+type builder struct {
+	schema       *model.Schema
+	types        map[string]*xsdComplexType
+	used         map[string]bool // entity names already taken
+	instantiated map[string]bool // named types already expanded somewhere
+}
+
+// uniqueName returns base, or base_2, base_3, ... if taken.
+func (b *builder) uniqueName(base string) string {
+	if base == "" {
+		base = "anonymous"
+	}
+	name := base
+	for i := 2; b.used[name]; i++ {
+		name = fmt.Sprintf("%s_%d", base, i)
+	}
+	b.used[name] = true
+	return name
+}
+
+func (b *builder) globalElement(el *xsdElement) error {
+	if el.Name == "" {
+		return fmt.Errorf("xsd: global element without a name")
+	}
+	switch {
+	case el.ComplexType != nil:
+		_, err := b.entityFor(el.Name, el.ComplexType, "", 0, el.doc())
+		return err
+	case el.Type != "":
+		if ct, ok := b.types[localName(el.Type)]; ok {
+			b.markInstantiated(localName(el.Type))
+			_, err := b.entityFor(el.Name, ct, "", 0, el.doc())
+			return err
+		}
+		// Global element of a simple type: model as a one-attribute entity
+		// so it is still searchable.
+		ename := b.uniqueName(el.Name)
+		b.schema.Entities = append(b.schema.Entities, &model.Entity{
+			Name:          ename,
+			Documentation: el.doc(),
+			Attributes:    []*model.Attribute{{Name: el.Name, Type: localName(el.Type), Nullable: el.optional()}},
+		})
+		return nil
+	default:
+		// <xs:element name="x"/> with no type: empty entity.
+		ename := b.uniqueName(el.Name)
+		b.schema.Entities = append(b.schema.Entities, &model.Entity{Name: ename, Documentation: el.doc()})
+		return nil
+	}
+}
+
+func (b *builder) markInstantiated(typeName string) {
+	if b.instantiated == nil {
+		b.instantiated = make(map[string]bool)
+	}
+	b.instantiated[typeName] = true
+}
+
+// entityFor materializes complex type ct as an entity named after base,
+// under the given parent, returning the entity's final (deduplicated)
+// name. elementDoc is the documentation of the element that references the
+// type (exports annotate the element); the type's own annotation wins when
+// both are present.
+func (b *builder) entityFor(base string, ct *xsdComplexType, parent string, depth int, elementDoc string) (string, error) {
+	name := b.uniqueName(base)
+	ent := &model.Entity{Name: name, Parent: parent}
+	if d := ct.doc(); d != "" {
+		ent.Documentation = d
+	} else if elementDoc != "" {
+		ent.Documentation = elementDoc
+	}
+	b.schema.Entities = append(b.schema.Entities, ent)
+
+	for i := range ct.Attributes {
+		a := &ct.Attributes[i]
+		if a.Name == "" {
+			continue
+		}
+		ent.Attributes = append(ent.Attributes, &model.Attribute{
+			Name:          a.Name,
+			Type:          localName(a.Type),
+			Nullable:      a.Use != "required",
+			Documentation: a.doc(),
+		})
+	}
+	var walk func(g *xsdGroup) error
+	walk = func(g *xsdGroup) error {
+		if g == nil {
+			return nil
+		}
+		for i := range g.Elements {
+			el := &g.Elements[i]
+			if err := b.childElement(ent, el, depth); err != nil {
+				return err
+			}
+		}
+		for i := range g.Sequences {
+			if err := walk(&g.Sequences[i]); err != nil {
+				return err
+			}
+		}
+		for i := range g.Choices {
+			if err := walk(&g.Choices[i]); err != nil {
+				return err
+			}
+		}
+		for i := range g.Alls {
+			if err := walk(&g.Alls[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, g := range []*xsdGroup{ct.Sequence, ct.Choice, ct.All} {
+		if err := walk(g); err != nil {
+			return "", err
+		}
+	}
+	return name, nil
+}
+
+// childElement adds a child of entity ent: an attribute for simple content,
+// a nested entity for complex content.
+func (b *builder) childElement(ent *model.Entity, el *xsdElement, depth int) error {
+	name := el.Name
+	if name == "" && el.Ref != "" {
+		name = localName(el.Ref)
+	}
+	if name == "" {
+		return fmt.Errorf("xsd: element inside %q has neither name nor ref", ent.Name)
+	}
+	switch {
+	case el.ComplexType != nil:
+		if depth >= maxDepth {
+			return nil
+		}
+		_, err := b.entityFor(name, el.ComplexType, ent.Name, depth+1, el.doc())
+		return err
+	case el.Type != "" && !isBuiltinType(el.Type):
+		if ct, ok := b.types[localName(el.Type)]; ok {
+			if depth >= maxDepth {
+				return nil
+			}
+			b.markInstantiated(localName(el.Type))
+			_, err := b.entityFor(name, ct, ent.Name, depth+1, el.doc())
+			return err
+		}
+		// Unknown named type: treat as an opaque simple attribute.
+		fallthrough
+	default:
+		if dup := ent.Attribute(name); dup != nil {
+			return nil // repeated element (e.g. in a choice); keep the first
+		}
+		ent.Attributes = append(ent.Attributes, &model.Attribute{
+			Name:          name,
+			Type:          localName(el.Type),
+			Nullable:      el.optional(),
+			Documentation: el.doc(),
+		})
+		return nil
+	}
+}
+
+// localName strips a namespace prefix: "xs:string" → "string".
+func localName(s string) string {
+	if i := strings.LastIndex(s, ":"); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}
+
+// isBuiltinType reports whether a type reference names an XSD builtin
+// (xs:string, xsd:int, ...) rather than a user-defined complex type.
+func isBuiltinType(ref string) bool {
+	return builtinTypes[localName(ref)]
+}
+
+var builtinTypes = map[string]bool{
+	"string": true, "boolean": true, "decimal": true, "float": true, "double": true,
+	"duration": true, "dateTime": true, "time": true, "date": true, "gYearMonth": true,
+	"gYear": true, "gMonthDay": true, "gDay": true, "gMonth": true, "hexBinary": true,
+	"base64Binary": true, "anyURI": true, "QName": true, "NOTATION": true,
+	"normalizedString": true, "token": true, "language": true, "NMTOKEN": true,
+	"NMTOKENS": true, "Name": true, "NCName": true, "ID": true, "IDREF": true,
+	"IDREFS": true, "ENTITY": true, "ENTITIES": true, "integer": true,
+	"nonPositiveInteger": true, "negativeInteger": true, "long": true, "int": true,
+	"short": true, "byte": true, "nonNegativeInteger": true, "unsignedLong": true,
+	"unsignedInt": true, "unsignedShort": true, "unsignedByte": true,
+	"positiveInteger": true, "anyType": true, "anySimpleType": true,
+}
+
+// --- XML document shape ---
+//
+// Field tags use bare local names, which encoding/xml matches in any
+// namespace, so documents with the xs:, xsd: or no prefix all decode.
+
+type xsdSchema struct {
+	XMLName      xml.Name
+	Elements     []xsdElement     `xml:"element"`
+	ComplexTypes []xsdComplexType `xml:"complexType"`
+}
+
+type xsdElement struct {
+	Name        string          `xml:"name,attr"`
+	Type        string          `xml:"type,attr"`
+	Ref         string          `xml:"ref,attr"`
+	MinOccurs   string          `xml:"minOccurs,attr"`
+	Annotation  *xsdAnnotation  `xml:"annotation"`
+	ComplexType *xsdComplexType `xml:"complexType"`
+}
+
+func (e *xsdElement) optional() bool { return e.MinOccurs == "0" }
+
+func (e *xsdElement) doc() string {
+	return e.Annotation.text()
+}
+
+type xsdComplexType struct {
+	Name       string         `xml:"name,attr"`
+	Annotation *xsdAnnotation `xml:"annotation"`
+	Sequence   *xsdGroup      `xml:"sequence"`
+	Choice     *xsdGroup      `xml:"choice"`
+	All        *xsdGroup      `xml:"all"`
+	Attributes []xsdAttribute `xml:"attribute"`
+}
+
+func (c *xsdComplexType) doc() string {
+	return c.Annotation.text()
+}
+
+type xsdGroup struct {
+	Elements  []xsdElement `xml:"element"`
+	Sequences []xsdGroup   `xml:"sequence"`
+	Choices   []xsdGroup   `xml:"choice"`
+	Alls      []xsdGroup   `xml:"all"`
+}
+
+type xsdAttribute struct {
+	Name       string         `xml:"name,attr"`
+	Type       string         `xml:"type,attr"`
+	Use        string         `xml:"use,attr"`
+	Annotation *xsdAnnotation `xml:"annotation"`
+}
+
+func (a *xsdAttribute) doc() string {
+	return a.Annotation.text()
+}
+
+type xsdAnnotation struct {
+	Documentation []string `xml:"documentation"`
+}
+
+func (a *xsdAnnotation) text() string {
+	if a == nil {
+		return ""
+	}
+	return strings.TrimSpace(strings.Join(a.Documentation, " "))
+}

@@ -1,0 +1,285 @@
+package xsd
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"schemr/internal/model"
+)
+
+const purchaseOrderXSD = `<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema" targetNamespace="http://example.com/po">
+  <xs:element name="purchaseOrder" type="PurchaseOrderType"/>
+  <xs:element name="comment" type="xs:string"/>
+  <xs:complexType name="PurchaseOrderType">
+    <xs:annotation><xs:documentation>A purchase order document.</xs:documentation></xs:annotation>
+    <xs:sequence>
+      <xs:element name="shipTo" type="USAddress"/>
+      <xs:element name="billTo" type="USAddress"/>
+      <xs:element name="comment" type="xs:string" minOccurs="0"/>
+      <xs:element name="items">
+        <xs:complexType>
+          <xs:sequence>
+            <xs:element name="item" minOccurs="0">
+              <xs:complexType>
+                <xs:sequence>
+                  <xs:element name="productName" type="xs:string"/>
+                  <xs:element name="quantity" type="xs:positiveInteger"/>
+                  <xs:element name="price" type="xs:decimal"/>
+                </xs:sequence>
+                <xs:attribute name="partNum" type="xs:string" use="required"/>
+              </xs:complexType>
+            </xs:element>
+          </xs:sequence>
+        </xs:complexType>
+      </xs:element>
+    </xs:sequence>
+    <xs:attribute name="orderDate" type="xs:date"/>
+  </xs:complexType>
+  <xs:complexType name="USAddress">
+    <xs:sequence>
+      <xs:element name="name" type="xs:string"/>
+      <xs:element name="street" type="xs:string"/>
+      <xs:element name="city" type="xs:string"/>
+      <xs:element name="state" type="xs:string"/>
+      <xs:element name="zip" type="xs:decimal"/>
+    </xs:sequence>
+  </xs:complexType>
+</xs:schema>`
+
+func TestParsePurchaseOrder(t *testing.T) {
+	s, err := Parse("po", purchaseOrderXSD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	po := s.Entity("purchaseOrder")
+	if po == nil {
+		t.Fatalf("purchaseOrder entity missing; have %v", names(s))
+	}
+	if po.Documentation != "A purchase order document." {
+		t.Errorf("documentation = %q", po.Documentation)
+	}
+	// orderDate attribute + comment simple element land on purchaseOrder.
+	if po.Attribute("orderDate") == nil || po.Attribute("comment") == nil {
+		t.Errorf("purchaseOrder attrs = %+v", po.Attributes)
+	}
+	if c := po.Attribute("comment"); c != nil && !c.Nullable {
+		t.Error("minOccurs=0 element should be nullable")
+	}
+	// shipTo and billTo expand USAddress twice, deduplicated names.
+	ship := s.Entity("shipTo")
+	bill := s.Entity("billTo")
+	if ship == nil || bill == nil {
+		t.Fatalf("address entities missing; have %v", names(s))
+	}
+	if ship.Parent != "purchaseOrder" || bill.Parent != "purchaseOrder" {
+		t.Errorf("address parents = %q/%q", ship.Parent, bill.Parent)
+	}
+	if ship.Attribute("zip") == nil || ship.Attribute("city") == nil {
+		t.Errorf("shipTo attrs = %+v", ship.Attributes)
+	}
+	// Anonymous nested complex types become entities with parent chain.
+	items := s.Entity("items")
+	item := s.Entity("item")
+	if items == nil || item == nil {
+		t.Fatalf("items/item missing; have %v", names(s))
+	}
+	if items.Parent != "purchaseOrder" || item.Parent != "items" {
+		t.Errorf("containment chain wrong: items<%s item<%s", items.Parent, item.Parent)
+	}
+	if item.Attribute("partNum") == nil || item.Attribute("productName") == nil {
+		t.Errorf("item attrs = %+v", item.Attributes)
+	}
+	if pn := item.Attribute("partNum"); pn != nil && pn.Nullable {
+		t.Error("use=required attribute should not be nullable")
+	}
+	// Global simple element "comment" becomes a one-attribute entity.
+	if s.Entity("comment") == nil {
+		t.Errorf("global simple element entity missing; have %v", names(s))
+	}
+	// Containment must act as relatedness: purchaseOrder—items—item.
+	if err := s.Validate(); err != nil {
+		t.Errorf("invalid: %v", err)
+	}
+}
+
+func TestParseNoPrefix(t *testing.T) {
+	src := `<schema xmlns="http://www.w3.org/2001/XMLSchema">
+	  <element name="person">
+	    <complexType>
+	      <sequence>
+	        <element name="name" type="string"/>
+	        <element name="age" type="int"/>
+	      </sequence>
+	    </complexType>
+	  </element>
+	</schema>`
+	s, err := Parse("person", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.Entity("person")
+	if p == nil || len(p.Attributes) != 2 {
+		t.Fatalf("person = %+v", p)
+	}
+}
+
+func TestParseChoiceAndAll(t *testing.T) {
+	src := `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+	  <xs:element name="contact">
+	    <xs:complexType>
+	      <xs:choice>
+	        <xs:element name="email" type="xs:string"/>
+	        <xs:element name="phone" type="xs:string"/>
+	      </xs:choice>
+	    </xs:complexType>
+	  </xs:element>
+	  <xs:element name="profile">
+	    <xs:complexType>
+	      <xs:all>
+	        <xs:element name="nickname" type="xs:string"/>
+	      </xs:all>
+	    </xs:complexType>
+	  </xs:element>
+	</xs:schema>`
+	s, err := Parse("contact", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Entity("contact")
+	if c == nil || c.Attribute("email") == nil || c.Attribute("phone") == nil {
+		t.Fatalf("contact = %+v", c)
+	}
+	p := s.Entity("profile")
+	if p == nil || p.Attribute("nickname") == nil {
+		t.Fatalf("profile = %+v", p)
+	}
+}
+
+func TestParseElementRef(t *testing.T) {
+	src := `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+	  <xs:element name="note" type="xs:string"/>
+	  <xs:element name="journal">
+	    <xs:complexType>
+	      <xs:sequence>
+	        <xs:element ref="note"/>
+	      </xs:sequence>
+	    </xs:complexType>
+	  </xs:element>
+	</xs:schema>`
+	s, err := Parse("j", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := s.Entity("journal")
+	if j == nil || j.Attribute("note") == nil {
+		t.Fatalf("journal = %+v", j)
+	}
+}
+
+func TestRecursiveType(t *testing.T) {
+	src := `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+	  <xs:element name="tree" type="Node"/>
+	  <xs:complexType name="Node">
+	    <xs:sequence>
+	      <xs:element name="value" type="xs:string"/>
+	      <xs:element name="child" type="Node" minOccurs="0"/>
+	    </xs:sequence>
+	  </xs:complexType>
+	</xs:schema>`
+	s, err := Parse("tree", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recursion must terminate at maxDepth, producing a finite chain.
+	if s.NumEntities() < 2 || s.NumEntities() > maxDepth+2 {
+		t.Errorf("recursive expansion entities = %d", s.NumEntities())
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("invalid: %v", err)
+	}
+}
+
+func TestUnreferencedNamedType(t *testing.T) {
+	src := `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+	  <xs:element name="root" type="xs:string"/>
+	  <xs:complexType name="Orphan">
+	    <xs:sequence><xs:element name="x" type="xs:string"/></xs:sequence>
+	  </xs:complexType>
+	</xs:schema>`
+	s, err := Parse("orphan", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Entity("Orphan") == nil {
+		t.Errorf("unreferenced named type should still be indexed; have %v", names(s))
+	}
+}
+
+func TestDuplicateGlobalNames(t *testing.T) {
+	src := `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+	  <xs:element name="thing"><xs:complexType><xs:sequence>
+	    <xs:element name="a" type="xs:string"/>
+	  </xs:sequence></xs:complexType></xs:element>
+	  <xs:element name="thing"><xs:complexType><xs:sequence>
+	    <xs:element name="b" type="xs:string"/>
+	  </xs:sequence></xs:complexType></xs:element>
+	</xs:schema>`
+	s, err := Parse("dup", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Entity("thing") == nil || s.Entity("thing_2") == nil {
+		t.Errorf("duplicate names should be deduplicated: %v", names(s))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"not xml", "CREATE TABLE t (a INT);"},
+		{"wrong root", "<html><body/></html>"},
+		{"empty schema", `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"></xs:schema>`},
+		{"truncated", `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"><xs:element`},
+		{"nameless global element", `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"><xs:element type="xs:string"/></xs:schema>`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Parse("bad", c.src); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestQuickParseNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		_, _ = Parse("fuzz", src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	// Also fuzz near-XSD inputs.
+	g := func(a, b string) bool {
+		src := `<xs:schema xmlns:xs="x"><xs:element name="` +
+			strings.ReplaceAll(a, `"`, "") + `" type="` +
+			strings.ReplaceAll(b, `"`, "") + `"/></xs:schema>`
+		_, _ = Parse("fuzz", src)
+		return true
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func names(s *model.Schema) []string {
+	out := make([]string, len(s.Entities))
+	for i, e := range s.Entities {
+		out[i] = e.Name
+	}
+	return out
+}

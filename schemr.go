@@ -1,0 +1,400 @@
+// Package schemr is a search engine for schema repositories, implementing
+// Chen, Kannan, Madhavan and Halevy, "Exploring Schema Repositories with
+// Schemr" (SIGMOD 2009 demonstration; SIGMOD Record 40(1), 2011).
+//
+// Schemr lets users search large collections of relational and
+// semi-structured schemas by keyword and by example — supplying DDL or XSD
+// schema fragments as query terms — and visualize the results. Its search
+// algorithm runs in three phases:
+//
+//  1. Candidate extraction: the query graph is flattened into keywords and
+//     the top candidate schemas are pulled from a TF/IDF document index
+//     with a coordination factor that rewards matching more query terms.
+//  2. Schema matching: an ensemble of fine-grained matchers (name n-gram
+//     overlap, neighboring-element context, plus exact and type matchers)
+//     scores the semantic similarity between query-graph elements and each
+//     candidate's elements.
+//  3. Tightness-of-fit: a structurally-aware measurement penalizes matched
+//     elements by their foreign-key distance to the best anchor entity,
+//     producing the final ranking.
+//
+// The package is a facade over the implementation packages; a minimal
+// session looks like:
+//
+//	sys := schemr.New()
+//	sys.ImportDDL("clinic", clinicDDL)
+//	sys.Refresh()
+//	q, _ := schemr.ParseQuery(schemr.QueryInput{Keywords: "patient height gender diagnosis"})
+//	results, _ := sys.Search(q, 10)
+//
+// See the examples directory for complete programs, including the paper's
+// health-clinic scenario, corpus construction from (synthetic) web tables,
+// and the search-driven schema design loop.
+package schemr
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"schemr/internal/codebook"
+	"schemr/internal/core"
+	"schemr/internal/ddl"
+	"schemr/internal/graphml"
+	"schemr/internal/layout"
+	"schemr/internal/learn"
+	"schemr/internal/match"
+	"schemr/internal/model"
+	"schemr/internal/query"
+	"schemr/internal/repository"
+	"schemr/internal/server"
+	"schemr/internal/summary"
+	"schemr/internal/svg"
+	"schemr/internal/tightness"
+	"schemr/internal/webtables"
+	"schemr/internal/xsd"
+)
+
+// Re-exported types: the model, query, engine and result vocabulary of the
+// public API.
+type (
+	// Schema is a schema graph: entities, attributes and foreign keys.
+	Schema = model.Schema
+	// Entity is a table or complex type.
+	Entity = model.Entity
+	// Attribute is a column or simple element.
+	Attribute = model.Attribute
+	// ForeignKey is a reference edge between entities.
+	ForeignKey = model.ForeignKey
+	// ElementRef addresses one element within a schema.
+	ElementRef = model.ElementRef
+	// Query is a parsed query graph (keywords + schema fragments).
+	Query = query.Query
+	// QueryInput is raw search input: keywords and optional DDL/XSD text.
+	QueryInput = query.Input
+	// Result is one ranked search result.
+	Result = core.Result
+	// SearchStats instruments a search (candidate funnel, phase latency).
+	SearchStats = core.SearchStats
+	// EngineOptions tunes the search engine.
+	EngineOptions = core.Options
+	// TightnessOptions tunes the tightness-of-fit measurement.
+	TightnessOptions = tightness.Options
+	// History records one search interaction for the meta-learner.
+	History = core.History
+	// Comment is community feedback on a stored schema.
+	Comment = repository.Comment
+	// CorpusOptions tunes the synthetic web-table corpus generator.
+	CorpusOptions = webtables.Options
+	// CorpusStats is the corpus filter funnel.
+	CorpusStats = webtables.FilterStats
+)
+
+// System bundles a schema repository with a search engine over it — the
+// deployable unit of Schemr (Figure 5 without the HTTP layer).
+type System struct {
+	Repo   *repository.Repository
+	Engine *core.Engine
+}
+
+// New returns an empty in-memory system with default engine options.
+func New() *System {
+	return NewWithOptions(EngineOptions{})
+}
+
+// NewWithOptions returns an empty system with custom engine options.
+func NewWithOptions(opts EngineOptions) *System {
+	repo := repository.New()
+	return &System{Repo: repo, Engine: core.NewEngine(repo, opts)}
+}
+
+const (
+	repoFile  = "repository.json"
+	indexFile = "schemas.idx"
+)
+
+// Open loads a system persisted by Save: repository.json plus schemas.idx
+// under dir. A missing or unreadable index is rebuilt from the repository;
+// a loaded index is synced forward from its saved change-feed cursor.
+func Open(dir string) (*System, error) {
+	return OpenWithOptions(dir, EngineOptions{})
+}
+
+// OpenWithOptions is Open with custom engine options.
+func OpenWithOptions(dir string, opts EngineOptions) (*System, error) {
+	repo, err := repository.Open(filepath.Join(dir, repoFile))
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{Repo: repo, Engine: core.NewEngine(repo, opts)}
+	if err := sys.Engine.LoadIndex(filepath.Join(dir, indexFile)); err != nil {
+		// Missing or unreadable index: rebuild from the repository.
+		if err := sys.Engine.Reindex(); err != nil {
+			return nil, err
+		}
+	}
+	return sys, nil
+}
+
+// Save persists the system under dir (created if absent): the repository
+// as JSON and the document index with its change cursor.
+func (s *System) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("schemr: save: %w", err)
+	}
+	if err := s.Repo.Save(filepath.Join(dir, repoFile)); err != nil {
+		return err
+	}
+	return s.Engine.SaveIndex(filepath.Join(dir, indexFile))
+}
+
+// ImportDDL parses a SQL DDL script and stores it as a schema, returning
+// its ID. Call Refresh (or Engine.Sync) to make it searchable.
+func (s *System) ImportDDL(name, src string) (string, error) {
+	schema, err := ddl.Parse(name, src)
+	if err != nil {
+		return "", err
+	}
+	return s.Repo.Put(schema)
+}
+
+// ImportXSD parses an XML Schema document and stores it, returning its ID.
+func (s *System) ImportXSD(name, src string) (string, error) {
+	schema, err := xsd.Parse(name, src)
+	if err != nil {
+		return "", err
+	}
+	return s.Repo.Put(schema)
+}
+
+// Add stores an already-built schema value.
+func (s *System) Add(schema *Schema) (string, error) {
+	return s.Repo.Put(schema)
+}
+
+// Refresh applies repository changes to the search index (the offline
+// indexer's scheduled run, invoked on demand).
+func (s *System) Refresh() error {
+	_, _, err := s.Engine.Sync()
+	return err
+}
+
+// Search runs the three-phase search algorithm.
+func (s *System) Search(q *Query, limit int) ([]Result, error) {
+	return s.Engine.Search(q, limit)
+}
+
+// SearchWithStats is Search plus phase instrumentation.
+func (s *System) SearchWithStats(q *Query, limit int) ([]Result, SearchStats, error) {
+	return s.Engine.SearchWithStats(q, limit)
+}
+
+// Get returns a stored schema by ID, or nil.
+func (s *System) Get(id string) *Schema {
+	return s.Repo.Get(id)
+}
+
+// LearnWeights trains the logistic-regression meta-learner on recorded
+// search histories and installs the learned matcher weights.
+func (s *System) LearnWeights(histories []History) error {
+	_, err := s.Engine.LearnWeights(histories, 3, learn.Options{})
+	return err
+}
+
+// Explanation decomposes one schema's score for one query across all
+// three phases.
+type Explanation = core.Explanation
+
+// Explain reports why a schema ranks where it does for a query — per-term
+// coarse scores, the strongest element correspondences, per-anchor
+// tightness, coverage and the final score. It works even for schemas that
+// never cleared candidate extraction (Coarse is nil there), explaining
+// absences too.
+func (s *System) Explain(q *Query, id string) (*Explanation, error) {
+	return s.Engine.Explain(q, id)
+}
+
+// ParseQuery builds a query graph from raw input.
+func ParseQuery(in QueryInput) (*Query, error) {
+	return query.Parse(in)
+}
+
+// QueryFromSchema builds a query-by-example graph from a schema value.
+func QueryFromSchema(schema *Schema) *Query {
+	return query.FromSchema(schema)
+}
+
+// ParseDDL parses SQL DDL into a schema.
+func ParseDDL(name, src string) (*Schema, error) {
+	return ddl.Parse(name, src)
+}
+
+// ParseXSD parses an XML Schema document into a schema.
+func ParseXSD(name, src string) (*Schema, error) {
+	return xsd.Parse(name, src)
+}
+
+// PrintDDL renders a schema back to SQL DDL.
+func PrintDDL(schema *Schema) string {
+	return ddl.Print(schema)
+}
+
+// PrintXSD renders a schema as an XML Schema document (the repository's
+// export format for hierarchical schemas; foreign keys degrade to
+// annotations).
+func PrintXSD(schema *Schema) string {
+	return xsd.Print(schema)
+}
+
+// Visualization is a rendered schema: its GraphML interchange form and an
+// SVG drawing.
+type Visualization struct {
+	GraphML []byte
+	SVG     string
+}
+
+// VizOptions tunes Visualize.
+type VizOptions struct {
+	// Layout is "tree" (default) or "radial".
+	Layout string
+	// MaxDepth caps the displayed depth (default 3, negative = unlimited).
+	MaxDepth int
+	// Focus re-roots the drawing at a node ID ("e:<entity>") for drill-in.
+	Focus string
+	// Scores attaches match-quality encodings, keyed by ElementRef.String().
+	Scores map[string]float64
+}
+
+// Visualize renders a schema with the paper's visual encodings (color by
+// element kind, similarity shading, collapsed markers at the depth cap).
+func Visualize(schema *Schema, opts VizOptions) (*Visualization, error) {
+	g := graphml.FromSchema(schema, opts.Scores)
+	data, err := g.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	lopts := layout.Options{MaxDepth: opts.MaxDepth, Focus: opts.Focus}
+	var l *layout.Layout
+	switch opts.Layout {
+	case "", "tree":
+		l, err = layout.Tree(g, lopts)
+	case "radial":
+		l, err = layout.Radial(g, lopts)
+	default:
+		return nil, fmt.Errorf("schemr: unknown layout %q", opts.Layout)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Visualization{GraphML: data, SVG: svg.Render(l, svg.Options{})}, nil
+}
+
+// ResultScores extracts the per-element similarity map of a search result,
+// ready for Visualize's Scores option.
+func ResultScores(r Result) map[string]float64 {
+	out := make(map[string]float64, len(r.Matched))
+	for _, el := range r.Matched {
+		out[el.Ref.String()] = el.Score
+	}
+	return out
+}
+
+// NewServer returns the Schemr web service (XML search API, GraphML and
+// SVG schema endpoints, embedded GUI) over the system's engine.
+func (s *System) NewServer() http.Handler {
+	return server.New(s.Engine)
+}
+
+// MatcherConfig selects optional matchers added on top of the paper's
+// default ensemble (name + context). All are "other matchers may be used
+// as well" extension points; the meta-learner can reweight whatever is
+// enabled.
+type MatcherConfig struct {
+	// Exact scores 1 only on normalized name equality.
+	Exact bool
+	// Type compares declared attribute types by coarse class.
+	Type bool
+	// Concept matches codebook semantic data types (unit, date/time, geo…).
+	Concept bool
+	// Synonym matches via the built-in thesaurus (gender↔sex, dob↔birthdate…).
+	Synonym bool
+}
+
+// ConfigureEnsemble rebuilds the matcher ensemble as name + context plus
+// the selected extras, with uniform weights.
+func (s *System) ConfigureEnsemble(cfg MatcherConfig) error {
+	matchers := []match.Matcher{match.NewNameMatcher(), match.NewContextMatcher()}
+	if cfg.Exact {
+		matchers = append(matchers, match.NewExactMatcher())
+	}
+	if cfg.Type {
+		matchers = append(matchers, match.NewTypeMatcher())
+	}
+	if cfg.Concept {
+		matchers = append(matchers, codebook.NewConceptMatcher())
+	}
+	if cfg.Synonym {
+		matchers = append(matchers, match.NewSynonymMatcher())
+	}
+	en, err := match.NewEnsemble(matchers...)
+	if err != nil {
+		return err
+	}
+	s.Engine.SetEnsemble(en)
+	return nil
+}
+
+// EnableCodebook extends the matcher ensemble with the codebook concept
+// matcher: attributes that carry the same semantic data type (unit,
+// date/time, geographic location, money, identifier, …) match even with
+// zero lexical overlap. Shorthand for ConfigureEnsemble(Concept).
+func (s *System) EnableCodebook() error {
+	return s.ConfigureEnsemble(MatcherConfig{Concept: true})
+}
+
+// Concepts returns the codebook annotation of a schema: element ref string
+// → detected concept names. Attributes without a concept are absent.
+func Concepts(schema *Schema) map[string][]string {
+	ann := codebook.Annotate(schema)
+	out := make(map[string][]string, len(ann))
+	for ref, cs := range ann {
+		names := make([]string, len(cs))
+		for i, c := range cs {
+			names[i] = string(c)
+		}
+		out[ref.String()] = names
+	}
+	return out
+}
+
+// ConceptProfile summarizes codebook concept usage across the whole
+// repository: per concept, the attribute count and the most common name
+// variants — the standardization report the paper's codebook integration
+// aims at.
+func (s *System) ConceptProfile() []codebook.Profile {
+	return codebook.ProfileCorpus(s.Repo.All())
+}
+
+// Summarize reduces a schema to its k most important entities (importance
+// = size + neighborhood influence, coverage-aware selection) — the schema
+// summarization technique the paper plans for very large schemas.
+func Summarize(schema *Schema, k int) (*Schema, error) {
+	sum, _, err := summary.Summarize(schema, summary.Options{K: k})
+	return sum, err
+}
+
+// GenerateCorpus builds a synthetic web-table crawl, runs the paper's
+// three-rule filter pipeline, and loads the retained schemas into the
+// system (deduplicated). It returns the filter funnel statistics.
+func (s *System) GenerateCorpus(opts CorpusOptions) (CorpusStats, error) {
+	gen := webtables.NewGenerator(opts)
+	tables := gen.All()
+	schemas, stats := webtables.Filter(tables)
+	for _, schema := range schemas {
+		if _, _, err := s.Repo.PutDedup(schema); err != nil {
+			return stats, err
+		}
+	}
+	return stats, s.Refresh()
+}

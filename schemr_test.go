@@ -1,0 +1,271 @@
+package schemr
+
+import (
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const clinicDDL = `
+CREATE TABLE patient (
+  id INT PRIMARY KEY,
+  height FLOAT,
+  gender VARCHAR(8),
+  dob DATE
+);
+CREATE TABLE "case" (
+  id INT PRIMARY KEY,
+  patient INT REFERENCES patient(id),
+  diagnosis VARCHAR(64)
+);`
+
+func TestFacadeLifecycle(t *testing.T) {
+	sys := New()
+	id, err := sys.ImportDDL("clinic", clinicDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.ImportXSD("po", `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+	  <xs:element name="order"><xs:complexType><xs:sequence>
+	    <xs:element name="sku" type="xs:string"/>
+	    <xs:element name="total" type="xs:decimal"/>
+	  </xs:sequence></xs:complexType></xs:element>
+	</xs:schema>`); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+
+	q, err := ParseQuery(QueryInput{Keywords: "patient height gender diagnosis"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, stats, err := sys.SearchWithStats(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 || results[0].ID != id {
+		t.Fatalf("results = %+v", results)
+	}
+	if stats.CorpusSize != 2 {
+		t.Errorf("stats = %+v", stats)
+	}
+
+	// Round-trip through disk.
+	dir := t.TempDir()
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results2, err := sys2.Search(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results2) == 0 || results2[0].ID != id {
+		t.Fatalf("after reload: %+v", results2)
+	}
+	if sys2.Get(id) == nil {
+		t.Error("Get after reload failed")
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("missing dir accepted")
+	}
+}
+
+func TestFacadeVisualize(t *testing.T) {
+	sys := New()
+	id, err := sys.ImportDDL("clinic", clinicDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Refresh()
+	q, _ := ParseQuery(QueryInput{Keywords: "height diagnosis"})
+	results, err := sys.Search(q, 1)
+	if err != nil || len(results) != 1 {
+		t.Fatalf("results=%v err=%v", results, err)
+	}
+	viz, err := Visualize(sys.Get(id), VizOptions{
+		Layout: "radial",
+		Scores: ResultScores(results[0]),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(viz.GraphML), "graphml") || !strings.Contains(viz.SVG, "<svg") {
+		t.Error("visualization outputs malformed")
+	}
+	if !strings.Contains(string(viz.GraphML), "score") {
+		t.Error("scores not encoded in graphml")
+	}
+	if _, err := Visualize(sys.Get(id), VizOptions{Layout: "pie"}); err == nil {
+		t.Error("bad layout accepted")
+	}
+}
+
+func TestFacadeQueryByExampleAndPrint(t *testing.T) {
+	frag, err := ParseDDL("frag", "CREATE TABLE patient (height FLOAT, gender VARCHAR(8));")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := QueryFromSchema(frag)
+	if q.IsEmpty() {
+		t.Fatal("empty query from schema")
+	}
+	printed := PrintDDL(frag)
+	if !strings.Contains(printed, "CREATE TABLE patient") {
+		t.Errorf("printed = %s", printed)
+	}
+	if _, err := ParseXSD("bad", "not xml"); err == nil {
+		t.Error("bad xsd accepted")
+	}
+}
+
+func TestFacadeServerAndCorpus(t *testing.T) {
+	sys := New()
+	stats, err := sys.GenerateCorpus(CorpusOptions{Seed: 5, NumTables: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Retained == 0 || sys.Repo.Len() == 0 {
+		t.Fatalf("corpus stats = %v, repo = %d", stats, sys.Repo.Len())
+	}
+	if sys.Repo.Len() > stats.Retained {
+		t.Errorf("repo %d > retained %d", sys.Repo.Len(), stats.Retained)
+	}
+	ts := httptest.NewServer(sys.NewServer())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("stats status %d", resp.StatusCode)
+	}
+}
+
+func TestFacadeCodebook(t *testing.T) {
+	sys := New()
+	id, err := sys.ImportDDL("clinic", clinicDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A schema that shares no vocabulary with "height" but carries the
+	// length concept.
+	otherID, err := sys.ImportDDL("aviary", `CREATE TABLE bird (tag VARCHAR(10), wingspan FLOAT, diet VARCHAR(20), sightings INT);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Refresh()
+
+	cs := Concepts(sys.Get(id))
+	if got := cs["patient.height"]; len(got) != 1 || got[0] != "length" {
+		t.Errorf("height concepts = %v", got)
+	}
+	if _, ok := cs["patient.gender"]; ok {
+		t.Error("gender should carry no concept")
+	}
+
+	profile := sys.ConceptProfile()
+	if len(profile) == 0 {
+		t.Fatal("empty profile")
+	}
+
+	if err := sys.EnableCodebook(); err != nil {
+		t.Fatal(err)
+	}
+	// With the concept matcher on, a wingspan fragment finds the aviary
+	// schema via candidate terms, with the concept matcher contributing.
+	q, _ := ParseQuery(QueryInput{Keywords: "wingspan diet"})
+	results, err := sys.Search(q, 5)
+	if err != nil || len(results) == 0 || results[0].ID != otherID {
+		t.Fatalf("results=%v err=%v", results, err)
+	}
+}
+
+func TestFacadeConfigureEnsemble(t *testing.T) {
+	sys := New()
+	id, err := sys.ImportDDL("clinic", clinicDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Refresh()
+	if err := sys.ConfigureEnsemble(MatcherConfig{Exact: true, Type: true, Concept: true, Synonym: true}); err != nil {
+		t.Fatal(err)
+	}
+	names := sys.Engine.Ensemble().MatcherNames()
+	if len(names) != 6 {
+		t.Fatalf("matchers = %v", names)
+	}
+	// With only the thesaurus enabled (exact matching would dilute a pure
+	// synonym pair below the match threshold), "sex" connects to the
+	// gender column.
+	if err := sys.ConfigureEnsemble(MatcherConfig{Synonym: true}); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := ParseQuery(QueryInput{Keywords: "patient sex"})
+	results, err := sys.Search(q, 3)
+	if err != nil || len(results) == 0 || results[0].ID != id {
+		t.Fatalf("results=%v err=%v", results, err)
+	}
+	found := false
+	for _, el := range results[0].Matched {
+		if el.Ref.String() == "patient.gender" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("sex did not match gender: %+v", results[0].Matched)
+	}
+}
+
+func TestFacadeSummarize(t *testing.T) {
+	sys := New()
+	id, err := sys.ImportDDL("clinic", clinicDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Summarize(sys.Get(id), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.NumEntities() != 1 {
+		t.Errorf("summary entities = %d", sum.NumEntities())
+	}
+	if _, err := Summarize(sys.Get(id), 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestFacadeLearnWeights(t *testing.T) {
+	sys := New()
+	id, err := sys.ImportDDL("clinic", clinicDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.ImportDDL("retail", `CREATE TABLE orders (sku INT, price FLOAT, quantity INT, customer VARCHAR(40));`); err != nil {
+		t.Fatal(err)
+	}
+	// A distractor that shares query terms, so negative sampling has a
+	// candidate to draw from.
+	if _, err := sys.ImportDDL("hospital", `CREATE TABLE admission (patient INT, ward VARCHAR(20), gender VARCHAR(8));`); err != nil {
+		t.Fatal(err)
+	}
+	sys.Refresh()
+	q, _ := ParseQuery(QueryInput{Keywords: "patient height gender"})
+	if err := sys.LearnWeights([]History{{Query: q, Relevant: id}}); err != nil {
+		t.Fatal(err)
+	}
+	results, err := sys.Search(q, 5)
+	if err != nil || len(results) == 0 || results[0].ID != id {
+		t.Errorf("post-learning search: %v %v", results, err)
+	}
+}

@@ -1,0 +1,26 @@
+-- Rural health clinic reference model (the paper's running example).
+CREATE TABLE patient (
+  id INT PRIMARY KEY,
+  name VARCHAR(80) NOT NULL,
+  height FLOAT,
+  gender VARCHAR(8) NOT NULL,
+  dob DATE COMMENT 'date of birth',
+  village VARCHAR(60)
+);
+
+CREATE TABLE doctor (
+  id INT PRIMARY KEY,
+  name VARCHAR(80) NOT NULL,
+  gender VARCHAR(8),
+  specialty VARCHAR(40)
+);
+
+CREATE TABLE "case" (
+  id INT PRIMARY KEY,
+  patient INT NOT NULL REFERENCES patient (id) ON DELETE CASCADE,
+  doctor INT REFERENCES doctor (id),
+  diagnosis VARCHAR(64),
+  severity INT CHECK (severity > 0),
+  opened DATE DEFAULT now(),
+  outcome VARCHAR(20) DEFAULT 'open'
+) COMMENT='one treatment episode';
