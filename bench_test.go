@@ -164,6 +164,39 @@ func BenchmarkFig3Search(b *testing.B) {
 	}
 }
 
+// BenchmarkFig3SearchUnprofiled is BenchmarkFig3Search with the match-profile
+// cache disabled — the per-candidate recompute path. Comparing the two pairs
+// (per corpus size) gives the speedup recorded in BENCH_search_profile.json.
+func BenchmarkFig3SearchUnprofiled(b *testing.B) {
+	for _, n := range []int{1000, 5000, 20000} {
+		engine := core.NewEngine(benchRepo(b, n), core.Options{DisableProfileCache: true})
+		if err := engine.Reindex(); err != nil {
+			b.Fatal(err)
+		}
+		q := paperQuery(b)
+		b.Run(fmt.Sprintf("corpus%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Search(q, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkProfileBuild measures match.NewProfile — the one-time per-schema
+// cost the cache pays to make every later search cheap.
+func BenchmarkProfileBuild(b *testing.B) {
+	repo := benchRepo(b, 500)
+	schemas := repo.All()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		match.NewProfile(schemas[i%len(schemas)])
+	}
+}
+
 func BenchmarkFig3PhaseExtractOnly(b *testing.B) {
 	repo := benchRepo(b, 20000)
 	idx := index.New()

@@ -1,0 +1,138 @@
+// Command schemr-profilebench measures the per-phase latency of the
+// three-phase search on the WebTables-derived benchmark corpus and emits the
+// numbers as JSON. It exists to produce the before/after evidence for the
+// match-profile cache (BENCH_search_profile.json): run it at a baseline
+// commit and again after a change, and compare the phase 2+3 (match +
+// tightness) times.
+//
+// Usage:
+//
+//	go run ./cmd/schemr-profilebench [-corpus 5000] [-candidates 50] [-searches 200] [-label after]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"schemr/internal/core"
+	"schemr/internal/query"
+	"schemr/internal/repository"
+	"schemr/internal/webtables"
+)
+
+// buildCorpus replicates the deterministic mixed corpus of the repo's
+// bench_test.go benchRepo helper so numbers are comparable across commits.
+func buildCorpus(n int) (*repository.Repository, error) {
+	repo := repository.New()
+	for _, s := range webtables.GenerateRelational(1, n/10+5) {
+		if _, err := repo.Put(s); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range webtables.GenerateHierarchical(2, n/20+3) {
+		if _, err := repo.Put(s); err != nil {
+			return nil, err
+		}
+	}
+	seed := int64(3)
+	for repo.Len() < n {
+		flat, _ := webtables.Filter(webtables.NewGenerator(webtables.Options{Seed: seed, NumTables: 40 * (n - repo.Len() + 100)}).All())
+		seed++
+		for _, s := range flat {
+			if repo.Len() >= n {
+				break
+			}
+			if _, _, err := repo.PutDedup(s); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return repo, nil
+}
+
+// report is the JSON shape emitted per run.
+type report struct {
+	Label          string  `json:"label,omitempty"`
+	Corpus         int     `json:"corpus"`
+	CandidateN     int     `json:"candidateN"`
+	Searches       int     `json:"searches"`
+	PhaseExtractUs float64 `json:"phaseExtract_us"`
+	PhaseMatchUs   float64 `json:"phaseMatch_us"`
+	TightnessUs    float64 `json:"phaseTightness_us"`
+	Phase23Us      float64 `json:"phase23_us"`
+	TotalUs        float64 `json:"total_us"`
+	SearchesPerSec float64 `json:"searches_per_sec"`
+}
+
+func main() {
+	corpus := flag.Int("corpus", 5000, "corpus size (schemas)")
+	candidates := flag.Int("candidates", 50, "phase-1 candidate count handed to the matcher")
+	searches := flag.Int("searches", 200, "measured search iterations (after warmup)")
+	warmup := flag.Int("warmup", 20, "warmup search iterations")
+	label := flag.String("label", "", "label recorded in the JSON output")
+	flag.Parse()
+
+	repo, err := buildCorpus(*corpus)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "profilebench:", err)
+		os.Exit(1)
+	}
+	engine := core.NewEngine(repo, core.Options{CandidateN: *candidates})
+	if err := engine.Reindex(); err != nil {
+		fmt.Fprintln(os.Stderr, "profilebench:", err)
+		os.Exit(1)
+	}
+	q, err := query.Parse(query.Input{
+		Keywords: "patient height gender diagnosis",
+		DDL:      "CREATE TABLE patient (height FLOAT, gender VARCHAR(8));",
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "profilebench:", err)
+		os.Exit(1)
+	}
+
+	for i := 0; i < *warmup; i++ {
+		if _, _, err := engine.SearchWithStats(q, 10); err != nil {
+			fmt.Fprintln(os.Stderr, "profilebench:", err)
+			os.Exit(1)
+		}
+	}
+	var extract, matchT, tight time.Duration
+	wall := time.Now()
+	for i := 0; i < *searches; i++ {
+		_, stats, err := engine.SearchWithStats(q, 10)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "profilebench:", err)
+			os.Exit(1)
+		}
+		extract += stats.PhaseExtract
+		matchT += stats.PhaseMatch
+		tight += stats.PhaseTightness
+	}
+	elapsed := time.Since(wall)
+
+	us := func(d time.Duration) float64 {
+		return float64(d.Microseconds()) / float64(*searches)
+	}
+	rep := report{
+		Label:          *label,
+		Corpus:         *corpus,
+		CandidateN:     *candidates,
+		Searches:       *searches,
+		PhaseExtractUs: us(extract),
+		PhaseMatchUs:   us(matchT),
+		TightnessUs:    us(tight),
+		Phase23Us:      us(matchT + tight),
+		TotalUs:        us(extract + matchT + tight),
+		SearchesPerSec: float64(*searches) / elapsed.Seconds(),
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "profilebench:", err)
+		os.Exit(1)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"schemr/internal/index"
@@ -59,6 +60,17 @@ type Options struct {
 	// click-through count. 0 disables (the default); the boost saturates
 	// so popularity refines but never overturns a strong semantic gap.
 	PopularityBoost float64
+	// DisableProfileCache turns off the per-schema match-profile cache and
+	// the profiled matching path, recomputing every schema-side artifact
+	// (normalized names, n-gram multisets, context sets, entity graph, BFS
+	// distances) per candidate per search — the pre-cache behavior. Escape
+	// hatch and benchmarking aid; off (cache enabled) by default.
+	DisableProfileCache bool
+	// EagerProfiles builds match profiles during Reindex and Sync instead
+	// of lazily on a schema's first appearance as a search candidate,
+	// trading indexing latency for cold-search latency. Ignored when
+	// DisableProfileCache is set.
+	EagerProfiles bool
 	// TrigramFallback addresses an architectural gap the paper inherits
 	// from Lucene: a schema whose every element is abbreviated shares no
 	// token with the query and never becomes a candidate, so the n-gram
@@ -141,6 +153,11 @@ type Engine struct {
 	mu       sync.RWMutex // guards ensemble (weights) and cursor
 	ensemble *match.Ensemble
 	cursor   uint64 // repository change-feed position already indexed
+
+	// profiles caches per-schema match profiles (see profileCache for the
+	// staleness guarantee); invalidated through the repository change feed
+	// in Sync/Reindex.
+	profiles *profileCache
 }
 
 // NewEngine builds an engine over a repository with the default matcher
@@ -152,6 +169,7 @@ func NewEngine(repo *repository.Repository, opts Options) *Engine {
 		repo:     repo,
 		opts:     opts,
 		ensemble: match.DefaultEnsemble(),
+		profiles: newProfileCache(),
 	}
 	e.idx = e.newIndex()
 	return e
@@ -256,9 +274,13 @@ func (e *Engine) Reindex() error {
 	defer e.mu.Unlock()
 	fresh := e.newIndex()
 	seq := e.repo.Seq()
+	e.profiles.reset()
 	for _, s := range e.repo.All() {
 		if err := fresh.Add(e.document(s)); err != nil {
 			return fmt.Errorf("core: reindex: %w", err)
+		}
+		if e.opts.EagerProfiles && !e.opts.DisableProfileCache {
+			e.profiles.put(s.ID, match.NewProfile(s))
 		}
 	}
 	e.idx = fresh
@@ -273,6 +295,7 @@ func (e *Engine) Sync() (updated, deleted int, err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	ch := e.repo.ChangedSince(e.cursor)
+	e.profiles.drop(ch.Deleted...)
 	for _, id := range ch.Deleted {
 		if e.idx.Delete(id) {
 			deleted++
@@ -281,16 +304,30 @@ func (e *Engine) Sync() (updated, deleted int, err error) {
 	for _, id := range ch.Updated {
 		s := e.repo.Get(id)
 		if s == nil {
+			e.profiles.drop(id)
 			continue // deleted after the snapshot; the next Sync's feed handles it
 		}
 		if err := e.idx.Add(e.document(s)); err != nil {
 			return updated, deleted, fmt.Errorf("core: sync: %w", err)
+		}
+		// Invalidate through the change feed: replace the superseded
+		// profile (eager) or evict it for lazy rebuild on next search.
+		if e.opts.EagerProfiles && !e.opts.DisableProfileCache {
+			e.profiles.put(id, match.NewProfile(s))
+		} else {
+			e.profiles.drop(id)
 		}
 		updated++
 	}
 	e.cursor = ch.Seq
 	return updated, deleted, nil
 }
+
+// CachedProfiles returns the number of schemas with a cached match profile —
+// an observability hook for capacity planning (each profile costs roughly
+// the schema's text blown up into n-gram multisets plus an entity-distance
+// table; see DESIGN.md "Match profile cache").
+func (e *Engine) CachedProfiles() int { return e.profiles.size() }
 
 // IndexedDocs returns the number of live documents in the index.
 func (e *Engine) IndexedDocs() int { return e.idx.NumDocs() }
@@ -426,17 +463,25 @@ func (e *Engine) SearchWithStats(q *query.Query, limit int) ([]Result, SearchSta
 	}
 
 	// Phase 2: schema matching. Evaluate each candidate with the ensemble.
+	// Query-side artifacts are computed once here and shared (read-only)
+	// across all candidates; schema-side artifacts come from the profile
+	// cache, so steady-state matching recomputes nothing that depends only
+	// on the schema.
 	start = time.Now()
 	type scored struct {
-		hit    index.Hit
-		schema *model.Schema
-		matrix *match.Matrix
+		hit     index.Hit
+		schema  *model.Schema
+		matrix  *match.Matrix
+		profile *match.Profile
+	}
+	var qa *match.QueryArtifacts
+	if !e.opts.DisableProfileCache {
+		qa = match.NewQueryArtifacts(q)
 	}
 	cands := make([]scored, len(hits))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, e.opts.Parallelism)
-	var elements int64
-	var elemMu sync.Mutex
+	var elements atomic.Int64
 	for i, h := range hits {
 		s := e.repo.Get(h.ID)
 		if s == nil {
@@ -448,16 +493,21 @@ func (e *Engine) SearchWithStats(q *query.Query, limit int) ([]Result, SearchSta
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			m := ensemble.Match(q, cands[i].schema)
+			var m *match.Matrix
+			if qa != nil {
+				p := e.profiles.get(cands[i].schema.ID, cands[i].schema)
+				m = ensemble.MatchProfiled(qa, p)
+				cands[i].profile = p
+			} else {
+				m = ensemble.Match(q, cands[i].schema)
+			}
 			cands[i].matrix = m
-			elemMu.Lock()
-			elements += int64(len(m.Schema))
-			elemMu.Unlock()
+			elements.Add(int64(len(m.Schema)))
 		}(i)
 	}
 	wg.Wait()
 	stats.PhaseMatch = time.Since(start)
-	stats.ElementsScored = int(elements)
+	stats.ElementsScored = int(elements.Load())
 
 	// Phase 3: tightness-of-fit measurement and final ranking.
 	start = time.Now()
@@ -466,7 +516,12 @@ func (e *Engine) SearchWithStats(q *query.Query, limit int) ([]Result, SearchSta
 		if c.schema == nil || c.matrix == nil {
 			continue
 		}
-		t := tightness.Score(c.schema, c.matrix, e.opts.Tightness)
+		var t tightness.Result
+		if c.profile != nil {
+			t = tightness.ScoreProfiled(c.profile, c.matrix, e.opts.Tightness)
+		} else {
+			t = tightness.Score(c.schema, c.matrix, e.opts.Tightness)
+		}
 		cov := e.coverage(c.matrix)
 		final := t.Score
 		if e.opts.CoverageExponent > 0 {

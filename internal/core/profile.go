@@ -1,0 +1,85 @@
+package core
+
+import (
+	"sync"
+
+	"schemr/internal/match"
+	"schemr/internal/model"
+)
+
+// profileCache holds one precomputed match.Profile per schema ID. Profiles
+// are immutable; the cache is safe for concurrent use by the parallel match
+// workers.
+//
+// Staleness is impossible by construction: every profile remembers the exact
+// *model.Schema value it was built from, the repository replaces that value
+// on any schema update, and get only returns a cached profile whose schema
+// is identical (pointer equality) to the value the caller just fetched from
+// the repository. The change-feed eviction in Sync/Reindex is therefore a
+// memory-hygiene mechanism — it drops superseded and deleted entries — not
+// the correctness mechanism, so a search racing a Sync can never score a new
+// schema through an old profile no matter how the operations interleave.
+type profileCache struct {
+	mu sync.RWMutex
+	m  map[string]*match.Profile
+}
+
+func newProfileCache() *profileCache {
+	return &profileCache{m: make(map[string]*match.Profile)}
+}
+
+// get returns the profile for (id, s), building and caching one when the
+// cached entry is missing or was built from a different schema value.
+func (c *profileCache) get(id string, s *model.Schema) *match.Profile {
+	c.mu.RLock()
+	p := c.m[id]
+	c.mu.RUnlock()
+	if p != nil && p.Schema() == s {
+		return p
+	}
+	p = match.NewProfile(s)
+	c.mu.Lock()
+	// Keep a racing writer's profile if it is for the same schema value;
+	// both are equivalent, but not replacing it lets concurrent readers of
+	// the published entry keep hitting one instance.
+	if cur := c.m[id]; cur == nil || cur.Schema() != s {
+		c.m[id] = p
+	} else {
+		p = cur
+	}
+	c.mu.Unlock()
+	return p
+}
+
+// put installs an eagerly built profile.
+func (c *profileCache) put(id string, p *match.Profile) {
+	c.mu.Lock()
+	c.m[id] = p
+	c.mu.Unlock()
+}
+
+// drop evicts the given IDs (missing IDs are ignored).
+func (c *profileCache) drop(ids ...string) {
+	if len(ids) == 0 {
+		return
+	}
+	c.mu.Lock()
+	for _, id := range ids {
+		delete(c.m, id)
+	}
+	c.mu.Unlock()
+}
+
+// reset empties the cache.
+func (c *profileCache) reset() {
+	c.mu.Lock()
+	c.m = make(map[string]*match.Profile)
+	c.mu.Unlock()
+}
+
+// size returns the number of cached profiles.
+func (c *profileCache) size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"schemr/internal/model"
+	"schemr/internal/query"
+	"schemr/internal/repository"
+	"schemr/internal/webtables"
+)
+
+func fillerSchema(i int) *model.Schema {
+	return &model.Schema{
+		Name: fmt.Sprintf("filler %d", i),
+		Entities: []*model.Entity{{
+			Name: fmt.Sprintf("filler%d", i),
+			Attributes: []*model.Attribute{
+				{Name: "alpha"}, {Name: "beta"}, {Name: fmt.Sprintf("gamma%d", i)},
+			},
+		}},
+	}
+}
+
+// TestSearchSyncNoStaleProfiles runs searches in parallel with repository
+// churn (add/update/delete + Sync) and asserts an updated schema's new
+// element names are matchable immediately after Sync returns — i.e. no
+// search ever scores a schema through a stale profile. Run under -race.
+func TestSearchSyncNoStaleProfiles(t *testing.T) {
+	repo := repository.New()
+	for i := 0; i < 25; i++ {
+		if _, err := repo.Put(fillerSchema(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := NewEngine(repo, Options{})
+	if err := e.Reindex(); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	bgQuery, err := query.Parse(query.Input{Keywords: "filler3 alpha beta"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					if _, err := e.Search(bgQuery, 5); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	const targetID = "target"
+	for i := 0; i < 40; i++ {
+		attr := fmt.Sprintf("zzuniq%04d", i)
+		s := &model.Schema{
+			ID:   targetID,
+			Name: "churning target",
+			Entities: []*model.Entity{{
+				Name:       "t",
+				Attributes: []*model.Attribute{{Name: attr}, {Name: "stable"}},
+			}},
+		}
+		if _, err := repo.Put(s); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := e.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		q, err := query.Parse(query.Input{Keywords: attr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Search(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, r := range res {
+			if r.ID != targetID {
+				continue
+			}
+			found = true
+			matchedNew := false
+			for _, el := range r.Matched {
+				if el.Ref.Entity == "t" && el.Ref.Attribute == attr {
+					matchedNew = true
+				}
+			}
+			if !matchedNew {
+				t.Fatalf("iteration %d: target found but new attribute %q not matched (stale profile?): %+v", i, attr, r.Matched)
+			}
+		}
+		if !found {
+			t.Fatalf("iteration %d: updated schema not returned for its new attribute %q", i, attr)
+		}
+
+		// Every few iterations delete the target, verify it disappears, and
+		// churn a filler so the change feed carries mixed updates.
+		if i%5 == 4 {
+			repo.Delete(targetID)
+			if _, _, err := e.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			res, err := e.Search(q, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range res {
+				if r.ID == targetID {
+					t.Fatalf("iteration %d: deleted schema still in results", i)
+				}
+			}
+			if _, err := repo.Put(fillerSchema(100 + i)); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := e.Sync(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestProfiledSearchMatchesUnprofiled asserts end-to-end search results are
+// identical with the profile cache on and off (same scores, order and
+// matched elements) on a mixed generated corpus.
+func TestProfiledSearchMatchesUnprofiled(t *testing.T) {
+	repo := repository.New()
+	for _, s := range webtables.GenerateRelational(31, 20) {
+		if _, err := repo.Put(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range webtables.GenerateHierarchical(32, 10) {
+		if _, err := repo.Put(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flat, _ := webtables.Filter(webtables.NewGenerator(webtables.Options{Seed: 33, NumTables: 2000}).All())
+	for _, s := range flat {
+		if _, _, err := repo.PutDedup(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	profiled := NewEngine(repo, Options{})
+	unprofiled := NewEngine(repo, Options{DisableProfileCache: true})
+	for _, e := range []*Engine{profiled, unprofiled} {
+		if err := e.Reindex(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, in := range []query.Input{
+		{Keywords: "patient height gender diagnosis"},
+		{Keywords: "order date total", DDL: "CREATE TABLE orders (id INT, total DECIMAL(8,2));"},
+		{Keywords: "name price quantity"},
+	} {
+		q, err := query.Parse(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := unprofiled.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := profiled.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %q: %d results profiled vs %d unprofiled", in.Keywords, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].ID != want[i].ID || got[i].Score != want[i].Score || got[i].Tightness != want[i].Tightness {
+				t.Errorf("query %q result %d: profiled %+v != unprofiled %+v", in.Keywords, i, got[i], want[i])
+			}
+		}
+	}
+	if n := unprofiled.CachedProfiles(); n != 0 {
+		t.Errorf("disabled cache holds %d profiles", n)
+	}
+	if n := profiled.CachedProfiles(); n == 0 {
+		t.Error("enabled cache empty after searches")
+	}
+}
+
+// TestEagerProfiles checks the eager population knob: Reindex precomputes a
+// profile for every schema and Sync keeps them fresh.
+func TestEagerProfiles(t *testing.T) {
+	repo := repository.New()
+	for i := 0; i < 10; i++ {
+		if _, err := repo.Put(fillerSchema(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := NewEngine(repo, Options{EagerProfiles: true})
+	if err := e.Reindex(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.CachedProfiles(); got != repo.Len() {
+		t.Fatalf("after eager Reindex: %d profiles, want %d", got, repo.Len())
+	}
+	id, err := repo.Put(fillerSchema(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.CachedProfiles(); got != repo.Len() {
+		t.Fatalf("after eager Sync: %d profiles, want %d", got, repo.Len())
+	}
+	repo.Delete(id)
+	if _, _, err := e.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.CachedProfiles(); got != repo.Len() {
+		t.Fatalf("after delete+Sync: %d profiles, want %d", got, repo.Len())
+	}
+}

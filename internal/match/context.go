@@ -35,7 +35,12 @@ func (cm *ContextMatcher) Name() string { return "context" }
 
 // contextSets returns each element's neighbor-term set.
 func contextSets(s *model.Schema) map[model.ElementRef][]string {
-	g := model.NewEntityGraph(s)
+	return contextSetsWith(model.NewEntityGraph(s), s)
+}
+
+// contextSetsWith is contextSets with a caller-supplied entity graph, so
+// profile construction builds the graph once and shares it with tightness.
+func contextSetsWith(g *model.EntityGraph, s *model.Schema) map[model.ElementRef][]string {
 	out := make(map[model.ElementRef][]string, s.NumElements())
 	for _, e := range s.Entities {
 		var entCtx []string
@@ -60,29 +65,50 @@ func contextSets(s *model.Schema) map[model.ElementRef][]string {
 }
 
 // simCache memoizes name-pair similarities on normalized forms; context
-// terms repeat heavily across elements of one schema.
+// terms repeat heavily across elements of one schema. Read-only gram sources
+// (precomputed query and schema profiles) are consulted before the cache's
+// own map, so the profiled path never recomputes a profiled term's grams.
 type simCache struct {
 	nm    *NameMatcher
 	grams map[string]map[string]int
 	sims  map[[2]string]float64
+	ro    []map[string]map[string]int
 }
 
-func newSimCache(nm *NameMatcher) *simCache {
-	return &simCache{nm: nm, grams: make(map[string]map[string]int), sims: make(map[[2]string]float64)}
+func newSimCache(nm *NameMatcher, readonly ...map[string]map[string]int) *simCache {
+	return &simCache{
+		nm:    nm,
+		grams: make(map[string]map[string]int),
+		sims:  make(map[[2]string]float64),
+		ro:    readonly,
+	}
 }
 
 func (c *simCache) gramsOf(term string) map[string]int {
-	n := text.Normalize(term)
+	return c.gramsOfNormalized(text.Normalize(term))
+}
+
+// gramsOfNormalized is the cache lookup for a term that is already
+// normalized — each term is normalized exactly once, in sim or gramsOf.
+func (c *simCache) gramsOfNormalized(n string) map[string]int {
+	for _, src := range c.ro {
+		if g, ok := src[n]; ok {
+			return g
+		}
+	}
 	if g, ok := c.grams[n]; ok {
 		return g
 	}
-	g := c.nm.grams(n)
+	g := c.nm.gramsNormalized(n)
 	c.grams[n] = g
 	return g
 }
 
 func (c *simCache) sim(a, b string) float64 {
-	na, nb := text.Normalize(a), text.Normalize(b)
+	return c.simNormalized(text.Normalize(a), text.Normalize(b))
+}
+
+func (c *simCache) simNormalized(na, nb string) float64 {
 	if na > nb {
 		na, nb = nb, na
 	}
@@ -90,7 +116,7 @@ func (c *simCache) sim(a, b string) float64 {
 	if v, ok := c.sims[key]; ok {
 		return v
 	}
-	v := c.nm.gramSim(c.gramsOf(na), c.gramsOf(nb))
+	v := c.nm.gramSim(c.gramsOfNormalized(na), c.gramsOfNormalized(nb))
 	c.sims[key] = v
 	return v
 }
@@ -102,11 +128,28 @@ func (cm *ContextMatcher) softJaccard(cache *simCache, a, b []string) float64 {
 	if len(a) == 0 || len(b) == 0 {
 		return 0
 	}
+	na := make([]string, len(a))
+	for i, t := range a {
+		na[i] = text.Normalize(t)
+	}
+	nb := make([]string, len(b))
+	for i, t := range b {
+		nb[i] = text.Normalize(t)
+	}
+	return cm.softJaccardNormalized(cache, na, nb)
+}
+
+// softJaccardNormalized is softJaccard over pre-normalized term sets — the
+// profiled path holds both sides normalized already.
+func (cm *ContextMatcher) softJaccardNormalized(cache *simCache, a, b []string) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
 	total := 0.0
 	for _, ta := range a {
 		best := 0.0
 		for _, tb := range b {
-			if v := cache.sim(ta, tb); v > best {
+			if v := cache.simNormalized(ta, tb); v > best {
 				best = v
 			}
 		}
@@ -117,7 +160,7 @@ func (cm *ContextMatcher) softJaccard(cache *simCache, a, b []string) float64 {
 	for _, tb := range b {
 		best := 0.0
 		for _, ta := range a {
-			if v := cache.sim(ta, tb); v > best {
+			if v := cache.simNormalized(ta, tb); v > best {
 				best = v
 			}
 		}
@@ -155,6 +198,32 @@ func (cm *ContextMatcher) Match(q *query.Query, s *model.Schema) *Matrix {
 				continue
 			}
 			m.Set(qi, si, cm.softJaccard(cache, qctx, sCtx[sel.Ref]))
+		}
+	}
+	return m
+}
+
+// MatchProfiled implements ProfiledMatcher: neighbor-term sets and their
+// gram multisets come pre-normalized from the query artifacts and the schema
+// profile; only the cross-side pair similarities are computed here (memoized
+// per candidate in the sim cache).
+func (cm *ContextMatcher) MatchProfiled(qa *QueryArtifacts, p *Profile) *Matrix {
+	if cm.nm.maxGram != qa.maxGram || cm.nm.maxGram != p.maxGram {
+		return cm.Match(qa.query, p.schema)
+	}
+	m := NewMatrix(qa.elems, p.elems)
+	cache := newSimCache(cm.nm, qa.gramsByNorm, p.gramsByNorm)
+	for qi, qel := range qa.elems {
+		if qel.IsKeyword() {
+			continue // row stays NotApplicable
+		}
+		qctx := qa.fragCtxNorm[qel.Fragment][qel.Ref]
+		for si, sel := range p.elems {
+			if qel.Kind != sel.Kind {
+				m.Set(qi, si, 0)
+				continue
+			}
+			m.Set(qi, si, cm.softJaccardNormalized(cache, qctx, p.ctxNorm[sel.Ref]))
 		}
 	}
 	return m

@@ -45,6 +45,22 @@ func (em *ExactMatcher) Match(q *query.Query, s *model.Schema) *Matrix {
 	return m
 }
 
+// MatchProfiled implements ProfiledMatcher using the precomputed normalized
+// names on both sides.
+func (em *ExactMatcher) MatchProfiled(qa *QueryArtifacts, p *Profile) *Matrix {
+	m := NewMatrix(qa.elems, p.elems)
+	for i := range qa.elems {
+		for j := range p.elems {
+			if qa.norm[i] != "" && qa.norm[i] == p.norm[j] {
+				m.Set(i, j, 1)
+			} else {
+				m.Set(i, j, 0)
+			}
+		}
+	}
+	return m
+}
+
 // TypeMatcher compares declared attribute types by coarse class (integer,
 // real, text, temporal, boolean, binary). It only applies between a
 // fragment attribute with a declared type and a candidate attribute with a
@@ -118,12 +134,9 @@ func typeSim(a, b typeClass) float64 {
 	return 0.1
 }
 
-// Match implements Matcher.
-func (tm *TypeMatcher) Match(q *query.Query, s *model.Schema) *Matrix {
-	qe := q.Elements()
-	se := s.Elements()
-	m := NewMatrix(qe, se)
-
+// queryTypeClasses computes the coarse type class of each query element
+// (classUnknown for keywords, entities and untyped attributes).
+func queryTypeClasses(q *query.Query, qe []query.Element) []typeClass {
 	qClass := make([]typeClass, len(qe))
 	for i, el := range qe {
 		qClass[i] = classUnknown
@@ -136,6 +149,11 @@ func (tm *TypeMatcher) Match(q *query.Query, s *model.Schema) *Matrix {
 			}
 		}
 	}
+	return qClass
+}
+
+// schemaTypeClasses computes the coarse type class of each schema element.
+func schemaTypeClasses(se []model.Element) []typeClass {
 	sClass := make([]typeClass, len(se))
 	for j, el := range se {
 		sClass[j] = classUnknown
@@ -143,6 +161,23 @@ func (tm *TypeMatcher) Match(q *query.Query, s *model.Schema) *Matrix {
 			sClass[j] = classify(el.Type)
 		}
 	}
+	return sClass
+}
+
+// Match implements Matcher.
+func (tm *TypeMatcher) Match(q *query.Query, s *model.Schema) *Matrix {
+	qe := q.Elements()
+	se := s.Elements()
+	return tm.match(qe, se, queryTypeClasses(q, qe), schemaTypeClasses(se))
+}
+
+// MatchProfiled implements ProfiledMatcher using precomputed type classes.
+func (tm *TypeMatcher) MatchProfiled(qa *QueryArtifacts, p *Profile) *Matrix {
+	return tm.match(qa.elems, p.elems, qa.class, p.class)
+}
+
+func (tm *TypeMatcher) match(qe []query.Element, se []model.Element, qClass, sClass []typeClass) *Matrix {
+	m := NewMatrix(qe, se)
 	for i := range qe {
 		if qClass[i] == classUnknown {
 			continue

@@ -28,14 +28,17 @@ type Matrix struct {
 }
 
 // NewMatrix allocates a matrix of the given shape filled with NotApplicable.
+// All rows share one flat backing array sized from the element counts, so a
+// matrix costs two allocations regardless of shape — this is the hot
+// allocation of the match phase.
 func NewMatrix(q []query.Element, s []model.Element) *Matrix {
+	flat := make([]float64, len(q)*len(s))
+	for i := range flat {
+		flat[i] = NotApplicable
+	}
 	scores := make([][]float64, len(q))
 	for i := range scores {
-		row := make([]float64, len(s))
-		for j := range row {
-			row[j] = NotApplicable
-		}
-		scores[i] = row
+		scores[i] = flat[i*len(s) : (i+1)*len(s) : (i+1)*len(s)]
 	}
 	return &Matrix{Query: q, Schema: s, Scores: scores}
 }
@@ -84,6 +87,17 @@ type Matcher interface {
 	Name() string
 	// Match fills a matrix for the query against the candidate schema.
 	Match(q *query.Query, s *model.Schema) *Matrix
+}
+
+// ProfiledMatcher is the optional fast path of a Matcher: MatchProfiled must
+// produce exactly the same matrix as Match, reading schema-side artifacts
+// from the precomputed Profile and query-side artifacts from the per-search
+// QueryArtifacts instead of recomputing them per candidate. The engine's
+// profile cache uses it for every matcher that implements it and falls back
+// to Match for the rest.
+type ProfiledMatcher interface {
+	Matcher
+	MatchProfiled(qa *QueryArtifacts, p *Profile) *Matrix
 }
 
 // Ensemble combines several matchers with a weighting scheme, initially
@@ -187,14 +201,33 @@ func (e *Ensemble) SetWeights(w map[string]float64) error {
 // and the weights renormalized, so a keyword's score is not diluted by
 // matchers that cannot apply to keywords).
 func (e *Ensemble) Match(q *query.Query, s *model.Schema) *Matrix {
-	qe := q.Elements()
-	se := s.Elements()
-	combined := NewMatrix(qe, se)
-
 	mats := make([]*Matrix, len(e.matchers))
 	for i, m := range e.matchers {
 		mats[i] = m.Match(q, s)
 	}
+	return e.combine(q.Elements(), s.Elements(), mats)
+}
+
+// MatchProfiled is Match on the profiled fast path: schema-side artifacts
+// come from the candidate's cached Profile and query-side artifacts from the
+// per-search QueryArtifacts. Matchers that do not implement ProfiledMatcher
+// fall back to their plain Match. The result is identical to
+// Match(qa.Query(), p.Schema()).
+func (e *Ensemble) MatchProfiled(qa *QueryArtifacts, p *Profile) *Matrix {
+	mats := make([]*Matrix, len(e.matchers))
+	for i, m := range e.matchers {
+		if pm, ok := m.(ProfiledMatcher); ok {
+			mats[i] = pm.MatchProfiled(qa, p)
+		} else {
+			mats[i] = m.Match(qa.query, p.schema)
+		}
+	}
+	return e.combine(qa.elems, p.elems, mats)
+}
+
+// combine merges per-matcher matrices into the total similarity matrix.
+func (e *Ensemble) combine(qe []query.Element, se []model.Element, mats []*Matrix) *Matrix {
+	combined := NewMatrix(qe, se)
 	for qi := range qe {
 		for si := range se {
 			sum, wsum := 0.0, 0.0

@@ -21,8 +21,13 @@ type NameMatcher struct {
 	maxGram int
 }
 
+// defaultMaxGram is the n-gram cap used by NewNameMatcher and by the
+// precomputed profiles; a matcher with a different cap falls back to
+// computing grams itself rather than reusing profile grams.
+const defaultMaxGram = 32
+
 // NewNameMatcher returns a name matcher with the default n-gram cap (32).
-func NewNameMatcher() *NameMatcher { return &NameMatcher{maxGram: 32} }
+func NewNameMatcher() *NameMatcher { return &NameMatcher{maxGram: defaultMaxGram} }
 
 // Name implements Matcher.
 func (nm *NameMatcher) Name() string { return "name" }
@@ -35,7 +40,13 @@ func (nm *NameMatcher) Similarity(a, b string) float64 {
 }
 
 func (nm *NameMatcher) grams(s string) map[string]int {
-	n := text.Normalize(s)
+	return nm.gramsNormalized(text.Normalize(s))
+}
+
+// gramsNormalized builds the n-gram multiset of an already-normalized name;
+// callers that hold normalized forms (the sim cache, profiles) use it to
+// avoid normalizing twice.
+func (nm *NameMatcher) gramsNormalized(n string) map[string]int {
 	max := len([]rune(n))
 	if max > nm.maxGram {
 		max = nm.maxGram
@@ -77,6 +88,21 @@ func (nm *NameMatcher) Match(q *query.Query, s *model.Schema) *Matrix {
 	for i := range qe {
 		for j := range se {
 			m.Set(i, j, nm.gramSim(qGrams[i], sGrams[j]))
+		}
+	}
+	return m
+}
+
+// MatchProfiled implements ProfiledMatcher: both sides' n-gram multisets are
+// read from the precomputed artifacts instead of being rebuilt per call.
+func (nm *NameMatcher) MatchProfiled(qa *QueryArtifacts, p *Profile) *Matrix {
+	if nm.maxGram != qa.maxGram || nm.maxGram != p.maxGram {
+		return nm.Match(qa.query, p.schema)
+	}
+	m := NewMatrix(qa.elems, p.elems)
+	for i := range qa.elems {
+		for j := range p.elems {
+			m.Set(i, j, nm.gramSim(qa.grams[i], p.grams[j]))
 		}
 	}
 	return m

@@ -1,0 +1,175 @@
+package match
+
+import (
+	"sort"
+
+	"schemr/internal/model"
+	"schemr/internal/query"
+	"schemr/internal/text"
+)
+
+// Profile holds every query-independent artifact the fine-grained phases
+// derive from one candidate schema: its element list, normalized names,
+// name n-gram multisets, context neighbor-term sets (pre-normalized, with
+// their gram multisets), coarse type classes, and the entity graph with the
+// BFS distance map of every anchor. Building one costs about as much as a
+// single unprofiled Ensemble.Match + tightness.Score against that schema;
+// every subsequent search reuses it, which is what makes the engine's
+// profile cache pay off.
+//
+// A Profile is immutable after construction and safe for concurrent use. It
+// is built from a specific *model.Schema value and remembers it (Schema);
+// callers cache profiles keyed by schema identity so a replaced schema is
+// never scored through a stale profile.
+type Profile struct {
+	schema  *model.Schema
+	elems   []model.Element
+	norm    []string         // normalized element names, aligned with elems
+	grams   []map[string]int // name n-gram multisets, aligned with elems
+	class   []typeClass      // coarse type classes, aligned with elems
+	maxGram int              // n-gram cap the gram multisets were built with
+
+	ctxNorm     map[model.ElementRef][]string // normalized neighbor-term sets
+	gramsByNorm map[string]map[string]int     // normalized term → gram multiset
+
+	graph   *model.EntityGraph
+	anchors []string                  // sorted entity names
+	dists   map[string]map[string]int // anchor → entity → FK hops
+}
+
+// NewProfile precomputes the match profile of a schema. The gram multisets
+// use the default name-matcher cap; a NameMatcher configured differently
+// detects the mismatch and recomputes rather than reusing them.
+func NewProfile(s *model.Schema) *Profile {
+	nm := NewNameMatcher()
+	elems := s.Elements()
+	p := &Profile{
+		schema:      s,
+		elems:       elems,
+		norm:        make([]string, len(elems)),
+		grams:       make([]map[string]int, len(elems)),
+		class:       schemaTypeClasses(elems),
+		maxGram:     nm.maxGram,
+		gramsByNorm: make(map[string]map[string]int, len(elems)),
+	}
+	for i, el := range elems {
+		n := text.Normalize(el.Name)
+		p.norm[i] = n
+		if g, ok := p.gramsByNorm[n]; ok {
+			p.grams[i] = g
+		} else {
+			g = nm.gramsNormalized(n)
+			p.grams[i] = g
+			p.gramsByNorm[n] = g
+		}
+	}
+
+	p.graph = model.NewEntityGraph(s)
+	ctx := contextSetsWith(p.graph, s)
+	p.ctxNorm = make(map[model.ElementRef][]string, len(ctx))
+	for ref, terms := range ctx {
+		normed := make([]string, len(terms))
+		for i, t := range terms {
+			n := text.Normalize(t)
+			normed[i] = n
+			if _, ok := p.gramsByNorm[n]; !ok {
+				p.gramsByNorm[n] = nm.gramsNormalized(n)
+			}
+		}
+		p.ctxNorm[ref] = normed
+	}
+
+	p.anchors = make([]string, 0, len(s.Entities))
+	for _, e := range s.Entities {
+		p.anchors = append(p.anchors, e.Name)
+	}
+	sort.Strings(p.anchors)
+	p.dists = p.graph.AllDistances()
+	return p
+}
+
+// Schema returns the exact schema value the profile was built from; caches
+// compare it against the current repository value to detect staleness.
+func (p *Profile) Schema() *model.Schema { return p.schema }
+
+// Elements returns the cached s.Elements() slice. Callers must not mutate it.
+func (p *Profile) Elements() []model.Element { return p.elems }
+
+// Graph returns the cached entity graph.
+func (p *Profile) Graph() *model.EntityGraph { return p.graph }
+
+// Anchors returns the schema's entity names in sorted order — the anchor
+// scan order of the tightness measurement. Callers must not mutate it.
+func (p *Profile) Anchors() []string { return p.anchors }
+
+// AnchorDistances returns the precomputed FK hop distances from the given
+// anchor entity (nil for unknown anchors), keyed by entity name with
+// unreachable entities absent — the same contract as
+// model.EntityGraph.DistancesFrom. Callers must not mutate the map.
+func (p *Profile) AnchorDistances(anchor string) map[string]int { return p.dists[anchor] }
+
+// QueryArtifacts holds the query-side computations shared across every
+// candidate of one search: elements, normalized names, gram multisets, type
+// classes and per-fragment context sets. Built once per search, read-only
+// afterwards, safe for concurrent use by the parallel match workers.
+type QueryArtifacts struct {
+	query   *query.Query
+	elems   []query.Element
+	norm    []string
+	grams   []map[string]int
+	class   []typeClass
+	maxGram int
+
+	fragCtxNorm []map[model.ElementRef][]string
+	gramsByNorm map[string]map[string]int
+}
+
+// NewQueryArtifacts precomputes the query side of the matcher ensemble.
+func NewQueryArtifacts(q *query.Query) *QueryArtifacts {
+	nm := NewNameMatcher()
+	elems := q.Elements()
+	qa := &QueryArtifacts{
+		query:       q,
+		elems:       elems,
+		norm:        make([]string, len(elems)),
+		grams:       make([]map[string]int, len(elems)),
+		class:       queryTypeClasses(q, elems),
+		maxGram:     nm.maxGram,
+		gramsByNorm: make(map[string]map[string]int, len(elems)),
+	}
+	for i, el := range elems {
+		n := text.Normalize(el.Name)
+		qa.norm[i] = n
+		if g, ok := qa.gramsByNorm[n]; ok {
+			qa.grams[i] = g
+		} else {
+			g = nm.gramsNormalized(n)
+			qa.grams[i] = g
+			qa.gramsByNorm[n] = g
+		}
+	}
+	qa.fragCtxNorm = make([]map[model.ElementRef][]string, len(q.Fragments))
+	for fi, frag := range q.Fragments {
+		ctx := contextSets(frag)
+		normed := make(map[model.ElementRef][]string, len(ctx))
+		for ref, terms := range ctx {
+			nt := make([]string, len(terms))
+			for i, t := range terms {
+				n := text.Normalize(t)
+				nt[i] = n
+				if _, ok := qa.gramsByNorm[n]; !ok {
+					qa.gramsByNorm[n] = nm.gramsNormalized(n)
+				}
+			}
+			normed[ref] = nt
+		}
+		qa.fragCtxNorm[fi] = normed
+	}
+	return qa
+}
+
+// Query returns the query the artifacts were built from.
+func (qa *QueryArtifacts) Query() *query.Query { return qa.query }
+
+// Elements returns the cached q.Elements() slice. Callers must not mutate it.
+func (qa *QueryArtifacts) Elements() []query.Element { return qa.elems }

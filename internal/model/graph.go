@@ -150,6 +150,18 @@ func (g *EntityGraph) DistancesFrom(from string) map[string]int {
 	return out
 }
 
+// AllDistances returns DistancesFrom for every entity, keyed by entity name.
+// The match-profile cache precomputes this once per schema so the tightness
+// anchor scan reuses the BFS results across searches instead of re-running
+// one BFS per anchor per candidate per search.
+func (g *EntityGraph) AllDistances() map[string]map[string]int {
+	out := make(map[string]map[string]int, len(g.names))
+	for _, n := range g.names {
+		out[n] = g.DistancesFrom(n)
+	}
+	return out
+}
+
 // TransitiveClosure returns the set of entities reachable from name via any
 // number of foreign-key hops, including name itself. This is the "entity
 // neighborhood (transitive closure on foreign key)" of the paper.

@@ -90,6 +90,34 @@ func (r Result) NumMatches() int { return len(r.Matched) }
 // Score computes the tightness-of-fit of schema s under the combined
 // similarity matrix m (whose schema columns must come from s.Elements()).
 func Score(s *model.Schema, m *match.Matrix, opts Options) Result {
+	return score(m, opts, func() ([]string, func(string) map[string]int) {
+		g := model.NewEntityGraph(s)
+		// "This calculation is repeated for all possible anchor entities":
+		// every entity is a candidate anchor, not just those containing a
+		// matched element — a hub entity adjacent to two disconnected match
+		// clusters can beat an anchor inside either cluster.
+		anchors := make([]string, 0, len(s.Entities))
+		for _, e := range s.Entities {
+			anchors = append(anchors, e.Name)
+		}
+		sort.Strings(anchors) // deterministic tie-breaking: first anchor wins
+		return anchors, g.DistancesFrom
+	})
+}
+
+// ScoreProfiled is Score reusing the candidate's cached match profile: the
+// entity graph, the sorted anchor list and every anchor's BFS distance map
+// come precomputed instead of being rebuilt per candidate per search. The
+// result is identical to Score(p.Schema(), m, opts).
+func ScoreProfiled(p *match.Profile, m *match.Matrix, opts Options) Result {
+	return score(m, opts, func() ([]string, func(string) map[string]int) {
+		return p.Anchors(), p.AnchorDistances
+	})
+}
+
+// score is the shared measurement: graphFn supplies the anchor list and the
+// per-anchor distance lookup, and is only invoked when something matched.
+func score(m *match.Matrix, opts Options, graphFn func() ([]string, func(string) map[string]int)) Result {
 	opts.defaults()
 
 	best, argmax := m.ElementBest()
@@ -107,24 +135,14 @@ func Score(s *model.Schema, m *match.Matrix, opts Options) Result {
 		return Result{AnchorScores: map[string]float64{}}
 	}
 
-	g := model.NewEntityGraph(s)
-
-	// "This calculation is repeated for all possible anchor entities": every
-	// entity is a candidate anchor, not just those containing a matched
-	// element — a hub entity adjacent to two disconnected match clusters can
-	// beat an anchor inside either cluster.
-	anchors := make([]string, 0, len(s.Entities))
-	for _, e := range s.Entities {
-		anchors = append(anchors, e.Name)
-	}
-	sort.Strings(anchors) // deterministic tie-breaking: first anchor wins
+	anchors, distancesFrom := graphFn()
 
 	res := Result{AnchorScores: make(map[string]float64, len(anchors))}
 	bestScore, bestAnchor := -1.0, ""
 	var bestPenalties []float64
 
 	for _, anchor := range anchors {
-		dists := g.DistancesFrom(anchor)
+		dists := distancesFrom(anchor)
 		total := 0.0
 		penalties := make([]float64, len(matched))
 		for i, me := range matched {
