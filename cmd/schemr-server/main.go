@@ -1,18 +1,25 @@
 // Command schemr-server runs the Schemr web service (the paper's Figure 5):
 // an XML search API, GraphML and SVG schema endpoints, an embedded HTML GUI,
 // and a scheduled offline indexer that keeps the document index in sync
-// with the schema repository.
+// with the schema repository. The serving stack carries a full request
+// lifecycle: per-request deadlines, panic recovery, a bounded in-flight
+// search gate that sheds load with 503 + Retry-After, and graceful shutdown
+// on SIGINT/SIGTERM.
 //
 // Usage:
 //
 //	schemr-server -data DIR [-addr :8080] [-sync 30s]
+//	              [-timeout 10s] [-max-inflight 64] [-slow 1s]
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"schemr"
@@ -23,6 +30,10 @@ func main() {
 	data := flag.String("data", "schemr-data", "data directory (repository.json)")
 	addr := flag.String("addr", ":8080", "listen address")
 	sync := flag.Duration("sync", 30*time.Second, "offline indexer interval")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request search deadline (negative disables)")
+	maxInflight := flag.Int("max-inflight", 64, "max concurrent searches before shedding 503 (negative disables)")
+	slow := flag.Duration("slow", time.Second, "log requests slower than this (negative disables)")
+	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget for in-flight requests")
 	flag.Parse()
 
 	sys, err := schemr.Open(*data)
@@ -31,16 +42,47 @@ func main() {
 	}
 	log.Printf("loaded %d schemas from %s, %d indexed", sys.Repo.Len(), *data, sys.Engine.IndexedDocs())
 
-	srv := server.New(sys.Engine)
+	srv := server.NewWithConfig(sys.Engine, server.Config{
+		SearchTimeout: *timeout,
+		MaxInFlight:   *maxInflight,
+		SlowRequest:   *slow,
+	})
 	stop := srv.StartIndexer(*sync)
 	defer stop()
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	// Graceful shutdown ordering on SIGINT/SIGTERM: stop accepting and
+	// drain in-flight requests (http.Server.Shutdown), then halt the
+	// offline indexer and cancel outstanding request deadlines
+	// (server.Shutdown), then exit.
+	ctx, cancelSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancelSignals()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		log.Printf("shutting down: draining in-flight requests (budget %v)", *drain)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(drainCtx); err != nil {
+			log.Printf("schemr-server: drain: %v", err)
+		}
+		srv.Shutdown()
+	}()
 
 	if strings.HasPrefix(*addr, ":") {
 		log.Printf("serving on %s (GUI at http://localhost%s/)", *addr, *addr)
 	} else {
 		log.Printf("serving on http://%s/", *addr)
 	}
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatalf("schemr-server: %v", err)
 	}
+	<-shutdownDone
+	log.Printf("shut down cleanly")
 }

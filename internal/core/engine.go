@@ -10,6 +10,7 @@ package core
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -132,6 +133,10 @@ type SearchStats struct {
 	QueryTerms     int
 	Candidates     int
 	ElementsScored int
+	// TotalRanked is the number of results that cleared the full ranking,
+	// before truncation to the caller's limit — the pagination-true total
+	// for "ask for the next n schemas" clients.
+	TotalRanked    int
 	PhaseExtract   time.Duration
 	PhaseMatch     time.Duration
 	PhaseTightness time.Duration
@@ -412,14 +417,33 @@ func (e *Engine) LoadIndex(path string) error {
 // Search runs the three-phase algorithm and returns up to limit results
 // (limit <= 0 means 10).
 func (e *Engine) Search(q *query.Query, limit int) ([]Result, error) {
-	res, _, err := e.SearchWithStats(q, limit)
+	return e.SearchContext(context.Background(), q, limit)
+}
+
+// SearchContext is Search honoring a request context: a cancelled or
+// expired context aborts the search between candidates and returns ctx.Err().
+func (e *Engine) SearchContext(ctx context.Context, q *query.Query, limit int) ([]Result, error) {
+	res, _, err := e.SearchWithStatsContext(ctx, q, limit)
 	return res, err
 }
 
 // SearchWithStats is Search plus per-phase instrumentation.
 func (e *Engine) SearchWithStats(q *query.Query, limit int) ([]Result, SearchStats, error) {
+	return e.SearchWithStatsContext(context.Background(), q, limit)
+}
+
+// SearchWithStatsContext is SearchWithStats honoring a request context. The
+// context is checked between candidates in every phase: candidate
+// extraction stops topping up fallback hits, the match phase stops
+// dispatching candidates to the worker pool (in-flight matches drain), and
+// the tightness phase stops scoring. A cancelled search returns ctx.Err()
+// with the stats accumulated so far.
+func (e *Engine) SearchWithStatsContext(ctx context.Context, q *query.Query, limit int) ([]Result, SearchStats, error) {
 	if q == nil || q.IsEmpty() {
 		return nil, SearchStats{}, fmt.Errorf("core: empty query")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, SearchStats{}, err
 	}
 	if limit <= 0 {
 		limit = 10
@@ -447,7 +471,7 @@ func (e *Engine) SearchWithStats(q *query.Query, limit int) ([]Result, SearchSta
 		}
 		extra := idx.SearchTerms(trigramsOf(terms), e.opts.CandidateN, e.opts.Index)
 		for _, h := range extra {
-			if len(hits) >= e.opts.CandidateN {
+			if len(hits) >= e.opts.CandidateN || ctx.Err() != nil {
 				break
 			}
 			if !seen[h.ID] {
@@ -458,6 +482,9 @@ func (e *Engine) SearchWithStats(q *query.Query, limit int) ([]Result, SearchSta
 	}
 	stats.PhaseExtract = time.Since(start)
 	stats.Candidates = len(hits)
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
 	if len(hits) == 0 {
 		return nil, stats, nil
 	}
@@ -482,14 +509,25 @@ func (e *Engine) SearchWithStats(q *query.Query, limit int) ([]Result, SearchSta
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, e.opts.Parallelism)
 	var elements atomic.Int64
+dispatch:
 	for i, h := range hits {
+		// Cancellation gate: check before dispatching each candidate so an
+		// abandoned search stops matching promptly instead of burning the
+		// worker pool on all CandidateN candidates.
+		if ctx.Err() != nil {
+			break
+		}
 		s := e.repo.Get(h.ID)
 		if s == nil {
 			continue // deleted between index snapshot and now
 		}
 		cands[i] = scored{hit: h, schema: s}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			break dispatch
+		}
 		wg.Add(1)
-		sem <- struct{}{}
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
@@ -508,11 +546,18 @@ func (e *Engine) SearchWithStats(q *query.Query, limit int) ([]Result, SearchSta
 	wg.Wait()
 	stats.PhaseMatch = time.Since(start)
 	stats.ElementsScored = int(elements.Load())
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
 
 	// Phase 3: tightness-of-fit measurement and final ranking.
 	start = time.Now()
 	results := make([]Result, 0, len(cands))
 	for _, c := range cands {
+		if err := ctx.Err(); err != nil {
+			stats.PhaseTightness = time.Since(start)
+			return nil, stats, err
+		}
 		if c.schema == nil || c.matrix == nil {
 			continue
 		}
@@ -557,6 +602,7 @@ func (e *Engine) SearchWithStats(q *query.Query, limit int) ([]Result, SearchSta
 		}
 		return results[i].ID < results[j].ID
 	})
+	stats.TotalRanked = len(results)
 	if len(results) > limit {
 		results = results[:limit]
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -36,8 +37,18 @@ type Explanation struct {
 // Search it does not require the schema to survive candidate extraction,
 // so it can also explain why something is missing from results.
 func (e *Engine) Explain(q *query.Query, id string) (*Explanation, error) {
+	return e.ExplainContext(context.Background(), q, id)
+}
+
+// ExplainContext is Explain honoring a request context: cancellation is
+// checked between the coarse and fine-grained phases, so an abandoned
+// explanation stops before the matcher ensemble runs.
+func (e *Engine) ExplainContext(ctx context.Context, q *query.Query, id string) (*Explanation, error) {
 	if q == nil || q.IsEmpty() {
 		return nil, fmt.Errorf("core: empty query")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	s := e.repo.Get(id)
 	if s == nil {
@@ -50,10 +61,15 @@ func (e *Engine) Explain(q *query.Query, id string) (*Explanation, error) {
 
 	ex := &Explanation{ID: id}
 	terms := q.Flatten()
-	// index.Explain takes the raw query string path; reuse the term list
-	// by joining (the analyzer re-splits identically).
-	ex.Coarse = idx.Explain(join(terms), id)
+	// index.Explain takes the raw query string path; reuse the term list by
+	// joining (the analyzer re-splits identically). The engine's index
+	// options ride along so the coarse explanation scores exactly as
+	// candidate extraction does under BM25/proximity/coord configurations.
+	ex.Coarse = idx.Explain(join(terms), id, e.opts.Index)
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	m := ensemble.Match(q, s)
 	ex.TopPairs = m.TopPairs(10)
 	ex.Tightness = tightness.Score(s, m, e.opts.Tightness)

@@ -372,7 +372,7 @@ func TestAddErrors(t *testing.T) {
 
 func TestExplain(t *testing.T) {
 	ix := seedIndex(t)
-	ex := ix.Explain("patient diagnosis shipping", "clinic")
+	ex := ix.Explain("patient diagnosis shipping", "clinic", SearchOptions{})
 	if ex == nil {
 		t.Fatal("nil explanation")
 	}
@@ -387,11 +387,120 @@ func TestExplain(t *testing.T) {
 	if !approxEq(score(hits, "clinic"), ex.Total) {
 		t.Errorf("explain total %v != search score %v", ex.Total, score(hits, "clinic"))
 	}
-	if ix.Explain("patient", "nope") != nil {
+	if ix.Explain("patient", "nope", SearchOptions{}) != nil {
 		t.Error("unknown doc should explain nil")
 	}
-	if ix.Explain("zebra", "clinic") != nil {
+	if ix.Explain("zebra", "clinic", SearchOptions{}) != nil {
 		t.Error("non-matching doc should explain nil")
+	}
+}
+
+// TestExplainMatchesSearchOptions pins the Explain/Search contract under
+// every scoring configuration: for each hit Search returns, Explain of the
+// same document under the same options reproduces the exact score.
+func TestExplainMatchesSearchOptions(t *testing.T) {
+	ix := seedIndex(t)
+	queries := []string{
+		"patient diagnosis shipping",
+		"patient height gender diagnosis",
+		"order sku price",
+		"patient",
+	}
+	configs := map[string]SearchOptions{
+		"classic":        {},
+		"coord-off":      {DisableCoord: true},
+		"bm25":           {BM25: true},
+		"bm25-tuned":     {BM25: true, K1: 0.9, B: 0.3},
+		"proximity":      {Proximity: true},
+		"proximity-w":    {Proximity: true, ProximityWeight: 0.5},
+		"bm25-proximity": {BM25: true, Proximity: true, DisableCoord: true},
+		"minmatch":       {MinShouldMatch: 2},
+	}
+	for name, opts := range configs {
+		for _, q := range queries {
+			hits := ix.Search(q, 0, opts)
+			for _, h := range hits {
+				ex := ix.Explain(q, h.ID, opts)
+				if ex == nil {
+					t.Fatalf("%s %q: no explanation for hit %s", name, q, h.ID)
+				}
+				if !approxEq(ex.Total, h.Score) {
+					t.Errorf("%s %q %s: explain total %v != search score %v",
+						name, q, h.ID, ex.Total, h.Score)
+				}
+				if ex.TermsHit != h.TermsMatched {
+					t.Errorf("%s %q %s: terms hit %d != matched %d",
+						name, q, h.ID, ex.TermsHit, h.TermsMatched)
+				}
+			}
+		}
+	}
+	// MinShouldMatch: a document Search drops must explain nil.
+	if ex := ix.Explain("patient shipping", "clinic", SearchOptions{MinShouldMatch: 2}); ex != nil {
+		t.Errorf("below-minmatch doc should explain nil, got %+v", ex)
+	}
+	// DisableCoord reports a neutral coordination factor.
+	if ex := ix.Explain("patient diagnosis shipping", "clinic", SearchOptions{DisableCoord: true}); ex == nil || ex.Coord != 1 {
+		t.Errorf("coord-off explanation = %+v", ex)
+	}
+	// Proximity surfaces the bonus it added.
+	ex := ix.Explain("patient diagnosis", "clinic", SearchOptions{Proximity: true})
+	if ex == nil || ex.Proximity <= 0 {
+		t.Errorf("proximity explanation = %+v", ex)
+	}
+}
+
+// TestMinSpanListsMatchesBruteForce checks the linear sorted-merge against
+// the quadratic cross-product reference on randomized position lists,
+// including unsorted multi-field concatenations.
+func TestMinSpanListsMatchesBruteForce(t *testing.T) {
+	brute := func(lists [][]int32) int32 {
+		best := int32(-1)
+		for i := 0; i < len(lists); i++ {
+			for j := i + 1; j < len(lists); j++ {
+				for _, a := range lists[i] {
+					for _, b := range lists[j] {
+						d := a - b
+						if d < 0 {
+							d = -d
+						}
+						if best < 0 || d < best {
+							best = d
+						}
+					}
+				}
+			}
+		}
+		return best
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		nLists := rng.Intn(5)
+		lists := make([][]int32, 0, nLists)
+		for i := 0; i < nLists; i++ {
+			// One or two sorted runs per list, mimicking per-field
+			// concatenation (the second run restarts at position 0).
+			var pos []int32
+			for runs := 1 + rng.Intn(2); runs > 0; runs-- {
+				p := int32(rng.Intn(5))
+				for n := 1 + rng.Intn(6); n > 0; n-- {
+					pos = append(pos, p)
+					p += int32(1 + rng.Intn(10))
+				}
+			}
+			lists = append(lists, pos)
+		}
+		// Brute force first: minSpanLists may sort the lists in place.
+		want := brute(lists)
+		if got := minSpanLists(lists); got != want {
+			t.Fatalf("trial %d: merge span %d != brute-force span %d (lists %v)", trial, got, want, lists)
+		}
+	}
+	if minSpanLists(nil) != -1 {
+		t.Error("no lists should span -1")
+	}
+	if minSpanLists([][]int32{{1, 2, 3}}) != -1 {
+		t.Error("single list should span -1")
 	}
 }
 

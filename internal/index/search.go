@@ -86,28 +86,10 @@ func (ix *Index) SearchTerms(terms []string, n int, opts SearchOptions) []Hit {
 
 	// BM25 needs per-field average lengths; recover lengths from the
 	// stored norms (norm = 1/sqrt(len)).
-	k1, b := opts.K1, opts.B
+	k1, b := opts.bm25Params()
 	var avgLen []float64
 	if opts.BM25 {
-		if k1 == 0 {
-			k1 = 1.2
-		}
-		if b == 0 {
-			b = 0.75
-		}
-		avgLen = make([]float64, len(ix.norms))
-		for f, col := range ix.norms {
-			total, n := 0.0, 0
-			for doc, norm := range col {
-				if norm > 0 && !ix.deleted[doc] {
-					total += 1 / float64(norm) / float64(norm)
-					n++
-				}
-			}
-			if n > 0 {
-				avgLen[f] = total / float64(n)
-			}
-		}
+		avgLen = ix.avgFieldLens()
 	}
 
 	for ti, term := range uniq {
@@ -115,10 +97,7 @@ func (ix *Index) SearchTerms(terms []string, n int, opts SearchOptions) []Hit {
 		if !ok || e.df == 0 {
 			continue
 		}
-		idf := 1 + math.Log(float64(numDocs)/float64(e.df+1))
-		if opts.BM25 {
-			idf = math.Log(1 + (float64(numDocs)-float64(e.df)+0.5)/(float64(e.df)+0.5))
-		}
+		idf := ix.idf(e.df, opts.BM25)
 		var perDoc map[int32][]int32
 		if opts.Proximity {
 			perDoc = make(map[int32][]int32)
@@ -131,23 +110,7 @@ func (ix *Index) SearchTerms(terms []string, n int, opts SearchOptions) []Hit {
 			if ix.deleted[p.doc] {
 				continue
 			}
-			norm := float64(ix.norms[p.field][p.doc])
-			var contrib float64
-			if opts.BM25 {
-				fieldLen := 0.0
-				if norm > 0 {
-					fieldLen = 1 / norm / norm
-				}
-				denomNorm := 1.0
-				if avgLen[p.field] > 0 {
-					denomNorm = 1 - b + b*fieldLen/avgLen[p.field]
-				}
-				freq := float64(p.freq)
-				contrib = ix.boost(p.field) * idf * freq * (k1 + 1) / (freq + k1*denomNorm)
-			} else {
-				contrib = ix.boost(p.field) * math.Sqrt(float64(p.freq)) * idf * norm
-			}
-			scores[p.doc] += contrib
+			scores[p.doc] += ix.contribution(p, idf, opts.BM25, k1, b, avgLen)
 			if !counted[p.doc] {
 				counted[p.doc] = true
 				matched[p.doc]++
@@ -208,41 +171,131 @@ func (ix *Index) SearchTerms(terms []string, n int, opts SearchOptions) []Hit {
 	return out
 }
 
+// bm25Params resolves the BM25 tuning parameters with their defaults.
+func (o SearchOptions) bm25Params() (k1, b float64) {
+	k1, b = o.K1, o.B
+	if k1 == 0 {
+		k1 = 1.2
+	}
+	if b == 0 {
+		b = 0.75
+	}
+	return k1, b
+}
+
+// avgFieldLens recovers the per-field average token length from the stored
+// norms (norm = 1/sqrt(len)), over live documents. Caller holds a lock.
+func (ix *Index) avgFieldLens() []float64 {
+	avgLen := make([]float64, len(ix.norms))
+	for f, col := range ix.norms {
+		total, n := 0.0, 0
+		for doc, norm := range col {
+			if norm > 0 && !ix.deleted[doc] {
+				total += 1 / float64(norm) / float64(norm)
+				n++
+			}
+		}
+		if n > 0 {
+			avgLen[f] = total / float64(n)
+		}
+	}
+	return avgLen
+}
+
+// idf returns the inverse document frequency of a term with df live
+// postings, in the classic or BM25 formulation. Caller holds a lock.
+func (ix *Index) idf(df int32, bm25 bool) float64 {
+	n := float64(ix.live)
+	if bm25 {
+		return math.Log(1 + (n-float64(df)+0.5)/(float64(df)+0.5))
+	}
+	return 1 + math.Log(n/float64(df+1))
+}
+
+// contribution scores one posting: the per-term, per-field score fragment
+// summed into a document's total by SearchTerms and itemized by Explain.
+// avgLen is only consulted when bm25 is set. Caller holds a lock.
+func (ix *Index) contribution(p posting, idf float64, bm25 bool, k1, b float64, avgLen []float64) float64 {
+	norm := float64(ix.norms[p.field][p.doc])
+	if bm25 {
+		fieldLen := 0.0
+		if norm > 0 {
+			fieldLen = 1 / norm / norm
+		}
+		denomNorm := 1.0
+		if avgLen[p.field] > 0 {
+			denomNorm = 1 - b + b*fieldLen/avgLen[p.field]
+		}
+		freq := float64(p.freq)
+		return ix.boost(p.field) * idf * freq * (k1 + 1) / (freq + k1*denomNorm)
+	}
+	return ix.boost(p.field) * math.Sqrt(float64(p.freq)) * idf * norm
+}
+
 // minPairSpan returns the smallest absolute distance between positions of
 // any two distinct query terms within the given document, or -1 when fewer
 // than two terms have positions there. Positions from different fields are
 // mixed; the bonus is a heuristic, not a phrase match.
 func minPairSpan(termPositions []map[int32][]int32, doc int32) int32 {
+	var lists [][]int32
+	for _, pm := range termPositions {
+		if pm == nil {
+			continue
+		}
+		if pos, ok := pm[doc]; ok && len(pos) > 0 {
+			lists = append(lists, pos)
+		}
+	}
+	return minSpanLists(lists)
+}
+
+// minSpanLists returns the smallest absolute distance between positions of
+// any two distinct lists, or -1 with fewer than two lists. Each list is a
+// concatenation of in-order per-field position runs; lists are sorted in
+// place when a multi-field merge left them unsorted, after which each pair
+// is scanned with a linear two-pointer merge instead of the quadratic
+// cross product.
+func minSpanLists(lists [][]int32) int32 {
+	for _, pos := range lists {
+		if !sort.SliceIsSorted(pos, func(a, b int) bool { return pos[a] < pos[b] }) {
+			sort.Slice(pos, func(a, b int) bool { return pos[a] < pos[b] })
+		}
+	}
 	best := int32(-1)
-	for i := 0; i < len(termPositions); i++ {
-		pi := termPositions[i]
-		if pi == nil {
-			continue
+	for i := 0; i < len(lists); i++ {
+		for j := i + 1; j < len(lists); j++ {
+			d := minSortedSpan(lists[i], lists[j])
+			if best < 0 || d < best {
+				best = d
+			}
+			if best == 0 {
+				return 0
+			}
 		}
-		posI, ok := pi[doc]
-		if !ok {
-			continue
+	}
+	return best
+}
+
+// minSortedSpan merges two sorted position lists, tracking the smallest
+// absolute difference — O(len(a)+len(b)).
+func minSortedSpan(a, b []int32) int32 {
+	i, j := 0, 0
+	best := int32(-1)
+	for i < len(a) && j < len(b) {
+		d := a[i] - b[j]
+		if d < 0 {
+			d = -d
 		}
-		for j := i + 1; j < len(termPositions); j++ {
-			pj := termPositions[j]
-			if pj == nil {
-				continue
-			}
-			posJ, ok := pj[doc]
-			if !ok {
-				continue
-			}
-			for _, a := range posI {
-				for _, b := range posJ {
-					d := a - b
-					if d < 0 {
-						d = -d
-					}
-					if best < 0 || d < best {
-						best = d
-					}
-				}
-			}
+		if best < 0 || d < best {
+			best = d
+		}
+		if best == 0 {
+			return 0
+		}
+		if a[i] < b[j] {
+			i++
+		} else {
+			j++
 		}
 	}
 	return best
@@ -295,18 +348,26 @@ func (ix *Index) Terms() []TermStats {
 // Explanation breaks a document's score for one query down per term, for
 // tests and the CLI's --explain flag.
 type Explanation struct {
-	ID          string
-	Total       float64
-	Coord       float64
+	ID    string
+	Total float64
+	// Coord is the coordination factor multiplied into Total (1 when
+	// SearchOptions.DisableCoord is set).
+	Coord float64
+	// Proximity is the proximity bonus included in the pre-coord sum (0
+	// unless SearchOptions.Proximity is set and two terms co-occur).
+	Proximity   float64
 	PerTerm     map[string]float64
 	TermsHit    int
 	TermsInNeed int
 }
 
-// Explain recomputes the score of document id for the query and reports the
-// per-term contributions. It returns nil when the document does not match
-// at all or does not exist.
-func (ix *Index) Explain(query string, id string) *Explanation {
+// Explain recomputes the score of document id for the query under the same
+// options Search would use — per-term scoring (classic TF/IDF or BM25),
+// proximity bonus, coordination factor and minimum-match gate are all the
+// SearchTerms code paths, so Total equals the Hit.Score Search reports for
+// this document. It returns nil when the document would not match at all
+// (including failing MinShouldMatch) or does not exist.
+func (ix *Index) Explain(query string, id string, opts SearchOptions) *Explanation {
 	terms := ix.analyzer(FieldElements, query)
 	uniq := make([]string, 0, len(terms))
 	seen := make(map[string]bool, len(terms))
@@ -322,30 +383,59 @@ func (ix *Index) Explain(query string, id string) *Explanation {
 	if !ok || ix.deleted[ord] || ix.live == 0 || len(uniq) == 0 {
 		return nil
 	}
+	k1, b := opts.bm25Params()
+	var avgLen []float64
+	if opts.BM25 {
+		avgLen = ix.avgFieldLens()
+	}
 	ex := &Explanation{ID: id, PerTerm: make(map[string]float64), TermsInNeed: len(uniq)}
+	var positions [][]int32 // per matched term, this doc's positions
 	for _, term := range uniq {
 		e, ok := ix.terms[term]
 		if !ok || e.df == 0 {
 			continue
 		}
-		idf := 1 + math.Log(float64(ix.live)/float64(e.df+1))
+		idf := ix.idf(e.df, opts.BM25)
 		contrib := 0.0
+		var pos []int32
 		for _, p := range e.postings {
 			if p.doc != ord {
 				continue
 			}
-			contrib += ix.boost(p.field) * math.Sqrt(float64(p.freq)) * idf * float64(ix.norms[p.field][p.doc])
+			contrib += ix.contribution(p, idf, opts.BM25, k1, b, avgLen)
+			if opts.Proximity {
+				pos = append(pos, p.positions...)
+			}
 		}
 		if contrib > 0 {
 			ex.PerTerm[term] = contrib
 			ex.Total += contrib
 			ex.TermsHit++
+			if len(pos) > 0 {
+				positions = append(positions, pos)
+			}
 		}
 	}
 	if ex.TermsHit == 0 {
 		return nil
 	}
-	ex.Coord = float64(ex.TermsHit) / float64(ex.TermsInNeed)
-	ex.Total *= ex.Coord
+	if minMatch := opts.MinShouldMatch; minMatch > 1 && ex.TermsHit < minMatch {
+		return nil // Search drops this document entirely
+	}
+	if opts.Proximity && len(uniq) > 1 && ex.TermsHit > 1 {
+		w := opts.ProximityWeight
+		if w == 0 {
+			w = 0.1
+		}
+		if d := minSpanLists(positions); d >= 0 {
+			ex.Proximity = w / float64(1+d)
+			ex.Total += ex.Proximity
+		}
+	}
+	ex.Coord = 1
+	if !opts.DisableCoord {
+		ex.Coord = float64(ex.TermsHit) / float64(ex.TermsInNeed)
+		ex.Total *= ex.Coord
+	}
 	return ex
 }

@@ -1,0 +1,154 @@
+package server
+
+import (
+	"context"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+)
+
+// Config tunes the serving stack's request lifecycle: per-request deadlines,
+// load shedding, panic recovery and slow-request logging. The zero value
+// takes the documented defaults; negative values disable the corresponding
+// knob.
+type Config struct {
+	// SearchTimeout is the per-request deadline wired into every API
+	// request's context; a search that exceeds it aborts between candidates
+	// and answers 504. Default 10s; negative disables.
+	SearchTimeout time.Duration
+	// MaxInFlight bounds concurrently executing searches. Requests arriving
+	// with the gate full are shed with 503 + Retry-After instead of piling
+	// onto the match workers (retried requests are cheap: candidate match
+	// profiles stay cached). Default 64; negative disables.
+	MaxInFlight int
+	// RetryAfter is the Retry-After hint sent with shed responses, rounded
+	// up to whole seconds. Default 1s.
+	RetryAfter time.Duration
+	// SlowRequest logs any request slower than this threshold. Default 1s;
+	// negative disables.
+	SlowRequest time.Duration
+	// Logger receives panic and slow-request lines. Default log.Default().
+	Logger *log.Logger
+}
+
+func (c *Config) defaults() {
+	if c.SearchTimeout == 0 {
+		c.SearchTimeout = 10 * time.Second
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 64
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.SlowRequest == 0 {
+		c.SlowRequest = time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = log.Default()
+	}
+}
+
+// statusWriter records the status code and whether a header was written, so
+// the recovery and logging middleware can report accurately and avoid
+// double WriteHeader calls.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.status = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.status = http.StatusOK
+		w.wrote = true
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrumented is the outermost middleware: it assigns a request ID
+// (surfaced as X-Request-ID), recovers panics into a 500 error envelope
+// instead of killing the process, and logs slow requests.
+func (s *Server) instrumented(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := strconv.FormatUint(s.reqSeq.Add(1), 10)
+		w.Header().Set("X-Request-ID", id)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				if p == http.ErrAbortHandler { // net/http's own abort idiom
+					panic(p)
+				}
+				s.cfg.Logger.Printf("server: request %s %s %s panicked: %v\n%s",
+					id, r.Method, r.URL.Path, p, debug.Stack())
+				if !sw.wrote {
+					s.xmlError(sw, http.StatusInternalServerError, "internal error (request %s)", id)
+				}
+				return
+			}
+			if d := time.Since(start); s.cfg.SlowRequest > 0 && d >= s.cfg.SlowRequest {
+				s.cfg.Logger.Printf("server: slow request %s %s %s: %v (status %d)",
+					id, r.Method, r.URL.Path, d, sw.status)
+			}
+		}()
+		h.ServeHTTP(sw, r)
+	})
+}
+
+// deadlined wires the per-request deadline into the request context; ctx-
+// aware handlers (search) abort when it expires. The server's shutdown
+// context is the parent, so draining requests observe shutdown too.
+func (s *Server) deadlined(h http.HandlerFunc) http.HandlerFunc {
+	if s.cfg.SearchTimeout <= 0 {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.SearchTimeout)
+		defer cancel()
+		stop := context.AfterFunc(s.baseCtx, cancel)
+		defer stop()
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// shed is the bounded in-flight gate for search requests: when MaxInFlight
+// searches are already executing, new ones are shed immediately with 503 +
+// Retry-After rather than queued into the match worker pool.
+func (s *Server) shed(h http.HandlerFunc) http.HandlerFunc {
+	if s.inflight == nil {
+		return h
+	}
+	retryAfter := strconv.Itoa(int((s.cfg.RetryAfter + time.Second - 1) / time.Second))
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+			h(w, r)
+		default:
+			w.Header().Set("Retry-After", retryAfter)
+			s.xmlError(w, http.StatusServiceUnavailable,
+				"too many concurrent searches (%d in flight); retry shortly", cap(s.inflight))
+		}
+	}
+}
+
+// InFlight reports how many searches are currently executing — an
+// observability hook for load tests and dashboards. Always 0 when the gate
+// is disabled.
+func (s *Server) InFlight() int {
+	if s.inflight == nil {
+		return 0
+	}
+	return len(s.inflight)
+}

@@ -8,12 +8,16 @@
 package server
 
 import (
+	"context"
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"schemr/internal/codebook"
@@ -28,20 +32,46 @@ import (
 	"schemr/internal/xsd"
 )
 
-// Server wires the search engine into an http.Handler.
+// Server wires the search engine into an http.Handler with a request
+// lifecycle: per-request deadlines, panic recovery, request IDs with slow
+// logging, and a bounded in-flight gate on the search path (see Config and
+// DESIGN.md "Request lifecycle").
 type Server struct {
-	engine *core.Engine
-	mux    *http.ServeMux
+	engine  *core.Engine
+	mux     *http.ServeMux
+	handler http.Handler
+	cfg     Config
+
+	inflight chan struct{} // in-flight search gate (nil = unbounded)
+	reqSeq   atomic.Uint64
+
+	// baseCtx is cancelled by Shutdown; indexers and request deadlines hang
+	// off it so background work stops with the server.
+	baseCtx      context.Context
+	cancelBase   context.CancelFunc
+	shutdownOnce sync.Once
+	indexers     sync.WaitGroup
 }
 
-// New builds a server over an engine.
+// New builds a server over an engine with default lifecycle settings.
 func New(engine *core.Engine) *Server {
-	s := &Server{engine: engine, mux: http.NewServeMux()}
+	return NewWithConfig(engine, Config{})
+}
+
+// NewWithConfig builds a server with custom lifecycle settings.
+func NewWithConfig(engine *core.Engine, cfg Config) *Server {
+	cfg.defaults()
+	s := &Server{engine: engine, mux: http.NewServeMux(), cfg: cfg}
+	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
+	if cfg.MaxInFlight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInFlight)
+	}
+	search := s.shed(s.deadlined(s.handleSearch))
 	s.mux.HandleFunc("GET /{$}", s.handleHome)
-	s.mux.HandleFunc("GET /api/search", s.handleSearch)
-	s.mux.HandleFunc("POST /api/search", s.handleSearch)
-	s.mux.HandleFunc("GET /api/schema/{id}", s.handleSchemaGraphML)
-	s.mux.HandleFunc("GET /api/schema/{id}/svg", s.handleSchemaSVG)
+	s.mux.HandleFunc("GET /api/search", search)
+	s.mux.HandleFunc("POST /api/search", search)
+	s.mux.HandleFunc("GET /api/schema/{id}", s.deadlined(s.handleSchemaGraphML))
+	s.mux.HandleFunc("GET /api/schema/{id}/svg", s.deadlined(s.handleSchemaSVG))
 	s.mux.HandleFunc("GET /api/schema/{id}/ddl", s.handleSchemaDDL)
 	s.mux.HandleFunc("POST /api/schemas", s.handleImport)
 	s.mux.HandleFunc("DELETE /api/schema/{id}", s.handleDelete)
@@ -49,33 +79,49 @@ func New(engine *core.Engine) *Server {
 	s.mux.HandleFunc("GET /api/codebook", s.handleCodebook)
 	s.mux.HandleFunc("POST /api/schema/{id}/select", s.handleSelect)
 	s.mux.HandleFunc("GET /api/schemas", s.handleList)
+	s.handler = s.instrumented(s.mux)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler through the middleware stack.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
+}
+
+// Shutdown stops the server's background work: every indexer started with
+// StartIndexer halts, and pending request deadlines are cancelled. It
+// blocks until the indexer goroutines exit and is safe to call more than
+// once. Call it after http.Server.Shutdown has drained in-flight requests.
+func (s *Server) Shutdown() {
+	s.shutdownOnce.Do(s.cancelBase)
+	s.indexers.Wait()
 }
 
 // StartIndexer launches the scheduled offline indexer: every interval it
 // applies the repository change feed to the document index. The returned
-// stop function halts it.
+// stop function halts it and is idempotent; the indexer also stops when the
+// server shuts down (Shutdown).
 func (s *Server) StartIndexer(interval time.Duration) (stop func()) {
 	ticker := time.NewTicker(interval)
 	done := make(chan struct{})
+	s.indexers.Add(1)
 	go func() {
+		defer s.indexers.Done()
+		defer ticker.Stop()
 		for {
 			select {
 			case <-ticker.C:
 				s.engine.Sync() // errors surface on the next search; nothing actionable here
 			case <-done:
 				return
+			case <-s.baseCtx.Done():
+				return
 			}
 		}
 	}()
+	var once sync.Once
 	return func() {
-		ticker.Stop()
-		close(done)
+		once.Do(func() { close(done) })
 	}
 }
 
@@ -193,16 +239,34 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	results, stats, err := s.engine.SearchWithStats(q, offset+limit)
+	results, stats, err := s.engine.SearchWithStatsContext(r.Context(), q, offset+limit)
 	if err != nil {
-		s.xmlError(w, http.StatusInternalServerError, "%v", err)
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			// The per-request deadline fired mid-search; the engine aborted
+			// between candidates. A retry is cheap (match profiles cached).
+			w.Header().Set("Retry-After", "1")
+			s.xmlError(w, http.StatusGatewayTimeout, "search deadline exceeded")
+		case errors.Is(err, context.Canceled):
+			// Client went away or the server is shutting down; the status is
+			// mostly for logs.
+			s.xmlError(w, http.StatusServiceUnavailable, "search canceled")
+		default:
+			s.xmlError(w, http.StatusInternalServerError, "%v", err)
+		}
 		return
 	}
-	total := len(results)
+	// The true ranked total, pre-truncation — not len(results), which the
+	// engine caps at offset+limit and would misreport the end of the result
+	// set to paging clients.
+	total := stats.TotalRanked
 	if offset >= len(results) {
 		results = nil
 	} else {
 		results = results[offset:]
+	}
+	if len(results) > limit {
+		results = results[:limit]
 	}
 	resp := SearchResponse{
 		Query:  q.String(),

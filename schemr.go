@@ -33,6 +33,7 @@
 package schemr
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"os"
@@ -185,9 +186,21 @@ func (s *System) Search(q *Query, limit int) ([]Result, error) {
 	return s.Engine.Search(q, limit)
 }
 
+// SearchContext is Search honoring a request context: a cancelled or
+// expired context aborts the search between candidates and returns
+// ctx.Err() instead of running all three phases to completion.
+func (s *System) SearchContext(ctx context.Context, q *Query, limit int) ([]Result, error) {
+	return s.Engine.SearchContext(ctx, q, limit)
+}
+
 // SearchWithStats is Search plus phase instrumentation.
 func (s *System) SearchWithStats(q *Query, limit int) ([]Result, SearchStats, error) {
 	return s.Engine.SearchWithStats(q, limit)
+}
+
+// SearchWithStatsContext is SearchWithStats honoring a request context.
+func (s *System) SearchWithStatsContext(ctx context.Context, q *Query, limit int) ([]Result, SearchStats, error) {
+	return s.Engine.SearchWithStatsContext(ctx, q, limit)
 }
 
 // Get returns a stored schema by ID, or nil.
@@ -213,6 +226,11 @@ type Explanation = core.Explanation
 // absences too.
 func (s *System) Explain(q *Query, id string) (*Explanation, error) {
 	return s.Engine.Explain(q, id)
+}
+
+// ExplainContext is Explain honoring a request context.
+func (s *System) ExplainContext(ctx context.Context, q *Query, id string) (*Explanation, error) {
+	return s.Engine.ExplainContext(ctx, q, id)
 }
 
 // ParseQuery builds a query graph from raw input.
@@ -300,10 +318,20 @@ func ResultScores(r Result) map[string]float64 {
 	return out
 }
 
+// ServerConfig tunes the web service's request lifecycle: per-request
+// deadline, in-flight search gate, slow-request logging.
+type ServerConfig = server.Config
+
 // NewServer returns the Schemr web service (XML search API, GraphML and
-// SVG schema endpoints, embedded GUI) over the system's engine.
+// SVG schema endpoints, embedded GUI) over the system's engine, with
+// default lifecycle settings.
 func (s *System) NewServer() http.Handler {
 	return server.New(s.Engine)
+}
+
+// NewServerWithConfig is NewServer with custom lifecycle settings.
+func (s *System) NewServerWithConfig(cfg ServerConfig) http.Handler {
+	return server.NewWithConfig(s.Engine, cfg)
 }
 
 // MatcherConfig selects optional matchers added on top of the paper's
