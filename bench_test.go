@@ -164,6 +164,28 @@ func BenchmarkFig3Search(b *testing.B) {
 	}
 }
 
+// BenchmarkFig3SearchNoObs is BenchmarkFig3Search with instrumentation
+// disabled (Options.DisableMetrics) — the uninstrumented baseline the
+// observability overhead budget in BENCH_obs_overhead.json compares
+// against.
+func BenchmarkFig3SearchNoObs(b *testing.B) {
+	for _, n := range []int{1000, 5000, 20000} {
+		engine := core.NewEngine(benchRepo(b, n), core.Options{DisableMetrics: true})
+		if err := engine.Reindex(); err != nil {
+			b.Fatal(err)
+		}
+		q := paperQuery(b)
+		b.Run(fmt.Sprintf("corpus%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Search(q, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFig3SearchUnprofiled is BenchmarkFig3Search with the match-profile
 // cache disabled — the per-candidate recompute path. Comparing the two pairs
 // (per corpus size) gives the speedup recorded in BENCH_search_profile.json.

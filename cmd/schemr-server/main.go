@@ -4,12 +4,16 @@
 // with the schema repository. The serving stack carries a full request
 // lifecycle: per-request deadlines, panic recovery, a bounded in-flight
 // search gate that sheds load with 503 + Retry-After, and graceful shutdown
-// on SIGINT/SIGTERM.
+// on SIGINT/SIGTERM. Alongside the legacy XML routes it serves the
+// versioned JSON surface under /api/v1/*, Prometheus-format metrics at
+// GET /metrics (disable with -metrics=false), and — when -pprof is set —
+// net/http/pprof under /debug/pprof/ plus expvar at /debug/vars.
 //
 // Usage:
 //
 //	schemr-server -data DIR [-addr :8080] [-sync 30s]
 //	              [-timeout 10s] [-max-inflight 64] [-slow 1s]
+//	              [-metrics=true] [-pprof]
 package main
 
 import (
@@ -34,6 +38,8 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 64, "max concurrent searches before shedding 503 (negative disables)")
 	slow := flag.Duration("slow", time.Second, "log requests slower than this (negative disables)")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget for in-flight requests")
+	metrics := flag.Bool("metrics", true, "serve Prometheus-format metrics at GET /metrics")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof at /debug/pprof/ and expvar at /debug/vars")
 	flag.Parse()
 
 	sys, err := schemr.Open(*data)
@@ -43,9 +49,11 @@ func main() {
 	log.Printf("loaded %d schemas from %s, %d indexed", sys.Repo.Len(), *data, sys.Engine.IndexedDocs())
 
 	srv := server.NewWithConfig(sys.Engine, server.Config{
-		SearchTimeout: *timeout,
-		MaxInFlight:   *maxInflight,
-		SlowRequest:   *slow,
+		SearchTimeout:          *timeout,
+		MaxInFlight:            *maxInflight,
+		SlowRequest:            *slow,
+		DisableMetricsEndpoint: !*metrics,
+		EnablePprof:            *pprofFlag,
 	})
 	stop := srv.StartIndexer(*sync)
 	defer stop()

@@ -27,6 +27,7 @@ import (
 	"schemr/internal/learn"
 	"schemr/internal/match"
 	"schemr/internal/model"
+	"schemr/internal/obs"
 	"schemr/internal/query"
 	"schemr/internal/repository"
 	"schemr/internal/text"
@@ -72,6 +73,16 @@ type Options struct {
 	// trading indexing latency for cold-search latency. Ignored when
 	// DisableProfileCache is set.
 	EagerProfiles bool
+	// Metrics is the observability registry the engine registers its
+	// instruments on (search-phase histograms, candidate/element counters,
+	// profile-cache and index counters — see DESIGN.md "Observability").
+	// Nil means the engine creates a private registry, reachable via
+	// Engine.Metrics(); the HTTP server serves it at GET /metrics.
+	Metrics *obs.Registry
+	// DisableMetrics turns off all engine-side instrumentation (the
+	// registry stays empty). Benchmarking aid: the uninstrumented baseline
+	// for the observability overhead budget.
+	DisableMetrics bool
 	// TrigramFallback addresses an architectural gap the paper inherits
 	// from Lucene: a schema whose every element is abbreviated shares no
 	// token with the query and never becomes a candidate, so the n-gram
@@ -163,6 +174,14 @@ type Engine struct {
 	// staleness guarantee); invalidated through the repository change feed
 	// in Sync/Reindex.
 	profiles *profileCache
+
+	// reg is the observability registry; metrics and idxMetrics are the
+	// engine-side instruments on it (nil when Options.DisableMetrics).
+	// idxMetrics is shared across index rebuilds so the index counters
+	// accumulate over the engine's lifetime.
+	reg        *obs.Registry
+	metrics    *engineMetrics
+	idxMetrics *index.Metrics
 }
 
 // NewEngine builds an engine over a repository with the default matcher
@@ -175,10 +194,24 @@ func NewEngine(repo *repository.Repository, opts Options) *Engine {
 		opts:     opts,
 		ensemble: match.DefaultEnsemble(),
 		profiles: newProfileCache(),
+		reg:      opts.Metrics,
+	}
+	if e.reg == nil {
+		e.reg = obs.NewRegistry()
+	}
+	if !opts.DisableMetrics {
+		e.metrics = newEngineMetrics(e.reg)
+		e.idxMetrics = index.NewMetrics(e.reg)
+		e.profiles.instrument(e.reg)
 	}
 	e.idx = e.newIndex()
 	return e
 }
+
+// Metrics returns the engine's observability registry. It is always
+// non-nil; with Options.DisableMetrics set it simply carries no engine
+// families. The HTTP server exposes it at GET /metrics.
+func (e *Engine) Metrics() *obs.Registry { return e.reg }
 
 // Repository returns the engine's schema repository.
 func (e *Engine) Repository() *repository.Repository { return e.repo }
@@ -260,16 +293,21 @@ func (e *Engine) document(s *model.Schema) index.Document {
 	return doc
 }
 
-// newIndex builds an empty index with the engine's field boosts.
+// newIndex builds an empty index with the engine's field boosts and the
+// shared search counters.
 func (e *Engine) newIndex() *index.Index {
-	if !e.opts.TrigramFallback {
-		return index.New()
+	var opts []index.Option
+	if e.idxMetrics != nil {
+		opts = append(opts, index.WithMetrics(e.idxMetrics))
 	}
-	boosts := map[string]float64{fieldTrigrams: 0.25}
-	for k, v := range index.DefaultFieldBoosts {
-		boosts[k] = v
+	if e.opts.TrigramFallback {
+		boosts := map[string]float64{fieldTrigrams: 0.25}
+		for k, v := range index.DefaultFieldBoosts {
+			boosts[k] = v
+		}
+		opts = append(opts, index.WithFieldBoosts(boosts))
 	}
-	return index.New(index.WithFieldBoosts(boosts))
+	return index.New(opts...)
 }
 
 // Reindex rebuilds the document index from the full repository contents and
@@ -332,7 +370,7 @@ func (e *Engine) Sync() (updated, deleted int, err error) {
 // an observability hook for capacity planning (each profile costs roughly
 // the schema's text blown up into n-gram multisets plus an entity-distance
 // table; see DESIGN.md "Match profile cache").
-func (e *Engine) CachedProfiles() int { return e.profiles.size() }
+func (e *Engine) CachedProfiles() int { return e.profiles.count() }
 
 // IndexedDocs returns the number of live documents in the index.
 func (e *Engine) IndexedDocs() int { return e.idx.NumDocs() }
@@ -402,7 +440,7 @@ func (e *Engine) LoadIndex(path string) error {
 	if err := binary.Read(br, binary.LittleEndian, &cursor); err != nil {
 		return fmt.Errorf("core: load index: %w", err)
 	}
-	fresh := index.New()
+	fresh := e.newIndex()
 	if _, err := fresh.ReadFrom(br); err != nil {
 		return err
 	}
@@ -438,7 +476,17 @@ func (e *Engine) SearchWithStats(q *query.Query, limit int) ([]Result, SearchSta
 // dispatching candidates to the worker pool (in-flight matches drain), and
 // the tightness phase stops scoring. A cancelled search returns ctx.Err()
 // with the stats accumulated so far.
-func (e *Engine) SearchWithStatsContext(ctx context.Context, q *query.Query, limit int) ([]Result, SearchStats, error) {
+func (e *Engine) SearchWithStatsContext(ctx context.Context, q *query.Query, limit int) (_ []Result, stats SearchStats, err error) {
+	// Observability: metrics always (unless disabled), spans only when the
+	// request context carries a trace (debug=1 searches).
+	tr := obs.TraceFrom(ctx)
+	if e.metrics != nil || tr != nil {
+		began := time.Now()
+		defer func() {
+			e.metrics.record(stats, err)
+			traceSearch(tr, began, stats)
+		}()
+	}
 	if q == nil || q.IsEmpty() {
 		return nil, SearchStats{}, fmt.Errorf("core: empty query")
 	}
@@ -453,7 +501,7 @@ func (e *Engine) SearchWithStatsContext(ctx context.Context, q *query.Query, lim
 	ensemble := e.ensemble
 	e.mu.RUnlock()
 
-	stats := SearchStats{CorpusSize: idx.NumDocs()}
+	stats = SearchStats{CorpusSize: idx.NumDocs()}
 
 	// Phase 1: candidate extraction. Flatten the query graph to keywords
 	// and pull the top-n candidates from the document index.

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"time"
+
+	"schemr/internal/obs"
+)
+
+// engineMetrics holds the engine's observability instruments: the Figure 3
+// phase breakdown as live telemetry (per-phase latency histograms), the
+// candidate funnel as counters, and the profile cache's hit economics.
+// A nil *engineMetrics disables engine instrumentation (Options.
+// DisableMetrics), which is the baseline the overhead budget in
+// BENCH_obs_overhead.json is measured against.
+type engineMetrics struct {
+	searches       *obs.Counter
+	searchErrors   *obs.Counter
+	candidates     *obs.Counter
+	elementsScored *obs.Counter
+
+	phaseExtract   *obs.Histogram
+	phaseMatch     *obs.Histogram
+	phaseTightness *obs.Histogram
+}
+
+// newEngineMetrics registers the engine metric families on reg.
+func newEngineMetrics(reg *obs.Registry) *engineMetrics {
+	phase := func(name string) *obs.Histogram {
+		return reg.Histogram("schemr_search_phase_seconds",
+			"Latency of the three search phases (Figure 3 breakdown).",
+			nil, obs.Labels{"phase": name})
+	}
+	return &engineMetrics{
+		searches:       reg.Counter("schemr_search_total", "Searches executed (including failed ones).", nil),
+		searchErrors:   reg.Counter("schemr_search_errors_total", "Searches that returned an error (cancellations, deadlines, bad queries).", nil),
+		candidates:     reg.Counter("schemr_search_candidates_total", "Candidate schemas extracted by phase 1 across searches.", nil),
+		elementsScored: reg.Counter("schemr_search_elements_scored_total", "Schema elements scored by the match phase across searches.", nil),
+		phaseExtract:   phase("extract"),
+		phaseMatch:     phase("match"),
+		phaseTightness: phase("tightness"),
+	}
+}
+
+// record publishes one finished (or failed) search's stats.
+func (m *engineMetrics) record(stats SearchStats, err error) {
+	if m == nil {
+		return
+	}
+	m.searches.Inc()
+	if err != nil {
+		m.searchErrors.Inc()
+	}
+	m.phaseExtract.ObserveDuration(stats.PhaseExtract)
+	m.phaseMatch.ObserveDuration(stats.PhaseMatch)
+	m.phaseTightness.ObserveDuration(stats.PhaseTightness)
+	m.candidates.Add(uint64(stats.Candidates))
+	m.elementsScored.Add(uint64(stats.ElementsScored))
+}
+
+// traceSearch mirrors one search's phase stats into a request trace as
+// named spans (no-op when the request is untraced). Span start times are
+// reconstructed from the phase durations so the spans tile the search
+// interval.
+func traceSearch(tr *obs.Trace, began time.Time, stats SearchStats) {
+	if tr == nil {
+		return
+	}
+	start := began
+	tr.AddSpan("search.extract", start, stats.PhaseExtract, map[string]int64{
+		"terms":      int64(stats.QueryTerms),
+		"candidates": int64(stats.Candidates),
+	})
+	start = start.Add(stats.PhaseExtract)
+	tr.AddSpan("search.match", start, stats.PhaseMatch, map[string]int64{
+		"elements_scored": int64(stats.ElementsScored),
+	})
+	start = start.Add(stats.PhaseMatch)
+	tr.AddSpan("search.tightness", start, stats.PhaseTightness, map[string]int64{
+		"ranked": int64(stats.TotalRanked),
+	})
+}

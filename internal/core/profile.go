@@ -2,9 +2,11 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"schemr/internal/match"
 	"schemr/internal/model"
+	"schemr/internal/obs"
 )
 
 // profileCache holds one precomputed match.Profile per schema ID. Profiles
@@ -22,10 +24,30 @@ import (
 type profileCache struct {
 	mu sync.RWMutex
 	m  map[string]*match.Profile
+
+	// Observability instruments (nil-safe; nil when metrics are disabled).
+	// hits/misses measure the lookup economics on the search path; evicts
+	// counts change-feed invalidations and resets; build is the latency of
+	// match.NewProfile, the one-time cost a miss pays.
+	hits   *obs.Counter
+	misses *obs.Counter
+	evicts *obs.Counter
+	size   *obs.Gauge
+	build  *obs.Histogram
 }
 
 func newProfileCache() *profileCache {
 	return &profileCache{m: make(map[string]*match.Profile)}
+}
+
+// instrument registers the cache's metric families on reg. Called once at
+// engine construction, before any concurrent use.
+func (c *profileCache) instrument(reg *obs.Registry) {
+	c.hits = reg.Counter("schemr_profile_cache_hits_total", "Match-profile cache lookups served from cache.", nil)
+	c.misses = reg.Counter("schemr_profile_cache_misses_total", "Match-profile cache lookups that built a profile.", nil)
+	c.evicts = reg.Counter("schemr_profile_cache_evictions_total", "Match profiles evicted via the change feed or reset.", nil)
+	c.size = reg.Gauge("schemr_profile_cache_size", "Match profiles currently cached.", nil)
+	c.build = reg.Histogram("schemr_profile_build_seconds", "Latency of building one match profile (cache-miss cost).", nil, nil)
 }
 
 // get returns the profile for (id, s), building and caching one when the
@@ -35,9 +57,17 @@ func (c *profileCache) get(id string, s *model.Schema) *match.Profile {
 	p := c.m[id]
 	c.mu.RUnlock()
 	if p != nil && p.Schema() == s {
+		c.hits.Inc()
 		return p
 	}
-	p = match.NewProfile(s)
+	c.misses.Inc()
+	if c.build != nil {
+		start := time.Now()
+		p = match.NewProfile(s)
+		c.build.ObserveDuration(time.Since(start))
+	} else {
+		p = match.NewProfile(s)
+	}
 	c.mu.Lock()
 	// Keep a racing writer's profile if it is for the same schema value;
 	// both are equivalent, but not replacing it lets concurrent readers of
@@ -47,6 +77,7 @@ func (c *profileCache) get(id string, s *model.Schema) *match.Profile {
 	} else {
 		p = cur
 	}
+	c.size.Set(int64(len(c.m)))
 	c.mu.Unlock()
 	return p
 }
@@ -55,6 +86,7 @@ func (c *profileCache) get(id string, s *model.Schema) *match.Profile {
 func (c *profileCache) put(id string, p *match.Profile) {
 	c.mu.Lock()
 	c.m[id] = p
+	c.size.Set(int64(len(c.m)))
 	c.mu.Unlock()
 }
 
@@ -65,20 +97,26 @@ func (c *profileCache) drop(ids ...string) {
 	}
 	c.mu.Lock()
 	for _, id := range ids {
-		delete(c.m, id)
+		if _, ok := c.m[id]; ok {
+			c.evicts.Inc()
+			delete(c.m, id)
+		}
 	}
+	c.size.Set(int64(len(c.m)))
 	c.mu.Unlock()
 }
 
 // reset empties the cache.
 func (c *profileCache) reset() {
 	c.mu.Lock()
+	c.evicts.Add(uint64(len(c.m)))
 	c.m = make(map[string]*match.Profile)
+	c.size.Set(0)
 	c.mu.Unlock()
 }
 
 // size returns the number of cached profiles.
-func (c *profileCache) size() int {
+func (c *profileCache) count() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return len(c.m)

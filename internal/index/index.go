@@ -18,6 +18,7 @@ import (
 	"sort"
 	"sync"
 
+	"schemr/internal/obs"
 	"schemr/internal/text"
 )
 
@@ -104,6 +105,35 @@ type Index struct {
 
 	// forward index: per doc, the distinct terms it contains (for delete).
 	docTerms [][]string
+
+	// met, when non-nil, receives per-search counters (see Metrics).
+	met *Metrics
+}
+
+// Metrics is the index's observability hook: counters fed by SearchTerms.
+// A Metrics value is typically shared across index rebuilds (the engine's
+// Reindex creates fresh Index values) so the series accumulate across the
+// index's whole lifetime. Fields are nil-safe obs instruments; a nil
+// *Metrics disables counting entirely.
+type Metrics struct {
+	// Searches counts SearchTerms invocations.
+	Searches *obs.Counter
+	// TermsScored counts query terms that hit the dictionary and were
+	// scored against their postings.
+	TermsScored *obs.Counter
+	// PostingsTouched counts postings iterated while scoring — the index's
+	// unit of work per search.
+	PostingsTouched *obs.Counter
+}
+
+// NewMetrics registers the index metric families on reg and returns the
+// hook to pass to WithMetrics.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Searches:        reg.Counter("schemr_index_searches_total", "Coarse-grain index searches executed.", nil),
+		TermsScored:     reg.Counter("schemr_index_terms_scored_total", "Query terms scored against the dictionary.", nil),
+		PostingsTouched: reg.Counter("schemr_index_postings_touched_total", "Postings iterated while scoring searches.", nil),
+	}
 }
 
 // Option configures a new Index.
@@ -112,6 +142,11 @@ type Option func(*Index)
 // WithAnalyzer replaces the default analyzer.
 func WithAnalyzer(a Analyzer) Option {
 	return func(ix *Index) { ix.analyzer = a }
+}
+
+// WithMetrics attaches search counters to the index.
+func WithMetrics(m *Metrics) Option {
+	return func(ix *Index) { ix.met = m }
 }
 
 // WithFieldBoosts replaces the default field boost table. Unlisted fields

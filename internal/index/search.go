@@ -92,11 +92,16 @@ func (ix *Index) SearchTerms(terms []string, n int, opts SearchOptions) []Hit {
 		avgLen = ix.avgFieldLens()
 	}
 
+	// Work counters for the observability layer, accumulated locally and
+	// published once per search.
+	termsScored, postingsTouched := 0, 0
+
 	for ti, term := range uniq {
 		e, ok := ix.terms[term]
 		if !ok || e.df == 0 {
 			continue
 		}
+		termsScored++
 		idf := ix.idf(e.df, opts.BM25)
 		var perDoc map[int32][]int32
 		if opts.Proximity {
@@ -106,6 +111,7 @@ func (ix *Index) SearchTerms(terms []string, n int, opts SearchOptions) []Hit {
 		// Track which docs this term already counted toward `matched`, since
 		// a term can have postings in several fields of one doc.
 		counted := make(map[int32]bool)
+		postingsTouched += len(e.postings)
 		for _, p := range e.postings {
 			if ix.deleted[p.doc] {
 				continue
@@ -119,6 +125,12 @@ func (ix *Index) SearchTerms(terms []string, n int, opts SearchOptions) []Hit {
 				perDoc[p.doc] = append(perDoc[p.doc], p.positions...)
 			}
 		}
+	}
+
+	if ix.met != nil {
+		ix.met.Searches.Inc()
+		ix.met.TermsScored.Add(uint64(termsScored))
+		ix.met.PostingsTouched.Add(uint64(postingsTouched))
 	}
 
 	if opts.Proximity && len(uniq) > 1 {

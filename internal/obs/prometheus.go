@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteText encodes the registry's current state in the Prometheus text
+// exposition format (version 0.0.4): one # HELP / # TYPE block per family,
+// instruments ordered by label string, histogram buckets cumulative with a
+// trailing +Inf bucket plus _sum and _count series.
+func (r *Registry) WriteText(w io.Writer) error {
+	// Snapshot the family list under the lock; instrument values are read
+	// atomically afterwards, so a scrape never blocks observation.
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	type labeled struct {
+		labels string
+		inst   any
+	}
+	snapshot := make([][]labeled, len(fams))
+	for i, f := range fams {
+		rows := make([]labeled, 0, len(f.instruments))
+		for ls, inst := range f.instruments {
+			rows = append(rows, labeled{ls, inst})
+		}
+		sort.Slice(rows, func(a, b int) bool { return rows[a].labels < rows[b].labels })
+		snapshot[i] = rows
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for i, f := range fams {
+		writeString(bw, "# HELP ", f.name, " ", escapeHelp(f.help), "\n")
+		writeString(bw, "# TYPE ", f.name, " ", f.kind, "\n")
+		for _, row := range snapshot[i] {
+			switch inst := row.inst.(type) {
+			case *Counter:
+				writeString(bw, f.name, row.labels, " ", formatUint(inst.Value()), "\n")
+			case *Gauge:
+				writeString(bw, f.name, row.labels, " ", strconv.FormatInt(inst.Value(), 10), "\n")
+			case *Histogram:
+				writeHistogram(bw, f.name, row.labels, inst)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram emits the cumulative _bucket series plus _sum and _count.
+func writeHistogram(bw *bufio.Writer, name, labels string, h *Histogram) {
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.buckets[i].Load()
+		writeString(bw, name, "_bucket", mergeLabels(labels, "le", formatFloat(bound)),
+			" ", formatUint(cum), "\n")
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	writeString(bw, name, "_bucket", mergeLabels(labels, "le", "+Inf"), " ", formatUint(cum), "\n")
+	writeString(bw, name, "_sum", labels, " ", formatFloat(h.Sum()), "\n")
+	writeString(bw, name, "_count", labels, " ", formatUint(h.Count()), "\n")
+}
+
+// mergeLabels appends one extra label pair to a pre-rendered label string.
+func mergeLabels(labels, key, value string) string {
+	extra := key + `="` + escapeLabelValue(value) + `"`
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+func writeString(bw *bufio.Writer, parts ...string) {
+	for _, p := range parts {
+		bw.WriteString(p)
+	}
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp applies the text-format HELP escapes (backslash and newline).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler returns an http.Handler serving the registry in the Prometheus
+// text exposition format — the GET /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w) // bufio flush errors mean the client went away
+	})
+}

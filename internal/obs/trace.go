@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Span is one completed named interval of a traced request, e.g. a search
+// phase. Attrs carries small integer annotations (candidate counts,
+// elements scored) alongside the timing.
+type Span struct {
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+	Attrs    map[string]int64
+}
+
+// Trace collects the spans of one request. A trace is attached to a
+// context with WithTrace and recovered by instrumented code via TraceFrom;
+// when no trace is attached, TraceFrom returns nil and every method on the
+// nil *Trace is a no-op, so tracing costs one context lookup on the
+// untraced path.
+type Trace struct {
+	mu    sync.Mutex
+	start time.Time
+	spans []Span
+}
+
+type traceKey struct{}
+
+// WithTrace attaches a fresh trace to ctx and returns both.
+func WithTrace(ctx context.Context) (context.Context, *Trace) {
+	t := &Trace{start: time.Now()}
+	return context.WithValue(ctx, traceKey{}, t), t
+}
+
+// TraceFrom returns the trace attached to ctx, or nil when the request is
+// not being traced.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// AddSpan records an already-measured interval. No-op on a nil receiver.
+// Spans may be added concurrently (parallel match workers).
+func (t *Trace) AddSpan(name string, start time.Time, d time.Duration, attrs map[string]int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: name, Start: start, Duration: d, Attrs: attrs})
+	t.mu.Unlock()
+}
+
+// StartSpan opens a span measured until End is called. Safe on a nil
+// receiver: the returned handle is nil and its methods are no-ops.
+func (t *Trace) StartSpan(name string) *SpanHandle {
+	if t == nil {
+		return nil
+	}
+	return &SpanHandle{t: t, name: name, start: time.Now()}
+}
+
+// Spans returns a copy of the recorded spans in completion order. Nil
+// receiver returns nil.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// SpanHandle is an open span; End closes and records it.
+type SpanHandle struct {
+	t     *Trace
+	name  string
+	start time.Time
+	attrs map[string]int64
+}
+
+// SetAttr annotates the span with one integer attribute; returns the
+// handle for chaining. No-op on a nil receiver.
+func (sh *SpanHandle) SetAttr(key string, v int64) *SpanHandle {
+	if sh == nil {
+		return nil
+	}
+	if sh.attrs == nil {
+		sh.attrs = make(map[string]int64, 4)
+	}
+	sh.attrs[key] = v
+	return sh
+}
+
+// End records the span into its trace. No-op on a nil receiver.
+func (sh *SpanHandle) End() {
+	if sh == nil {
+		return
+	}
+	sh.t.AddSpan(sh.name, sh.start, time.Since(sh.start), sh.attrs)
+}

@@ -1,0 +1,81 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"time"
+
+	"schemr/internal/obs"
+)
+
+// httpMetrics holds the serving stack's instruments: an in-flight gauge
+// and shed/timeout/panic counters shared across routes, plus per-route
+// request counters and latency histograms created by Server.route.
+type httpMetrics struct {
+	reg      *obs.Registry
+	inFlight *obs.Gauge
+	sheds    *obs.Counter
+	timeouts *obs.Counter
+	panics   *obs.Counter
+}
+
+func newHTTPMetrics(reg *obs.Registry) *httpMetrics {
+	return &httpMetrics{
+		reg:      reg,
+		inFlight: reg.Gauge("schemr_http_in_flight", "HTTP requests currently executing.", nil),
+		sheds:    reg.Counter("schemr_http_shed_total", "Requests shed with 503 by the in-flight search gate.", nil),
+		timeouts: reg.Counter("schemr_http_timeouts_total", "Requests answered 504 after the per-request deadline fired.", nil),
+		panics:   reg.Counter("schemr_http_panics_total", "Handler panics recovered into 500 responses.", nil),
+	}
+}
+
+// statusClasses are the values of the class label on
+// schemr_http_requests_total.
+var statusClasses = [...]string{"1xx", "2xx", "3xx", "4xx", "5xx"}
+
+// route wraps a handler with per-route instrumentation keyed by the
+// ServeMux pattern it is registered under ("GET /api/search"): a request
+// counter per status class, a latency histogram, the shared in-flight
+// gauge, and the timeout counter on 504s. Instruments are created at
+// registration so the hot path only touches atomics.
+func (s *Server) route(pattern string, h http.HandlerFunc) http.HandlerFunc {
+	method, path, ok := strings.Cut(pattern, " ")
+	if !ok {
+		method, path = "", pattern
+	}
+	labels := obs.Labels{"route": path, "method": method}
+	var classes [len(statusClasses)]*obs.Counter
+	for i, class := range statusClasses {
+		classes[i] = s.met.reg.Counter("schemr_http_requests_total",
+			"HTTP requests served, by route, method and status class.",
+			obs.Labels{"route": path, "method": method, "class": class})
+	}
+	latency := s.met.reg.Histogram("schemr_http_request_seconds",
+		"HTTP request latency by route and method.", nil, labels)
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.met.inFlight.Inc()
+		defer s.met.inFlight.Dec()
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h(sw, r)
+		// Counted only on normal return: a panicking handler is recorded by
+		// the recovery middleware's panic counter instead.
+		latency.ObserveDuration(time.Since(start))
+		status := sw.status
+		if !sw.wrote {
+			status = http.StatusOK // net/http's implicit 200 on first write/return
+		}
+		if i := status/100 - 1; i >= 0 && i < len(classes) {
+			classes[i].Inc()
+		}
+		if status == http.StatusGatewayTimeout {
+			s.met.timeouts.Inc()
+		}
+	}
+}
+
+// handle registers a handler on the mux wrapped in its per-route
+// instrumentation.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, s.route(pattern, h))
+}

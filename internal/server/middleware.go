@@ -2,11 +2,14 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"log"
 	"net/http"
 	"runtime/debug"
 	"strconv"
 	"time"
+
+	"schemr/internal/obs"
 )
 
 // Config tunes the serving stack's request lifecycle: per-request deadlines,
@@ -31,6 +34,18 @@ type Config struct {
 	SlowRequest time.Duration
 	// Logger receives panic and slow-request lines. Default log.Default().
 	Logger *log.Logger
+	// Metrics is the registry the server's HTTP instruments register on.
+	// Default: the engine's registry, so GET /metrics serves engine, index,
+	// profile-cache and HTTP families from one endpoint.
+	Metrics *obs.Registry
+	// DisableMetricsEndpoint leaves GET /metrics unmounted. Instruments are
+	// still recorded (they are cheap atomics); only the scrape endpoint is
+	// omitted.
+	DisableMetricsEndpoint bool
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ and expvar under
+	// /debug/vars. Off by default: profiling endpoints should be opted into,
+	// not exposed on every deployment.
+	EnablePprof bool
 }
 
 func (c *Config) defaults() {
@@ -76,13 +91,26 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// reqIDKey carries the request ID through the request context so both
+// response envelopes can echo it.
+type reqIDKey struct{}
+
+// requestIDFrom returns the request ID assigned by the instrumented
+// middleware, or "" outside it.
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}
+
 // instrumented is the outermost middleware: it assigns a request ID
-// (surfaced as X-Request-ID), recovers panics into a 500 error envelope
-// instead of killing the process, and logs slow requests.
+// (surfaced as X-Request-ID and in the context for the v1 envelope),
+// recovers panics into a 500 error envelope instead of killing the
+// process, and logs slow requests.
 func (s *Server) instrumented(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := strconv.FormatUint(s.reqSeq.Add(1), 10)
 		w.Header().Set("X-Request-ID", id)
+		r = r.WithContext(context.WithValue(r.Context(), reqIDKey{}, id))
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
 		defer func() {
@@ -90,6 +118,7 @@ func (s *Server) instrumented(h http.Handler) http.Handler {
 				if p == http.ErrAbortHandler { // net/http's own abort idiom
 					panic(p)
 				}
+				s.met.panics.Inc()
 				s.cfg.Logger.Printf("server: request %s %s %s panicked: %v\n%s",
 					id, r.Method, r.URL.Path, p, debug.Stack())
 				if !sw.wrote {
@@ -122,10 +151,15 @@ func (s *Server) deadlined(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// errorWriter renders an apiErr in a surface's envelope (XML for the
+// legacy routes, JSON for /api/v1).
+type errorWriter func(http.ResponseWriter, *http.Request, *apiErr)
+
 // shed is the bounded in-flight gate for search requests: when MaxInFlight
 // searches are already executing, new ones are shed immediately with 503 +
-// Retry-After rather than queued into the match worker pool.
-func (s *Server) shed(h http.HandlerFunc) http.HandlerFunc {
+// Retry-After rather than queued into the match worker pool. werr picks
+// the surface's error envelope.
+func (s *Server) shed(h http.HandlerFunc, werr errorWriter) http.HandlerFunc {
 	if s.inflight == nil {
 		return h
 	}
@@ -136,9 +170,13 @@ func (s *Server) shed(h http.HandlerFunc) http.HandlerFunc {
 			defer func() { <-s.inflight }()
 			h(w, r)
 		default:
-			w.Header().Set("Retry-After", retryAfter)
-			s.xmlError(w, http.StatusServiceUnavailable,
-				"too many concurrent searches (%d in flight); retry shortly", cap(s.inflight))
+			s.met.sheds.Inc()
+			werr(w, r, &apiErr{
+				status: http.StatusServiceUnavailable, code: "overloaded",
+				msg: fmt.Sprintf("too many concurrent searches (%d in flight); retry shortly",
+					cap(s.inflight)),
+				retryAfter: retryAfter,
+			})
 		}
 	}
 }

@@ -5,15 +5,30 @@
 // indexer refreshes the document index from the schema repository at
 // scheduled intervals. A server-side SVG renderer stands in for the Flash
 // visualization client.
+//
+// Two API surfaces share one request-decoding and search core:
+//
+//   - the legacy /api/* XML routes (kept bit-compatible for existing
+//     clients), and
+//   - the versioned /api/v1/* JSON routes with the uniform envelope
+//     {"data":..., "error":{"code","message"}, "request_id":...}
+//     (see api_v1.go).
+//
+// The serving stack is fully observable: every route carries request
+// counters and latency histograms, GET /metrics serves the engine's and
+// server's registries in Prometheus text format, and debug=1 searches
+// return the engine's phase-span trace inline.
 package server
 
 import (
 	"context"
+	"encoding/json"
 	"encoding/xml"
-	"errors"
+	"expvar"
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -26,7 +41,7 @@ import (
 	"schemr/internal/graphml"
 	"schemr/internal/layout"
 	"schemr/internal/model"
-	"schemr/internal/query"
+	"schemr/internal/obs"
 	"schemr/internal/summary"
 	"schemr/internal/svg"
 	"schemr/internal/xsd"
@@ -35,12 +50,13 @@ import (
 // Server wires the search engine into an http.Handler with a request
 // lifecycle: per-request deadlines, panic recovery, request IDs with slow
 // logging, and a bounded in-flight gate on the search path (see Config and
-// DESIGN.md "Request lifecycle").
+// DESIGN.md "Request lifecycle" and "Observability").
 type Server struct {
 	engine  *core.Engine
 	mux     *http.ServeMux
 	handler http.Handler
 	cfg     Config
+	met     *httpMetrics
 
 	inflight chan struct{} // in-flight search gate (nil = unbounded)
 	reqSeq   atomic.Uint64
@@ -66,22 +82,62 @@ func NewWithConfig(engine *core.Engine, cfg Config) *Server {
 	if cfg.MaxInFlight > 0 {
 		s.inflight = make(chan struct{}, cfg.MaxInFlight)
 	}
-	search := s.shed(s.deadlined(s.handleSearch))
-	s.mux.HandleFunc("GET /{$}", s.handleHome)
-	s.mux.HandleFunc("GET /api/search", search)
-	s.mux.HandleFunc("POST /api/search", search)
-	s.mux.HandleFunc("GET /api/schema/{id}", s.deadlined(s.handleSchemaGraphML))
-	s.mux.HandleFunc("GET /api/schema/{id}/svg", s.deadlined(s.handleSchemaSVG))
-	s.mux.HandleFunc("GET /api/schema/{id}/ddl", s.handleSchemaDDL)
-	s.mux.HandleFunc("POST /api/schemas", s.handleImport)
-	s.mux.HandleFunc("DELETE /api/schema/{id}", s.handleDelete)
-	s.mux.HandleFunc("GET /api/stats", s.handleStats)
-	s.mux.HandleFunc("GET /api/codebook", s.handleCodebook)
-	s.mux.HandleFunc("POST /api/schema/{id}/select", s.handleSelect)
-	s.mux.HandleFunc("GET /api/schemas", s.handleList)
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = engine.Metrics()
+	}
+	s.met = newHTTPMetrics(reg)
+
+	s.handle("GET /{$}", s.handleHome)
+
+	// Legacy XML surface. Every API route runs under the per-request
+	// deadline so no endpoint can hang past Config.SearchTimeout; search
+	// additionally passes the in-flight gate.
+	search := s.shed(s.deadlined(s.handleSearch), s.writeXMLErr)
+	s.handle("GET /api/search", search)
+	s.handle("POST /api/search", search)
+	s.handle("GET /api/schema/{id}", s.deadlined(s.handleSchemaGraphML))
+	s.handle("GET /api/schema/{id}/svg", s.deadlined(s.handleSchemaSVG))
+	s.handle("GET /api/schema/{id}/ddl", s.deadlined(s.handleSchemaDDL))
+	s.handle("POST /api/schemas", s.deadlined(s.handleImport))
+	s.handle("DELETE /api/schema/{id}", s.deadlined(s.handleDelete))
+	s.handle("GET /api/stats", s.deadlined(s.handleStats))
+	s.handle("GET /api/codebook", s.deadlined(s.handleCodebook))
+	s.handle("POST /api/schema/{id}/select", s.deadlined(s.handleSelect))
+	s.handle("GET /api/schemas", s.deadlined(s.handleList))
+
+	// Versioned JSON surface (see api_v1.go).
+	v1search := s.shed(s.deadlined(s.v1Search), s.writeJSONErr)
+	s.handle("GET /api/v1/search", v1search)
+	s.handle("POST /api/v1/search", v1search)
+	s.handle("GET /api/v1/schemas", s.deadlined(s.v1List))
+	s.handle("POST /api/v1/schemas", s.deadlined(s.v1Import))
+	s.handle("GET /api/v1/schema/{id}", s.deadlined(s.v1Schema))
+	s.handle("DELETE /api/v1/schema/{id}", s.deadlined(s.v1Delete))
+	s.handle("GET /api/v1/schema/{id}/ddl", s.deadlined(s.v1DDL))
+	s.handle("POST /api/v1/schema/{id}/select", s.deadlined(s.v1Select))
+	s.handle("GET /api/v1/stats", s.deadlined(s.v1Stats))
+
+	// Observability endpoints.
+	if !cfg.DisableMetricsEndpoint {
+		s.mux.Handle("GET /metrics", reg.Handler())
+	}
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		s.mux.Handle("GET /debug/vars", expvar.Handler())
+	}
+
 	s.handler = s.instrumented(s.mux)
 	return s
 }
+
+// Metrics returns the registry the server's HTTP instruments live on
+// (also the engine's, unless Config.Metrics overrode it).
+func (s *Server) Metrics() *obs.Registry { return s.met.reg }
 
 // ServeHTTP implements http.Handler through the middleware stack.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -135,6 +191,18 @@ type SearchResponse struct {
 	Offset  int         `xml:"offset,attr,omitempty"`
 	TookMS  float64     `xml:"tookMs,attr"`
 	Results []ResultXML `xml:"result"`
+	Trace   *TraceXML   `xml:"trace,omitempty"`
+}
+
+// TraceXML carries the phase-span trace of a debug=1 search.
+type TraceXML struct {
+	Spans []SpanXML `xml:"span"`
+}
+
+// SpanXML is one named span of the trace.
+type SpanXML struct {
+	Name string  `xml:"name,attr"`
+	MS   float64 `xml:"ms,attr"`
 }
 
 // ResultXML is one search result row: the tabular columns of the paper's
@@ -190,6 +258,15 @@ func (s *Server) xmlError(w http.ResponseWriter, status int, format string, args
 	w.Write(out)
 }
 
+// writeXMLErr renders an apiErr as the legacy XML envelope (the legacy
+// errorWriter counterpart of writeJSONErr).
+func (s *Server) writeXMLErr(w http.ResponseWriter, r *http.Request, e *apiErr) {
+	if e.retryAfter != "" {
+		w.Header().Set("Retry-After", e.retryAfter)
+	}
+	s.xmlError(w, e.status, "%s", e.msg)
+}
+
 func (s *Server) writeXML(w http.ResponseWriter, v any) {
 	out, err := xml.MarshalIndent(v, "", "  ")
 	if err != nil {
@@ -201,110 +278,125 @@ func (s *Server) writeXML(w http.ResponseWriter, v any) {
 	w.Write(out)
 }
 
-// parseQuery builds a query graph from request parameters: q (keywords),
-// ddl, xsd. POST accepts form-encoded bodies; GET reads the URL.
-func parseQuery(r *http.Request) (*query.Query, error) {
-	if r.Method == http.MethodPost {
-		if err := r.ParseForm(); err != nil {
-			return nil, fmt.Errorf("parsing form: %w", err)
-		}
-	}
-	return query.Parse(query.Input{
-		Keywords: r.FormValue("q"),
-		DDL:      r.FormValue("ddl"),
-		XSD:      r.FormValue("xsd"),
-	})
+// --- shared search core (both surfaces render from this) ---
+
+// resultRow is one annotated search result: the engine's result plus the
+// codebook concepts of its matched elements, keyed by element ref.
+type resultRow struct {
+	res      core.Result
+	concepts map[string]string
 }
 
-func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	q, err := parseQuery(r)
+// searchOutcome is everything the XML and JSON renderers need from one
+// executed search.
+type searchOutcome struct {
+	req   *SearchRequest
+	query fmt.Stringer
+	rows  []resultRow
+	stats core.SearchStats
+	total int
+	trace []obs.Span
+}
+
+// runSearch decodes, validates and executes a search request: the single
+// search path behind GET/POST /api/search and /api/v1/search. The returned
+// outcome's rows are already paginated and recorded as impressions.
+func (s *Server) runSearch(r *http.Request) (*searchOutcome, *apiErr) {
+	req, aerr := decodeSearchRequest(r)
+	if aerr != nil {
+		return nil, aerr
+	}
+	q, aerr := req.Query()
+	if aerr != nil {
+		return nil, aerr
+	}
+	ctx := r.Context()
+	var tr *obs.Trace
+	if req.Debug {
+		ctx, tr = obs.WithTrace(ctx)
+	}
+	results, stats, err := s.engine.SearchWithStatsContext(ctx, q, req.Offset+req.Limit)
 	if err != nil {
-		s.xmlError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	limit := 10
-	if v := r.FormValue("limit"); v != "" {
-		limit, err = strconv.Atoi(v)
-		if err != nil || limit < 1 || limit > 500 {
-			s.xmlError(w, http.StatusBadRequest, "bad limit %q", v)
-			return
-		}
-	}
-	// Pagination: the GUI can "ask for the next n schemas".
-	offset := 0
-	if v := r.FormValue("offset"); v != "" {
-		offset, err = strconv.Atoi(v)
-		if err != nil || offset < 0 || offset > 10_000 {
-			s.xmlError(w, http.StatusBadRequest, "bad offset %q", v)
-			return
-		}
-	}
-	results, stats, err := s.engine.SearchWithStatsContext(r.Context(), q, offset+limit)
-	if err != nil {
-		switch {
-		case errors.Is(err, context.DeadlineExceeded):
-			// The per-request deadline fired mid-search; the engine aborted
-			// between candidates. A retry is cheap (match profiles cached).
-			w.Header().Set("Retry-After", "1")
-			s.xmlError(w, http.StatusGatewayTimeout, "search deadline exceeded")
-		case errors.Is(err, context.Canceled):
-			// Client went away or the server is shutting down; the status is
-			// mostly for logs.
-			s.xmlError(w, http.StatusServiceUnavailable, "search canceled")
-		default:
-			s.xmlError(w, http.StatusInternalServerError, "%v", err)
-		}
-		return
+		return nil, searchAPIErr(err)
 	}
 	// The true ranked total, pre-truncation — not len(results), which the
 	// engine caps at offset+limit and would misreport the end of the result
 	// set to paging clients.
 	total := stats.TotalRanked
-	if offset >= len(results) {
+	if req.Offset >= len(results) {
 		results = nil
 	} else {
-		results = results[offset:]
+		results = results[req.Offset:]
 	}
-	if len(results) > limit {
-		results = results[:limit]
+	if len(results) > req.Limit {
+		results = results[:req.Limit]
+	}
+	rows := make([]resultRow, 0, len(results))
+	ids := make([]string, 0, len(results))
+	for _, res := range results {
+		row := resultRow{res: res}
+		if schema := s.engine.Repository().Get(res.ID); schema != nil {
+			ann := codebook.Annotate(schema)
+			for _, el := range res.Matched {
+				if cs := ann[el.Ref]; len(cs) > 0 {
+					names := make([]string, len(cs))
+					for i, c := range cs {
+						names[i] = string(c)
+					}
+					if row.concepts == nil {
+						row.concepts = make(map[string]string)
+					}
+					row.concepts[el.Ref.String()] = strings.Join(names, ",")
+				}
+			}
+		}
+		rows = append(rows, row)
+		ids = append(ids, res.ID)
+	}
+	// Usage statistics: every returned result is an impression.
+	s.engine.Repository().RecordImpressions(ids...)
+	return &searchOutcome{
+		req: req, query: q, rows: rows, stats: stats, total: total,
+		trace: tr.Spans(),
+	}, nil
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	out, aerr := s.runSearch(r)
+	if aerr != nil {
+		s.writeXMLErr(w, r, aerr)
+		return
 	}
 	resp := SearchResponse{
-		Query:  q.String(),
-		Total:  total,
-		Offset: offset,
-		TookMS: float64(stats.Total().Microseconds()) / 1000,
+		Query:  out.query.String(),
+		Total:  out.total,
+		Offset: out.req.Offset,
+		TookMS: float64(out.stats.Total().Microseconds()) / 1000,
 	}
-	for _, res := range results {
+	for _, row := range out.rows {
+		res := row.res
 		rx := ResultXML{
 			ID: res.ID, Score: res.Score, Name: res.Name, Description: res.Description,
 			Matches: res.NumMatches(), Entities: res.Entities, Attributes: res.Attributes,
 			Anchor: res.Anchor,
 		}
-		var ann codebook.Annotation
-		if schema := s.engine.Repository().Get(res.ID); schema != nil {
-			ann = codebook.Annotate(schema)
-		}
 		for _, el := range res.Matched {
-			ex := ElementXML{
-				Ref: el.Ref.String(), Kind: el.Kind.String(), Score: el.Score, Penalty: el.Penalty,
-			}
-			if cs := ann[el.Ref]; len(cs) > 0 {
-				names := make([]string, len(cs))
-				for i, c := range cs {
-					names[i] = string(c)
-				}
-				ex.Concepts = strings.Join(names, ",")
-			}
-			rx.Elements = append(rx.Elements, ex)
+			rx.Elements = append(rx.Elements, ElementXML{
+				Ref: el.Ref.String(), Kind: el.Kind.String(), Score: el.Score,
+				Penalty: el.Penalty, Concepts: row.concepts[el.Ref.String()],
+			})
 		}
 		resp.Results = append(resp.Results, rx)
 	}
-	// Usage statistics: every returned result is an impression.
-	ids := make([]string, len(results))
-	for i, res := range results {
-		ids[i] = res.ID
+	if len(out.trace) > 0 {
+		t := &TraceXML{}
+		for _, sp := range out.trace {
+			t.Spans = append(t.Spans, SpanXML{
+				Name: sp.Name, MS: float64(sp.Duration.Microseconds()) / 1000,
+			})
+		}
+		resp.Trace = t
 	}
-	s.engine.Repository().RecordImpressions(ids...)
 	s.writeXML(w, resp)
 }
 
@@ -350,9 +442,13 @@ func (s *Server) resultScores(r *http.Request, schema *model.Schema) (map[string
 	if r.FormValue("q") == "" && r.FormValue("ddl") == "" && r.FormValue("xsd") == "" {
 		return nil, nil
 	}
-	q, err := parseQuery(r)
-	if err != nil {
-		return nil, err
+	req, aerr := decodeSearchRequest(r)
+	if aerr != nil {
+		return nil, aerr
+	}
+	q, aerr := req.Query()
+	if aerr != nil {
+		return nil, aerr
 	}
 	m := s.engine.Ensemble().Match(q, schema)
 	best, argmax := m.ElementBest()
@@ -406,17 +502,18 @@ func (s *Server) handleSchemaSVG(w http.ResponseWriter, r *http.Request) {
 	}
 	g := graphml.FromSchema(schema, scores)
 	var l *layout.Layout
+	var err2 error
 	switch r.FormValue("layout") {
 	case "", "tree":
-		l, err = layout.Tree(g, opts)
+		l, err2 = layout.Tree(g, opts)
 	case "radial":
-		l, err = layout.Radial(g, opts)
+		l, err2 = layout.Radial(g, opts)
 	default:
 		s.xmlError(w, http.StatusBadRequest, "unknown layout %q", r.FormValue("layout"))
 		return
 	}
-	if err != nil {
-		s.xmlError(w, http.StatusBadRequest, "%v", err)
+	if err2 != nil {
+		s.xmlError(w, http.StatusBadRequest, "%v", err2)
 		return
 	}
 	w.Header().Set("Content-Type", "image/svg+xml")
@@ -432,37 +529,54 @@ func (s *Server) handleSchemaDDL(w http.ResponseWriter, r *http.Request) {
 	io.WriteString(w, ddl.Print(schema))
 }
 
-// handleImport accepts a new schema as form fields: name plus ddl or xsd.
-// The document index picks it up on the next scheduled sync (or Reindex).
-func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
-	if err := r.ParseForm(); err != nil {
-		s.xmlError(w, http.StatusBadRequest, "parsing form: %v", err)
-		return
+// importSchema decodes an import request (form fields or a JSON body:
+// name plus ddl or xsd) and stores the schema. The document index picks
+// it up on the next scheduled sync (or Reindex).
+func (s *Server) importSchema(r *http.Request) (id, name string, aerr *apiErr) {
+	var in struct {
+		Name string `json:"name"`
+		DDL  string `json:"ddl"`
+		XSD  string `json:"xsd"`
 	}
-	name := r.FormValue("name")
-	if name == "" {
-		s.xmlError(w, http.StatusBadRequest, "missing name")
-		return
+	if isJSONRequest(r) {
+		dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+		if err := dec.Decode(&in); err != nil {
+			return "", "", badRequest("decoding json body: %v", err)
+		}
+	} else {
+		if err := r.ParseForm(); err != nil {
+			return "", "", badRequest("parsing form: %v", err)
+		}
+		in.Name, in.DDL, in.XSD = r.FormValue("name"), r.FormValue("ddl"), r.FormValue("xsd")
+	}
+	if in.Name == "" {
+		return "", "", badRequest("missing name")
 	}
 	var schema *model.Schema
 	var err error
 	switch {
-	case r.FormValue("ddl") != "":
-		schema, err = ddl.Parse(name, r.FormValue("ddl"))
-	case r.FormValue("xsd") != "":
-		schema, err = xsd.Parse(name, r.FormValue("xsd"))
+	case in.DDL != "":
+		schema, err = ddl.Parse(in.Name, in.DDL)
+	case in.XSD != "":
+		schema, err = xsd.Parse(in.Name, in.XSD)
 	default:
-		s.xmlError(w, http.StatusBadRequest, "supply ddl or xsd")
-		return
+		return "", "", badRequest("supply ddl or xsd")
 	}
 	if err != nil {
-		s.xmlError(w, http.StatusBadRequest, "%v", err)
-		return
+		return "", "", badRequest("%v", err)
 	}
 	schema.Source = "import:" + r.RemoteAddr
-	id, err := s.engine.Repository().Put(schema)
+	id, err = s.engine.Repository().Put(schema)
 	if err != nil {
-		s.xmlError(w, http.StatusBadRequest, "%v", err)
+		return "", "", badRequest("%v", err)
+	}
+	return id, in.Name, nil
+}
+
+func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
+	id, name, aerr := s.importSchema(r)
+	if aerr != nil {
+		s.writeXMLErr(w, r, aerr)
 		return
 	}
 	w.WriteHeader(http.StatusCreated)
@@ -499,49 +613,67 @@ type SchemaRowXML struct {
 	Selections  int     `xml:"selections,omitempty"`
 }
 
-// handleList pages through the repository ordered by insertion — the
+// listRow is one repository entry of a browse page, shared by both
+// surfaces.
+type listRow struct {
+	id         string
+	schema     *model.Schema
+	tags       []string
+	rating     float64
+	selections int
+}
+
+// listPage is one page of the repository browse view.
+type listPage struct {
+	total int
+	rows  []listRow
+}
+
+// listSchemas pages through the repository ordered by insertion — the
 // browse companion to search, with optional tag filtering.
-func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+func (s *Server) listSchemas(req *ListRequest) listPage {
 	repo := s.engine.Repository()
 	ids := repo.IDs()
-	if tag := r.FormValue("tag"); tag != "" {
-		ids = repo.ByTag(tag)
+	if req.Tag != "" {
+		ids = repo.ByTag(req.Tag)
 	}
-	total := len(ids)
-	offset, limit := 0, 50
-	var err error
-	if v := r.FormValue("offset"); v != "" {
-		if offset, err = strconv.Atoi(v); err != nil || offset < 0 {
-			s.xmlError(w, http.StatusBadRequest, "bad offset %q", v)
-			return
-		}
-	}
-	if v := r.FormValue("limit"); v != "" {
-		if limit, err = strconv.Atoi(v); err != nil || limit < 1 || limit > 500 {
-			s.xmlError(w, http.StatusBadRequest, "bad limit %q", v)
-			return
-		}
-	}
+	page := listPage{total: len(ids)}
+	offset := req.Offset
 	if offset > len(ids) {
 		offset = len(ids)
 	}
 	ids = ids[offset:]
-	if len(ids) > limit {
-		ids = ids[:limit]
+	if len(ids) > req.Limit {
+		ids = ids[:req.Limit]
 	}
-	out := SchemaListXML{Total: total, Offset: offset}
 	for _, id := range ids {
 		entry := repo.Entry(id)
 		if entry == nil {
 			continue
 		}
-		sc := entry.Schema
 		avg, _ := repo.Rating(id)
+		page.rows = append(page.rows, listRow{
+			id: id, schema: entry.Schema, tags: entry.Tags,
+			rating: avg, selections: entry.Usage.Selections,
+		})
+	}
+	return page
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	req, aerr := decodeListRequest(r)
+	if aerr != nil {
+		s.writeXMLErr(w, r, aerr)
+		return
+	}
+	page := s.listSchemas(req)
+	out := SchemaListXML{Total: page.total, Offset: req.Offset}
+	for _, row := range page.rows {
 		out.Items = append(out.Items, SchemaRowXML{
-			ID: id, Name: sc.Name, Description: sc.Description,
-			Entities: sc.NumEntities(), Attributes: sc.NumAttributes(),
-			Format: sc.Format, Tags: strings.Join(entry.Tags, ","),
-			Rating: avg, Selections: entry.Usage.Selections,
+			ID: row.id, Name: row.schema.Name, Description: row.schema.Description,
+			Entities: row.schema.NumEntities(), Attributes: row.schema.NumAttributes(),
+			Format: row.schema.Format, Tags: strings.Join(row.tags, ","),
+			Rating: row.rating, Selections: row.selections,
 		})
 	}
 	s.writeXML(w, out)
