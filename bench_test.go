@@ -554,3 +554,39 @@ func BenchmarkIncrementalSync(b *testing.B) {
 		}
 	}
 }
+
+// --- Phase 1: candidate extraction (DAAT + MaxScore pruning) ---
+
+// BenchmarkPhase1 measures coarse-grain candidate extraction alone on the
+// WebTables corpus: the MaxScore-pruned document-at-a-time scorer against
+// the same merge with pruning disabled, classic and BM25, across the
+// CandidateN values the acceptance experiment uses. Results are recorded
+// in BENCH_phase1.json.
+func BenchmarkPhase1(b *testing.B) {
+	repo := benchRepo(b, 20000)
+	idx := index.New()
+	for _, s := range repo.All() {
+		if err := idx.Add(core.SchemaDocument(s)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	terms := paperQuery(b).Flatten()
+	for _, mode := range []struct {
+		name string
+		opts index.SearchOptions
+	}{
+		{"pruned", index.SearchOptions{}},
+		{"exhaustive", index.SearchOptions{DisablePruning: true}},
+		{"pruned-bm25", index.SearchOptions{BM25: true}},
+		{"exhaustive-bm25", index.SearchOptions{BM25: true, DisablePruning: true}},
+	} {
+		for _, n := range []int{10, 50, 200} {
+			b.Run(fmt.Sprintf("%s-n%d", mode.name, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					idx.SearchTerms(terms, n, mode.opts)
+				}
+			})
+		}
+	}
+}

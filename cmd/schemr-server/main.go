@@ -40,9 +40,12 @@ func main() {
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget for in-flight requests")
 	metrics := flag.Bool("metrics", true, "serve Prometheus-format metrics at GET /metrics")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof at /debug/pprof/ and expvar at /debug/vars")
+	pruning := flag.Bool("phase1-pruning", true, "MaxScore top-n pruning in phase-1 candidate extraction (off = exhaustive scoring)")
 	flag.Parse()
 
-	sys, err := schemr.Open(*data)
+	var opts schemr.EngineOptions
+	opts.Index.DisablePruning = !*pruning
+	sys, err := schemr.OpenWithOptions(*data, opts)
 	if err != nil {
 		log.Fatalf("schemr-server: %v", err)
 	}

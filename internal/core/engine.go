@@ -147,10 +147,17 @@ type SearchStats struct {
 	// TotalRanked is the number of results that cleared the full ranking,
 	// before truncation to the caller's limit — the pagination-true total
 	// for "ask for the next n schemas" clients.
-	TotalRanked    int
-	PhaseExtract   time.Duration
-	PhaseMatch     time.Duration
-	PhaseTightness time.Duration
+	TotalRanked int
+	// PostingsSkipped and CandidatesPruned report phase-1 MaxScore pruning
+	// effectiveness: postings jumped over without scoring and candidate
+	// documents abandoned by the bound check, summed across the keyword
+	// search and the trigram-fallback search. Both are zero when pruning
+	// fell back to exhaustive scoring.
+	PostingsSkipped  int
+	CandidatesPruned int
+	PhaseExtract     time.Duration
+	PhaseMatch       time.Duration
+	PhaseTightness   time.Duration
 }
 
 // Total returns the summed phase latency.
@@ -508,7 +515,9 @@ func (e *Engine) SearchWithStatsContext(ctx context.Context, q *query.Query, lim
 	start := time.Now()
 	terms := q.Flatten()
 	stats.QueryTerms = len(terms)
-	hits := idx.SearchTerms(terms, e.opts.CandidateN, e.opts.Index)
+	hits, sinfo := idx.SearchTermsStats(terms, e.opts.CandidateN, e.opts.Index)
+	stats.PostingsSkipped += sinfo.PostingsSkipped
+	stats.CandidatesPruned += sinfo.DocsPruned
 	if e.opts.TrigramFallback && len(hits) < e.opts.CandidateN {
 		// Recall rescue: candidates reachable only through character
 		// trigrams (fully abbreviated schemas). Their coarse scores are
@@ -517,7 +526,9 @@ func (e *Engine) SearchWithStatsContext(ctx context.Context, q *query.Query, lim
 		for _, h := range hits {
 			seen[h.ID] = true
 		}
-		extra := idx.SearchTerms(trigramsOf(terms), e.opts.CandidateN, e.opts.Index)
+		extra, tinfo := idx.SearchTermsStats(trigramsOf(terms), e.opts.CandidateN, e.opts.Index)
+		stats.PostingsSkipped += tinfo.PostingsSkipped
+		stats.CandidatesPruned += tinfo.DocsPruned
 		for _, h := range extra {
 			if len(hits) >= e.opts.CandidateN || ctx.Err() != nil {
 				break

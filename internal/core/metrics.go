@@ -67,8 +67,10 @@ func traceSearch(tr *obs.Trace, began time.Time, stats SearchStats) {
 	}
 	start := began
 	tr.AddSpan("search.extract", start, stats.PhaseExtract, map[string]int64{
-		"terms":      int64(stats.QueryTerms),
-		"candidates": int64(stats.Candidates),
+		"terms":             int64(stats.QueryTerms),
+		"candidates":        int64(stats.Candidates),
+		"postings_skipped":  int64(stats.PostingsSkipped),
+		"candidates_pruned": int64(stats.CandidatesPruned),
 	})
 	start = start.Add(stats.PhaseExtract)
 	tr.AddSpan("search.match", start, stats.PhaseMatch, map[string]int64{

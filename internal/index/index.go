@@ -76,9 +76,48 @@ type posting struct {
 // termEntry is the dictionary entry for one term: its live document
 // frequency and postings. Postings of deleted documents linger until
 // Compact; df is kept live so IDF stays correct.
+//
+// The max* fields are the MaxScore pruning bounds (see DESIGN.md "Candidate
+// extraction"): query-independent caps on the term's per-document score
+// contribution, maintained incrementally. Adds raise them exactly; deletes
+// leave them stale-high (still a valid upper bound, just looser) until
+// Compact recomputes them. maxFreq == 0 marks the bounds unavailable — the
+// state of entries loaded from a v1 persisted index — which makes the term
+// always-essential at query time (exhaustive scoring).
 type termEntry struct {
 	df       int32
 	postings []posting
+
+	// maxClassic is the max over documents of Σ_fields boost·√freq·norm —
+	// the classic TF/IDF per-doc contribution without the IDF factor.
+	maxClassic float64
+	// maxBoostSum is the max over documents of Σ_fields max(boost, 0) for
+	// the fields the term occurs in — the BM25 bound's boost cap.
+	maxBoostSum float64
+	// maxFreq is the max single-posting term frequency (BM25 saturation
+	// cap); 0 means the bounds are unavailable.
+	maxFreq int32
+}
+
+// boundsOK reports whether the entry's pruning bounds are usable.
+func (e *termEntry) boundsOK() bool { return e.maxFreq > 0 }
+
+// raiseBounds folds one document's aggregates into the entry's bounds. A
+// fresh entry (no postings yet) adopts them; an entry with unavailable
+// bounds (v1 load) stays unavailable until Compact recomputes everything.
+func (e *termEntry) raiseBounds(classic, boostSum float64, maxFreq int32, fresh bool) {
+	if !fresh && !e.boundsOK() {
+		return
+	}
+	if classic > e.maxClassic || fresh {
+		e.maxClassic = classic
+	}
+	if boostSum > e.maxBoostSum || fresh {
+		e.maxBoostSum = boostSum
+	}
+	if maxFreq > e.maxFreq || fresh {
+		e.maxFreq = maxFreq
+	}
 }
 
 // Index is an in-memory inverted index with persistence. The zero value is
@@ -106,8 +145,24 @@ type Index struct {
 	// forward index: per doc, the distinct terms it contains (for delete).
 	docTerms [][]string
 
+	// avgLenMu guards the lazily computed per-field average-length cache
+	// used by BM25. It nests inside mu (taken briefly by readers holding
+	// RLock and by mutators holding the write lock). avgLensOK is flipped
+	// false by every mutation; the next BM25 search recomputes.
+	avgLenMu  sync.Mutex
+	avgLens   []float64
+	avgLensOK bool
+
 	// met, when non-nil, receives per-search counters (see Metrics).
 	met *Metrics
+}
+
+// invalidateAvgLens marks the BM25 average-length cache stale. Called by
+// every mutation (Add, Delete, Compact, ReadFrom) under the write lock.
+func (ix *Index) invalidateAvgLens() {
+	ix.avgLenMu.Lock()
+	ix.avgLensOK = false
+	ix.avgLenMu.Unlock()
 }
 
 // Metrics is the index's observability hook: counters fed by SearchTerms.
@@ -124,6 +179,12 @@ type Metrics struct {
 	// PostingsTouched counts postings iterated while scoring — the index's
 	// unit of work per search.
 	PostingsTouched *obs.Counter
+	// PostingsSkipped counts postings jumped over by MaxScore pruning seeks
+	// without being scored — the work the pruned path avoided.
+	PostingsSkipped *obs.Counter
+	// DocsPruned counts candidate documents abandoned by the MaxScore bound
+	// check before (or during) full scoring.
+	DocsPruned *obs.Counter
 }
 
 // NewMetrics registers the index metric families on reg and returns the
@@ -133,6 +194,8 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		Searches:        reg.Counter("schemr_index_searches_total", "Coarse-grain index searches executed.", nil),
 		TermsScored:     reg.Counter("schemr_index_terms_scored_total", "Query terms scored against the dictionary.", nil),
 		PostingsTouched: reg.Counter("schemr_index_postings_touched_total", "Postings iterated while scoring searches.", nil),
+		PostingsSkipped: reg.Counter("schemr_index_postings_skipped_total", "Postings jumped over by MaxScore pruning without being scored.", nil),
+		DocsPruned:      reg.Counter("schemr_index_docs_pruned_total", "Candidate documents abandoned by the MaxScore bound check.", nil),
 	}
 }
 
@@ -244,6 +307,16 @@ func (ix *Index) Add(doc Document) error {
 		ix.norms[f] = append(ix.norms[f], 0)
 	}
 
+	// bounds aggregates this document's MaxScore bound inputs per term
+	// across fields: the classic per-doc contribution (sans IDF), the
+	// positive-boost sum, and the max per-posting frequency.
+	type docAgg struct {
+		classic  float64
+		boostSum float64
+		maxFreq  int32
+		fresh    bool // term entry created by this document
+	}
+	bounds := make(map[string]*docAgg)
 	distinct := make(map[string]bool)
 	for _, field := range doc.Fields {
 		toks := ix.analyzer(field.Name, field.Text)
@@ -277,20 +350,38 @@ func (ix *Index) Add(doc Document) error {
 		// norm (more tokens → smaller norm) by summing lengths is overkill —
 		// last write wins is fine and documented by tests.
 		ix.norms[fid][ord] = norm
+		boost := ix.boost(int8(fid))
 		for tok, o := range occs {
 			e := ix.terms[tok]
+			fresh := false
 			if e == nil {
 				e = &termEntry{}
 				ix.terms[tok] = e
+				fresh = true
 			}
 			if !distinct[tok] {
 				distinct[tok] = true
 				e.df++
 			}
+			agg := bounds[tok]
+			if agg == nil {
+				agg = &docAgg{fresh: fresh || len(e.postings) == 0}
+				bounds[tok] = agg
+			}
+			agg.classic += boost * math.Sqrt(float64(o.freq)) * float64(norm)
+			if boost > 0 {
+				agg.boostSum += boost
+			}
+			if o.freq > agg.maxFreq {
+				agg.maxFreq = o.freq
+			}
 			e.postings = append(e.postings, posting{
 				doc: ord, field: int8(fid), freq: o.freq, positions: o.positions,
 			})
 		}
+	}
+	for tok, agg := range bounds {
+		ix.terms[tok].raiseBounds(agg.classic, agg.boostSum, agg.maxFreq, agg.fresh)
 	}
 	termList := make([]string, 0, len(distinct))
 	for t := range distinct {
@@ -298,6 +389,7 @@ func (ix *Index) Add(doc Document) error {
 	}
 	sort.Strings(termList)
 	ix.docTerms[ord] = termList
+	ix.invalidateAvgLens()
 	return nil
 }
 
@@ -314,8 +406,10 @@ func (ix *Index) Delete(id string) bool {
 	return true
 }
 
-// deleteLocked tombstones a document ordinal and maintains df. Caller holds
-// the write lock.
+// deleteLocked tombstones a document ordinal and maintains df. The MaxScore
+// bounds are left untouched: a deleted document that held a term's maximum
+// leaves the bound stale-high, which is still a valid (merely looser) upper
+// bound; Compact recomputes bounds exactly. Caller holds the write lock.
 func (ix *Index) deleteLocked(ord int32) {
 	ix.deleted[ord] = true
 	ix.live--
@@ -326,6 +420,7 @@ func (ix *Index) deleteLocked(ord int32) {
 		}
 	}
 	ix.docTerms[ord] = nil
+	ix.invalidateAvgLens()
 }
 
 // Compact rebuilds the index without tombstoned postings, reclaiming memory
@@ -364,7 +459,9 @@ func (ix *Index) Compact() {
 			}
 		}
 		if len(kept) > 0 {
-			newTerms[t] = &termEntry{df: e.df, postings: kept}
+			ne := &termEntry{df: e.df, postings: kept}
+			ix.recomputeBounds(ne, newNorms)
+			newTerms[t] = ne
 		}
 	}
 	newDocTerms := make([][]string, len(newIDs))
@@ -381,6 +478,32 @@ func (ix *Index) Compact() {
 	ix.docTerms = newDocTerms
 	ix.norms = newNorms
 	ix.terms = newTerms
+	ix.invalidateAvgLens()
+}
+
+// recomputeBounds rebuilds a term entry's MaxScore bounds exactly from its
+// postings (grouped by document — postings are doc-ordinal-sorted), reading
+// norms from the given columns. Caller holds the write lock.
+func (ix *Index) recomputeBounds(e *termEntry, norms [][]float32) {
+	e.maxClassic, e.maxBoostSum, e.maxFreq = 0, 0, 0
+	i := 0
+	for i < len(e.postings) {
+		doc := e.postings[i].doc
+		classic, boostSum := 0.0, 0.0
+		var maxFreq int32
+		for ; i < len(e.postings) && e.postings[i].doc == doc; i++ {
+			p := &e.postings[i]
+			boost := ix.boost(p.field)
+			classic += boost * math.Sqrt(float64(p.freq)) * float64(norms[p.field][p.doc])
+			if boost > 0 {
+				boostSum += boost
+			}
+			if p.freq > maxFreq {
+				maxFreq = p.freq
+			}
+		}
+		e.raiseBounds(classic, boostSum, maxFreq, e.maxFreq == 0)
+	}
 }
 
 // boost returns the configured boost for a field ordinal, default 1.

@@ -9,8 +9,15 @@ import (
 )
 
 // indexMagic guards against loading files that are not Schemr indexes (or
-// are a newer format than this build understands).
-const indexMagic = "SCHEMR-INDEX-1\n"
+// are a newer format than this build understands). Format v2 adds per-term
+// MaxScore bound fields to persistedTerm; v1 files (indexMagicV1) still
+// load — gob tolerates the missing fields, leaving the bounds zeroed, which
+// the scorer treats as "bounds unavailable" and falls back to exhaustive
+// scoring until the next Compact recomputes them.
+const (
+	indexMagic   = "SCHEMR-INDEX-2\n"
+	indexMagicV1 = "SCHEMR-INDEX-1\n"
+)
 
 // persistedPosting mirrors posting with exported fields for gob.
 type persistedPosting struct {
@@ -24,6 +31,11 @@ type persistedTerm struct {
 	Term     string
 	DF       int32
 	Postings []persistedPosting
+	// MaxScore pruning bounds (format v2; zero after a v1 load, meaning
+	// unavailable — see termEntry).
+	MaxClassic  float64
+	MaxBoostSum float64
+	MaxFreq     int32
 }
 
 // persistedIndex is the on-disk shape. The index is compacted before
@@ -60,7 +72,10 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 		if e.df == 0 {
 			continue
 		}
-		pt := persistedTerm{Term: t, DF: e.df, Postings: make([]persistedPosting, 0, len(e.postings))}
+		pt := persistedTerm{
+			Term: t, DF: e.df, Postings: make([]persistedPosting, 0, len(e.postings)),
+			MaxClassic: e.maxClassic, MaxBoostSum: e.maxBoostSum, MaxFreq: e.maxFreq,
+		}
 		for _, post := range e.postings {
 			if ix.deleted[post.doc] {
 				continue
@@ -84,7 +99,8 @@ func (ix *Index) ReadFrom(r io.Reader) (int64, error) {
 	if _, err := io.ReadFull(cr, magic); err != nil {
 		return cr.n, fmt.Errorf("index: reading header: %w", err)
 	}
-	if string(magic) != indexMagic {
+	v1 := string(magic) == indexMagicV1
+	if string(magic) != indexMagic && !v1 {
 		return cr.n, fmt.Errorf("index: bad magic %q: not a schemr index file", string(magic))
 	}
 	var p persistedIndex
@@ -122,6 +138,9 @@ func (ix *Index) ReadFrom(r io.Reader) (int64, error) {
 	ix.terms = make(map[string]*termEntry, len(p.Terms))
 	for _, pt := range p.Terms {
 		e := &termEntry{df: pt.DF, postings: make([]posting, len(pt.Postings))}
+		if !v1 {
+			e.maxClassic, e.maxBoostSum, e.maxFreq = pt.MaxClassic, pt.MaxBoostSum, pt.MaxFreq
+		}
 		for i, pp := range pt.Postings {
 			if pp.Doc < 0 || int(pp.Doc) >= len(p.DocIDs) {
 				return cr.n, fmt.Errorf("index: corrupt file: posting for %q references doc %d of %d", pt.Term, pp.Doc, len(p.DocIDs))
@@ -133,6 +152,7 @@ func (ix *Index) ReadFrom(r io.Reader) (int64, error) {
 		}
 		ix.terms[pt.Term] = e
 	}
+	ix.invalidateAvgLens()
 	return cr.n, nil
 }
 

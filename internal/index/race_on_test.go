@@ -1,0 +1,8 @@
+//go:build race
+
+package index
+
+// raceEnabled reports whether the race detector is instrumenting this test
+// binary (it adds allocations of its own, so the allocation-budget test
+// loosens its threshold under -race).
+const raceEnabled = true

@@ -1,9 +1,9 @@
 package index
 
 import (
-	"container/heap"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Hit is one search result: an external document ID with its coarse-grain
@@ -30,7 +30,7 @@ type SearchOptions struct {
 	// MinShouldMatch drops documents matching fewer than this many distinct
 	// query terms. 0 or 1 keeps every match (the paper's recall-preserving
 	// default: "the candidate extraction algorithm need not match all search
-	// terms").
+	// terms"). Values above 1 disable MaxScore pruning (exhaustive scoring).
 	MinShouldMatch int
 	// BM25 switches per-term scoring from the paper's Lucene-classic
 	// TF/IDF variant (sqrt-tf · log-idf · length norm) to Okapi BM25 with
@@ -42,6 +42,33 @@ type SearchOptions struct {
 	K1 float64
 	// B is BM25's length-normalization strength (default 0.75).
 	B float64
+	// DisablePruning turns off MaxScore top-n pruning, scoring every
+	// matching document exhaustively with the same document-at-a-time
+	// merge. Benchmarking and verification aid: pruned and exhaustive
+	// retrieval return identical top-n hits (the property tests assert
+	// byte-identical IDs, scores, match counts and order).
+	DisablePruning bool
+}
+
+// SearchInfo reports one search's work counters — the observability payload
+// behind the schemr_index_* metric families and the phase-1 entries of
+// core.SearchStats.
+type SearchInfo struct {
+	// TermsScored is the number of query terms that hit the dictionary.
+	TermsScored int
+	// PostingsTouched counts postings iterated while scoring (including
+	// tombstone checks on deleted documents).
+	PostingsTouched int
+	// PostingsSkipped counts postings jumped over by MaxScore pruning seeks
+	// without being scored.
+	PostingsSkipped int
+	// DocsPruned counts candidate documents abandoned by the MaxScore bound
+	// check before full scoring.
+	DocsPruned int
+	// Pruned reports whether MaxScore pruning was armed for this search
+	// (top-n requested, MinShouldMatch <= 1, pruning enabled, and at least
+	// one term with usable bounds). False implies exhaustive scoring.
+	Pruned bool
 }
 
 // Search runs a free-text query and returns the top n hits by descending
@@ -56,131 +83,508 @@ func (ix *Index) Search(query string, n int, opts SearchOptions) []Hit {
 // SearchTerms runs a pre-analyzed term list. Duplicate terms are collapsed
 // (the query is a set of terms, per the paper's flattened query graph).
 func (ix *Index) SearchTerms(terms []string, n int, opts SearchOptions) []Hit {
-	uniq := make([]string, 0, len(terms))
-	seen := make(map[string]bool, len(terms))
+	hits, _ := ix.SearchTermsStats(terms, n, opts)
+	return hits
+}
+
+// termCursor walks one term's postings list during the document-at-a-time
+// merge. Postings are doc-ordinal-sorted (Add appends monotonically
+// increasing ordinals and Compact preserves relative order), so the cursor
+// only ever moves forward.
+type termCursor struct {
+	ti       int // index into the deduplicated query term list
+	idf      float64
+	ub       float64 // query-time upper bound on the per-doc contribution (+Inf when unavailable)
+	postings []posting
+	i        int
+}
+
+// cur returns the doc ordinal under the cursor, or -1 when exhausted.
+func (c *termCursor) cur() int32 {
+	if c.i < len(c.postings) {
+		return c.postings[c.i].doc
+	}
+	return -1
+}
+
+// seek advances the cursor to the first posting with doc >= d (galloping
+// then binary-searching, so long jumps cost O(log skip)) and returns the
+// number of postings jumped over without being scored.
+func (c *termCursor) seek(d int32) int {
+	start := c.i
+	if c.i >= len(c.postings) || c.postings[c.i].doc >= d {
+		return 0
+	}
+	// Gallop to bracket the target, then binary search within the bracket.
+	lo, hi := c.i, len(c.postings) // invariant: postings[lo].doc < d
+	step := 1
+	for lo+step < len(c.postings) && c.postings[lo+step].doc < d {
+		lo += step
+		step *= 2
+	}
+	if lo+step < hi {
+		hi = lo + step // postings[hi].doc >= d
+	}
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.postings[mid].doc < d {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	c.i = hi
+	return c.i - start
+}
+
+// scoreDoc sums the contributions of every posting of document d (the
+// cursor must be positioned on d), advancing past them. Postings of one
+// term are summed in postings order — the canonical accumulation the
+// exhaustive and pruned paths share, and the grouping Explain uses, so all
+// three produce bit-identical scores. Positions are appended to posOut when
+// non-nil.
+func (c *termCursor) scoreDoc(ix *Index, d int32, bm25 bool, k1, b float64, avgLen []float64, posOut *[]int32) (sum float64, touched int) {
+	for c.i < len(c.postings) && c.postings[c.i].doc == d {
+		p := &c.postings[c.i]
+		sum += ix.contribution(*p, c.idf, bm25, k1, b, avgLen)
+		if posOut != nil {
+			*posOut = append(*posOut, p.positions...)
+		}
+		c.i++
+		touched++
+	}
+	return sum, touched
+}
+
+// skipDoc advances past every posting of document d (used for tombstoned
+// documents) and returns how many were passed.
+func (c *termCursor) skipDoc(d int32) int {
+	n := 0
+	for c.i < len(c.postings) && c.postings[c.i].doc == d {
+		c.i++
+		n++
+	}
+	return n
+}
+
+// queryUpperBound returns an upper bound on the term's per-document score
+// contribution under the given options, or +Inf when no sound bound is
+// available (entry loaded from a v1 index, or BM25 parameters outside the
+// provable range k1 >= 0, 0 <= b <= 1).
+func (e *termEntry) queryUpperBound(idf float64, bm25 bool, k1, b float64) float64 {
+	if !e.boundsOK() {
+		return math.Inf(1)
+	}
+	if !bm25 {
+		return idf * e.maxClassic
+	}
+	if k1 < 0 || b < 0 || b > 1 {
+		return math.Inf(1)
+	}
+	// tfPart = freq·(k1+1)/(freq + k1·denom) with denom >= 1-b >= 0, and it
+	// is increasing in freq, so maxFreq caps it (see DESIGN.md "Candidate
+	// extraction" for the full bound argument).
+	mf := float64(e.maxFreq)
+	tfB := mf * (k1 + 1) / (mf + k1*(1-b))
+	return idf * e.maxBoostSum * tfB
+}
+
+// searchScratch holds every per-search buffer the document-at-a-time merge
+// needs, pooled across searches so the steady state allocates nothing but
+// the result slice. Buffers are sized to the query (terms, top-n), not the
+// corpus — DAAT never materializes per-document accumulators.
+type searchScratch struct {
+	uniq       []string
+	cursors    []termCursor
+	order      []int     // cursor indices sorted by ascending upper bound
+	prefix     []float64 // prefix[j] = Σ ub of order[0..j-1]
+	perTermC   []float64 // per term index: contribution to the current doc
+	perTermHit []bool    // per term index: matched the current doc
+	matchedTI  []int     // term indices matched in the current doc
+	pos        [][]int32 // per term index: positions in the current doc
+	lists      [][]int32 // minSpanLists input scratch
+	heap       hitHeap
+}
+
+var scratchPool = sync.Pool{New: func() any { return &searchScratch{} }}
+
+// release returns the scratch to the pool, dropping references into the
+// index (postings slices) and result IDs so a pooled scratch never pins a
+// discarded index generation.
+func (sc *searchScratch) release() {
+	for i := range sc.cursors {
+		sc.cursors[i].postings = nil
+	}
+	sc.cursors = sc.cursors[:0]
+	full := sc.heap[:cap(sc.heap)]
+	for i := range full {
+		full[i] = Hit{}
+	}
+	sc.heap = sc.heap[:0]
+	sc.uniq = sc.uniq[:0]
+	scratchPool.Put(sc)
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growLists(s [][]int32, n int) [][]int32 {
+	if cap(s) < n {
+		return make([][]int32, n)
+	}
+	return s[:n]
+}
+
+// boundSlack inflates a pruning bound by a relative epsilon so that
+// floating-point reordering between the bound arithmetic and the canonical
+// scorer (whose sums group differently by at most a few ulps) can never
+// prune a document the exhaustive scorer would keep. 1e-9 relative dwarfs
+// the ~1e-16 relative reordering error while costing no measurable pruning
+// power.
+func boundSlack(s float64) float64 {
+	return s + math.Abs(s)*1e-9
+}
+
+// SearchTermsStats is SearchTerms returning the search's work counters.
+//
+// The scorer is a document-at-a-time merge over the per-term postings lists
+// with MaxScore top-n pruning: terms are ordered by their maximum possible
+// per-document contribution (maintained at index time), and once the top-n
+// heap is full, documents that can only appear in low-bound ("non-
+// essential") lists whose summed bounds — adjusted for the coordination
+// factor and proximity bonus — cannot beat the current heap threshold are
+// skipped without being scored. Pruned and exhaustive retrieval return
+// identical hits. Pruning disarms (exhaustive scoring through the same
+// merge) when n <= 0, MinShouldMatch > 1, DisablePruning is set, or no term
+// has usable bounds (v1 persisted index before a Compact).
+func (ix *Index) SearchTermsStats(terms []string, n int, opts SearchOptions) ([]Hit, SearchInfo) {
+	var info SearchInfo
+	sc := scratchPool.Get().(*searchScratch)
+	defer sc.release()
+
+	// Deduplicate without allocating: queries are short term sets.
+	uniq := sc.uniq[:0]
 	for _, t := range terms {
-		if t != "" && !seen[t] {
-			seen[t] = true
+		if t == "" {
+			continue
+		}
+		dup := false
+		for _, u := range uniq {
+			if u == t {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			uniq = append(uniq, t)
 		}
 	}
+	sc.uniq = uniq
 	if len(uniq) == 0 {
-		return nil
+		return nil, info
 	}
 
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 
-	numDocs := ix.live
-	if numDocs == 0 {
-		return nil
+	if ix.live == 0 {
+		return nil, info
 	}
 
-	scores := make(map[int32]float64)
-	matched := make(map[int32]int)
-	// positions seen per doc per term index, for the proximity bonus.
-	var termPositions []map[int32][]int32
-	if opts.Proximity {
-		termPositions = make([]map[int32][]int32, len(uniq))
-	}
-
-	// BM25 needs per-field average lengths; recover lengths from the
-	// stored norms (norm = 1/sqrt(len)).
 	k1, b := opts.bm25Params()
 	var avgLen []float64
 	if opts.BM25 {
 		avgLen = ix.avgFieldLens()
 	}
 
-	// Work counters for the observability layer, accumulated locally and
-	// published once per search.
-	termsScored, postingsTouched := 0, 0
+	numTerms := len(uniq)
+	minMatch := opts.MinShouldMatch
+	if minMatch < 1 {
+		minMatch = 1
+	}
+	proxOn := opts.Proximity && numTerms > 1
+	w := opts.ProximityWeight
+	if w == 0 {
+		w = 0.1
+	}
+	proxCap := 0.0
+	if proxOn && w > 0 {
+		proxCap = w
+	}
 
+	// Build one cursor per term that hits the dictionary.
+	cursors := sc.cursors[:0]
 	for ti, term := range uniq {
 		e, ok := ix.terms[term]
 		if !ok || e.df == 0 {
 			continue
 		}
-		termsScored++
 		idf := ix.idf(e.df, opts.BM25)
-		var perDoc map[int32][]int32
-		if opts.Proximity {
-			perDoc = make(map[int32][]int32)
-			termPositions[ti] = perDoc
-		}
-		// Track which docs this term already counted toward `matched`, since
-		// a term can have postings in several fields of one doc.
-		counted := make(map[int32]bool)
-		postingsTouched += len(e.postings)
-		for _, p := range e.postings {
-			if ix.deleted[p.doc] {
-				continue
-			}
-			scores[p.doc] += ix.contribution(p, idf, opts.BM25, k1, b, avgLen)
-			if !counted[p.doc] {
-				counted[p.doc] = true
-				matched[p.doc]++
-			}
-			if perDoc != nil {
-				perDoc[p.doc] = append(perDoc[p.doc], p.positions...)
-			}
-		}
+		cursors = append(cursors, termCursor{
+			ti:       ti,
+			idf:      idf,
+			ub:       e.queryUpperBound(idf, opts.BM25, k1, b),
+			postings: e.postings,
+		})
+	}
+	sc.cursors = cursors
+	info.TermsScored = len(cursors)
+	if len(cursors) == 0 {
+		ix.publish(info)
+		return nil, info
 	}
 
-	if ix.met != nil {
-		ix.met.Searches.Inc()
-		ix.met.TermsScored.Add(uint64(termsScored))
-		ix.met.PostingsTouched.Add(uint64(postingsTouched))
-	}
-
-	if opts.Proximity && len(uniq) > 1 {
-		w := opts.ProximityWeight
-		if w == 0 {
-			w = 0.1
-		}
-		for doc := range scores {
-			if matched[doc] < 2 {
-				continue
-			}
-			if d := minPairSpan(termPositions, doc); d >= 0 {
-				scores[doc] += w / float64(1+d)
+	pruneOK := n > 0 && minMatch <= 1 && !opts.DisablePruning
+	if pruneOK {
+		for i := range cursors {
+			if !math.IsInf(cursors[i].ub, 1) {
+				info.Pruned = true
+				break
 			}
 		}
 	}
 
-	minMatch := opts.MinShouldMatch
-	if minMatch < 1 {
-		minMatch = 1
+	// Order cursors by ascending upper bound (ties by term index for
+	// determinism); insertion sort keeps this allocation-free.
+	order := sc.order[:0]
+	for i := range cursors {
+		order = append(order, i)
 	}
-	numTerms := len(uniq)
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, bb := &cursors[order[j]], &cursors[order[j-1]]
+			if a.ub < bb.ub || (a.ub == bb.ub && a.ti < bb.ti) {
+				order[j], order[j-1] = order[j-1], order[j]
+			} else {
+				break
+			}
+		}
+	}
+	sc.order = order
 
-	h := &hitHeap{}
-	heap.Init(h)
-	for doc, s := range scores {
-		m := matched[doc]
-		if m < minMatch {
-			continue
+	prefix := growFloats(sc.prefix, len(order)+1)
+	prefix[0] = 0
+	for j, oi := range order {
+		prefix[j+1] = prefix[j] + cursors[oi].ub
+	}
+	sc.prefix = prefix
+
+	sc.perTermC = growFloats(sc.perTermC, numTerms)
+	sc.perTermHit = growBools(sc.perTermHit, numTerms)
+	if proxOn {
+		sc.pos = growLists(sc.pos, numTerms)
+	}
+
+	h := &sc.heap
+	*h = (*h)[:0]
+
+	// boundFinal caps the final score of any document matching at most mMax
+	// of the candidate terms with per-term contributions summing to at most
+	// base: the proximity bonus adds at most proxCap (distance 0), and the
+	// coordination factor multiplies by at most mMax/|terms|.
+	boundFinal := func(base float64, mMax int) float64 {
+		if mMax > numTerms {
+			mMax = numTerms
+		}
+		s := base
+		if proxOn && mMax >= 2 {
+			s += proxCap
 		}
 		if !opts.DisableCoord {
-			s *= float64(m) / float64(numTerms)
+			s *= float64(mMax) / float64(numTerms)
 		}
-		hit := Hit{ID: ix.docIDs[doc], Score: s, TermsMatched: m}
-		if n > 0 {
-			if h.Len() < n {
-				heap.Push(h, hit)
-			} else if less((*h)[0], hit) {
+		return boundSlack(s)
+	}
+	// canEnter reports whether a hit (or a bound standing in for one) could
+	// still enter the top-n heap — exact on score ties via the ID
+	// tie-break, so pruning reproduces the exhaustive heap bit for bit.
+	canEnter := func(hit Hit) bool {
+		return n <= 0 || len(*h) < n || less((*h)[0], hit)
+	}
+	// push maintains the min-heap with direct sifts (no container/heap
+	// interface boxing, so inserting a Hit never allocates).
+	push := func(hit Hit) {
+		if n > 0 && len(*h) >= n {
+			if less((*h)[0], hit) {
 				(*h)[0] = hit
-				heap.Fix(h, 0)
+				h.siftDown(0)
+			}
+			return
+		}
+		*h = append(*h, hit)
+		h.siftUp(len(*h) - 1)
+	}
+
+	// firstEss partitions order: order[:firstEss] are the non-essential
+	// lists (their summed bounds cannot beat the heap threshold), the rest
+	// are essential and drive the merge. Only grows as the threshold rises.
+	firstEss := 0
+	advanceBoundary := func() {
+		if !info.Pruned || len(*h) < n {
+			return
+		}
+		top := (*h)[0].Score
+		for firstEss < len(order) && boundFinal(prefix[firstEss+1], firstEss+1) < top {
+			firstEss++
+		}
+	}
+
+	// Per-document merge state, hoisted so the score closure is allocated
+	// once per search, not once per candidate document.
+	var (
+		d         int32
+		m         int
+		boundBase float64 // running contribution sum, for bound checks only
+	)
+	mts := sc.matchedTI[:0]
+	score := func(c *termCursor) {
+		var posOut *[]int32
+		if proxOn {
+			sc.pos[c.ti] = sc.pos[c.ti][:0]
+			posOut = &sc.pos[c.ti]
+		}
+		s, touched := c.scoreDoc(ix, d, opts.BM25, k1, b, avgLen, posOut)
+		info.PostingsTouched += touched
+		sc.perTermC[c.ti] = s
+		sc.perTermHit[c.ti] = true
+		mts = append(mts, c.ti)
+		boundBase += s
+		m++
+	}
+
+	for {
+		// Next doc: the minimum ordinal under the essential cursors. When
+		// every essential list is exhausted, all remaining docs live only
+		// in non-essential lists and are provably below the threshold.
+		d = -1
+		for _, oi := range order[firstEss:] {
+			if doc := cursors[oi].cur(); doc >= 0 && (d < 0 || doc < d) {
+				d = doc
+			}
+		}
+		if d < 0 {
+			break
+		}
+		if ix.deleted[d] {
+			for _, oi := range order[firstEss:] {
+				if cursors[oi].cur() == d {
+					info.PostingsTouched += cursors[oi].skipDoc(d)
+				}
+			}
+			continue
+		}
+
+		m, boundBase = 0, 0
+		mts = mts[:0]
+		for _, oi := range order[firstEss:] {
+			if cursors[oi].cur() == d {
+				score(&cursors[oi])
+			}
+		}
+
+		// Probe the non-essential lists, highest bound first, abandoning
+		// the document as soon as its best possible final score cannot
+		// enter the heap.
+		abandoned := false
+		if firstEss > 0 && n > 0 && len(*h) >= n {
+			if !canEnter(Hit{ID: ix.docIDs[d], Score: boundFinal(boundBase+prefix[firstEss], m+firstEss)}) {
+				abandoned = true
+			} else {
+				for i := firstEss - 1; i >= 0; i-- {
+					c := &cursors[order[i]]
+					info.PostingsSkipped += c.seek(d)
+					if c.cur() == d {
+						score(c)
+					}
+					if !canEnter(Hit{ID: ix.docIDs[d], Score: boundFinal(boundBase+prefix[i], m+i)}) {
+						abandoned = true
+						break
+					}
+				}
+			}
+			if abandoned {
+				info.DocsPruned++
 			}
 		} else {
-			heap.Push(h, hit)
+			for i := firstEss - 1; i >= 0; i-- {
+				c := &cursors[order[i]]
+				info.PostingsSkipped += c.seek(d)
+				if c.cur() == d {
+					score(c)
+				}
+			}
+		}
+
+		if !abandoned && m >= minMatch {
+			// Canonical accumulation: per-term sums added in query term
+			// order — the grouping Explain uses, shared by the pruned and
+			// exhaustive paths.
+			s := 0.0
+			for ti := 0; ti < numTerms; ti++ {
+				if sc.perTermHit[ti] {
+					s += sc.perTermC[ti]
+				}
+			}
+			if proxOn && m >= 2 {
+				lists := sc.lists[:0]
+				for _, ti := range mts {
+					if len(sc.pos[ti]) > 0 {
+						lists = append(lists, sc.pos[ti])
+					}
+				}
+				sc.lists = lists
+				if dist := minSpanLists(lists); dist >= 0 {
+					s += w / float64(1+dist)
+				}
+			}
+			if !opts.DisableCoord {
+				s *= float64(m) / float64(numTerms)
+			}
+			push(Hit{ID: ix.docIDs[d], Score: s, TermsMatched: m})
+			advanceBoundary()
+		}
+		for _, ti := range mts {
+			sc.perTermHit[ti] = false
 		}
 	}
-	out := make([]Hit, h.Len())
+
+	sc.matchedTI = mts[:0]
+	ix.publish(info)
+
+	// Drain the min-heap into descending order.
+	out := make([]Hit, len(*h))
 	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(h).(Hit)
+		out[i] = (*h)[0]
+		last := len(*h) - 1
+		(*h)[0] = (*h)[last]
+		*h = (*h)[:last]
+		h.siftDown(0)
 	}
-	return out
+	return out, info
+}
+
+// publish feeds one search's counters to the metrics hook. Caller holds at
+// least the read lock.
+func (ix *Index) publish(info SearchInfo) {
+	if ix.met == nil {
+		return
+	}
+	ix.met.Searches.Inc()
+	ix.met.TermsScored.Add(uint64(info.TermsScored))
+	ix.met.PostingsTouched.Add(uint64(info.PostingsTouched))
+	ix.met.PostingsSkipped.Add(uint64(info.PostingsSkipped))
+	ix.met.DocsPruned.Add(uint64(info.DocsPruned))
 }
 
 // bm25Params resolves the BM25 tuning parameters with their defaults.
@@ -195,9 +599,18 @@ func (o SearchOptions) bm25Params() (k1, b float64) {
 	return k1, b
 }
 
-// avgFieldLens recovers the per-field average token length from the stored
-// norms (norm = 1/sqrt(len)), over live documents. Caller holds a lock.
+// avgFieldLens returns the per-field average token length over live
+// documents, recovered from the stored norms (norm = 1/sqrt(len)). The
+// result is cached on the index and invalidated by every mutation, so BM25
+// searches skip the O(numDocs·fields) scan in the steady state. Caller
+// holds at least the read lock; the returned slice is shared and must not
+// be mutated.
 func (ix *Index) avgFieldLens() []float64 {
+	ix.avgLenMu.Lock()
+	defer ix.avgLenMu.Unlock()
+	if ix.avgLensOK && len(ix.avgLens) == len(ix.norms) {
+		return ix.avgLens
+	}
 	avgLen := make([]float64, len(ix.norms))
 	for f, col := range ix.norms {
 		total, n := 0.0, 0
@@ -211,6 +624,8 @@ func (ix *Index) avgFieldLens() []float64 {
 			avgLen[f] = total / float64(n)
 		}
 	}
+	ix.avgLens = avgLen
+	ix.avgLensOK = true
 	return avgLen
 }
 
@@ -225,7 +640,7 @@ func (ix *Index) idf(df int32, bm25 bool) float64 {
 }
 
 // contribution scores one posting: the per-term, per-field score fragment
-// summed into a document's total by SearchTerms and itemized by Explain.
+// summed into a document's total by the merge and itemized by Explain.
 // avgLen is only consulted when bm25 is set. Caller holds a lock.
 func (ix *Index) contribution(p posting, idf float64, bm25 bool, k1, b float64, avgLen []float64) float64 {
 	norm := float64(ix.norms[p.field][p.doc])
@@ -242,23 +657,6 @@ func (ix *Index) contribution(p posting, idf float64, bm25 bool, k1, b float64, 
 		return ix.boost(p.field) * idf * freq * (k1 + 1) / (freq + k1*denomNorm)
 	}
 	return ix.boost(p.field) * math.Sqrt(float64(p.freq)) * idf * norm
-}
-
-// minPairSpan returns the smallest absolute distance between positions of
-// any two distinct query terms within the given document, or -1 when fewer
-// than two terms have positions there. Positions from different fields are
-// mixed; the bonus is a heuristic, not a phrase match.
-func minPairSpan(termPositions []map[int32][]int32, doc int32) int32 {
-	var lists [][]int32
-	for _, pm := range termPositions {
-		if pm == nil {
-			continue
-		}
-		if pos, ok := pm[doc]; ok && len(pos) > 0 {
-			lists = append(lists, pos)
-		}
-	}
-	return minSpanLists(lists)
 }
 
 // minSpanLists returns the smallest absolute distance between positions of
@@ -322,13 +720,39 @@ func less(a, b Hit) bool {
 	return a.ID > b.ID
 }
 
+// hitHeap is a min-heap of hits ordered by less, with direct sift methods
+// instead of container/heap so pushes never box a Hit into an interface.
 type hitHeap []Hit
 
-func (h hitHeap) Len() int           { return len(h) }
-func (h hitHeap) Less(i, j int) bool { return less(h[i], h[j]) }
-func (h hitHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *hitHeap) Push(x any)        { *h = append(*h, x.(Hit)) }
-func (h *hitHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h hitHeap) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !less(h[i], h[p]) {
+			return
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func (h hitHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		min := l
+		if r := l + 1; r < n && less(h[r], h[l]) {
+			min = r
+		}
+		if !less(h[min], h[i]) {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
 
 // TermStats describes one dictionary term, for diagnostics and tests.
 type TermStats struct {
@@ -375,10 +799,10 @@ type Explanation struct {
 
 // Explain recomputes the score of document id for the query under the same
 // options Search would use — per-term scoring (classic TF/IDF or BM25),
-// proximity bonus, coordination factor and minimum-match gate are all the
-// SearchTerms code paths, so Total equals the Hit.Score Search reports for
-// this document. It returns nil when the document would not match at all
-// (including failing MinShouldMatch) or does not exist.
+// proximity bonus, coordination factor and minimum-match gate all share the
+// merge's accumulation order, so Total equals the Hit.Score Search reports
+// for this document exactly. It returns nil when the document would not
+// match at all (including failing MinShouldMatch) or does not exist.
 func (ix *Index) Explain(query string, id string, opts SearchOptions) *Explanation {
 	terms := ix.analyzer(FieldElements, query)
 	uniq := make([]string, 0, len(terms))
@@ -409,17 +833,19 @@ func (ix *Index) Explain(query string, id string, opts SearchOptions) *Explanati
 		}
 		idf := ix.idf(e.df, opts.BM25)
 		contrib := 0.0
+		matched := false
 		var pos []int32
 		for _, p := range e.postings {
 			if p.doc != ord {
 				continue
 			}
+			matched = true
 			contrib += ix.contribution(p, idf, opts.BM25, k1, b, avgLen)
 			if opts.Proximity {
 				pos = append(pos, p.positions...)
 			}
 		}
-		if contrib > 0 {
+		if matched {
 			ex.PerTerm[term] = contrib
 			ex.Total += contrib
 			ex.TermsHit++

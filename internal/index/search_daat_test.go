@@ -1,0 +1,417 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// randDocs builds a skewed random corpus: low-numbered vocabulary words
+// appear in many documents (fat postings lists), high-numbered ones are
+// rare — the regime MaxScore pruning exists for.
+func randDocs(rng *rand.Rand, numDocs int) ([]Document, []string) {
+	vocab := make([]string, 26)
+	for i := range vocab {
+		vocab[i] = strings.Repeat(string(rune('a'+i)), 3) // "aaa", "bbb", ...
+	}
+	pick := func() string {
+		// Squared bias toward low indexes ≈ Zipf-ish document frequency.
+		return vocab[int(float64(len(vocab))*rng.Float64()*rng.Float64())]
+	}
+	docs := make([]Document, 0, numDocs)
+	for i := 0; i < numDocs; i++ {
+		var elems, title, summary []string
+		for w := 0; w < 2+rng.Intn(16); w++ {
+			elems = append(elems, pick())
+		}
+		for w := 0; w < rng.Intn(3); w++ {
+			title = append(title, pick())
+		}
+		for w := 0; w < rng.Intn(4); w++ {
+			summary = append(summary, pick())
+		}
+		docs = append(docs, doc(fmt.Sprintf("d%04d", i),
+			strings.Join(title, " "), strings.Join(summary, " "), strings.Join(elems, " ")))
+	}
+	return docs, vocab
+}
+
+func randCorpus(t *testing.T, rng *rand.Rand, numDocs int) (*Index, []string) {
+	t.Helper()
+	docs, vocab := randDocs(rng, numDocs)
+	ix := New()
+	for _, d := range docs {
+		if err := ix.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ix, vocab
+}
+
+func randQuery(rng *rand.Rand, vocab []string) []string {
+	q := make([]string, 0, 6)
+	for len(q) < 1+rng.Intn(5) {
+		q = append(q, vocab[rng.Intn(len(vocab))])
+	}
+	if rng.Intn(3) == 0 {
+		q = append(q, q[0]) // duplicate term: must collapse
+	}
+	if rng.Intn(3) == 0 {
+		q = append(q, "zzzzzz") // term missing from the corpus
+	}
+	return q
+}
+
+var daatOptionGrid = []SearchOptions{
+	{},
+	{DisableCoord: true},
+	{BM25: true},
+	{BM25: true, K1: 0.9, B: 0.3},
+	{Proximity: true},
+	{Proximity: true, ProximityWeight: 0.5, DisableCoord: true},
+	{BM25: true, Proximity: true},
+	{MinShouldMatch: 2},
+	{BM25: true, MinShouldMatch: 3, Proximity: true},
+}
+
+// TestPrunedMatchesExhaustiveRandomized is the tentpole property: across
+// random corpora (with deletions), random queries, every SearchOptions
+// combination and a spread of top-n limits, MaxScore-pruned retrieval is
+// byte-identical — IDs, scores, TermsMatched, order — to exhaustive
+// document-at-a-time scoring.
+func TestPrunedMatchesExhaustiveRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	totalPruned, totalSkipped := 0, 0
+	for round := 0; round < 8; round++ {
+		ix, vocab := randCorpus(t, rng, 120+rng.Intn(200))
+		// Tombstone ~20% of documents so pruning runs over stale-high
+		// bounds and deleted ordinals.
+		for i := 0; i < ix.NumDocs(); i++ {
+			if rng.Intn(5) == 0 {
+				ix.Delete(fmt.Sprintf("d%04d", i))
+			}
+		}
+		for q := 0; q < 20; q++ {
+			terms := randQuery(rng, vocab)
+			for _, opts := range daatOptionGrid {
+				for _, n := range []int{1, 2, 5, 10, 0, -1, 1000} {
+					pruned, pinfo := ix.SearchTermsStats(terms, n, opts)
+					ex := opts
+					ex.DisablePruning = true
+					exhaustive, einfo := ix.SearchTermsStats(terms, n, ex)
+					if !reflect.DeepEqual(pruned, exhaustive) {
+						t.Fatalf("round %d query %v opts %+v n=%d:\npruned     %+v\nexhaustive %+v",
+							round, terms, opts, n, pruned, exhaustive)
+					}
+					if einfo.Pruned || einfo.PostingsSkipped != 0 || einfo.DocsPruned != 0 {
+						t.Fatalf("exhaustive search reported pruning work: %+v", einfo)
+					}
+					totalPruned += pinfo.DocsPruned
+					totalSkipped += pinfo.PostingsSkipped
+				}
+			}
+		}
+	}
+	// The property is vacuous if pruning never triggered.
+	if totalPruned == 0 && totalSkipped == 0 {
+		t.Fatal("MaxScore pruning never pruned a document or skipped a posting across all rounds")
+	}
+}
+
+// TestSearchMatchesExplainOracle pins the merge to an independent oracle:
+// every hit's score equals Explain's Total for that document, exactly —
+// both paths share the canonical per-term accumulation order.
+func TestSearchMatchesExplainOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ix, vocab := randCorpus(t, rng, 150)
+	for q := 0; q < 15; q++ {
+		terms := randQuery(rng, vocab)
+		query := strings.Join(terms, " ")
+		for _, opts := range daatOptionGrid {
+			hits := ix.SearchTerms(terms, 0, opts)
+			for _, h := range hits {
+				ex := ix.Explain(query, h.ID, opts)
+				if ex == nil {
+					t.Fatalf("opts %+v: Explain(%q, %s) = nil for a returned hit", opts, query, h.ID)
+				}
+				if ex.Total != h.Score {
+					t.Fatalf("opts %+v doc %s: Search score %v != Explain total %v",
+						opts, h.ID, h.Score, ex.Total)
+				}
+				if ex.TermsHit != h.TermsMatched {
+					t.Fatalf("opts %+v doc %s: TermsMatched %d != Explain TermsHit %d",
+						opts, h.ID, h.TermsMatched, ex.TermsHit)
+				}
+			}
+		}
+	}
+}
+
+// TestDeleteScoresMatchFreshIndex asserts Delete leaves no scoring residue:
+// df, idf, the BM25 average-length cache and the coarse scores all match an
+// index freshly built from the surviving documents (classic and BM25).
+func TestDeleteScoresMatchFreshIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	docs, vocab := randDocs(rng, 60)
+	ix := New()
+	for _, d := range docs {
+		if err := ix.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Populate the avgFieldLens cache pre-delete so the test catches a
+	// stale cache as well as stale df.
+	ix.SearchTerms([]string{vocab[0]}, 5, SearchOptions{BM25: true})
+
+	fresh := New()
+	for i, d := range docs {
+		if i%3 == 0 {
+			if !ix.Delete(d.ID) {
+				t.Fatalf("Delete(%s) = false", d.ID)
+			}
+			continue
+		}
+		if err := fresh.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, opts := range []SearchOptions{{}, {BM25: true}, {BM25: true, Proximity: true}} {
+		for q := 0; q < 10; q++ {
+			terms := randQuery(rng, vocab)
+			got := ix.SearchTerms(terms, 0, opts)
+			want := fresh.SearchTerms(terms, 0, opts)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("opts %+v query %v:\nafter delete %+v\nfresh index  %+v", opts, terms, got, want)
+			}
+		}
+	}
+}
+
+// TestPersistV2RoundTripBounds asserts format v2 carries the MaxScore
+// bounds through Save/Load: the loaded index prunes, with results identical
+// to the source.
+func TestPersistV2RoundTripBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ix, vocab := randCorpus(t, rng, 100)
+	path := filepath.Join(t.TempDir(), "ix.v2")
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for term, e := range ix.terms {
+		le, ok := loaded.terms[term]
+		if !ok {
+			t.Fatalf("term %q missing after load", term)
+		}
+		if le.maxClassic != e.maxClassic || le.maxBoostSum != e.maxBoostSum || le.maxFreq != e.maxFreq {
+			t.Fatalf("term %q bounds changed: got (%v,%v,%d) want (%v,%v,%d)",
+				term, le.maxClassic, le.maxBoostSum, le.maxFreq, e.maxClassic, e.maxBoostSum, e.maxFreq)
+		}
+		if !le.boundsOK() {
+			t.Fatalf("term %q has no usable bounds after v2 load", term)
+		}
+	}
+	terms := []string{vocab[0], vocab[1], vocab[20]}
+	pruned, info := loaded.SearchTermsStats(terms, 5, SearchOptions{})
+	if !info.Pruned {
+		t.Error("pruning not armed after v2 load")
+	}
+	want := ix.SearchTerms(terms, 5, SearchOptions{})
+	if !reflect.DeepEqual(pruned, want) {
+		t.Fatalf("loaded index results differ:\ngot  %+v\nwant %+v", pruned, want)
+	}
+}
+
+// TestPersistV1FallsBackToExhaustive simulates a v1 index file (the magic
+// strings are the same length, so rewriting the header yields a valid v1
+// stream as written by the previous format): loading must succeed with
+// bounds unavailable — searches run exhaustively, identical results — and
+// Compact must recompute the bounds, re-arming pruning.
+func TestPersistV1FallsBackToExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ix, vocab := randCorpus(t, rng, 100)
+	dir := t.TempDir()
+	v2path := filepath.Join(dir, "ix.v2")
+	if err := ix.Save(v2path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(v2path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(raw, []byte(indexMagic)) {
+		t.Fatalf("saved file does not start with v2 magic")
+	}
+	v1raw := append([]byte(indexMagicV1), raw[len(indexMagic):]...)
+	v1path := filepath.Join(dir, "ix.v1")
+	if err := os.WriteFile(v1path, v1raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(v1path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for term, e := range loaded.terms {
+		if e.boundsOK() {
+			t.Fatalf("term %q has bounds after v1 load; want unavailable", term)
+		}
+	}
+	terms := []string{vocab[0], vocab[1], vocab[2]}
+	hits, info := loaded.SearchTermsStats(terms, 5, SearchOptions{})
+	if info.Pruned {
+		t.Error("pruning armed after v1 load; want exhaustive fallback")
+	}
+	want := ix.SearchTerms(terms, 5, SearchOptions{})
+	if !reflect.DeepEqual(hits, want) {
+		t.Fatalf("v1-loaded results differ:\ngot  %+v\nwant %+v", hits, want)
+	}
+	loaded.Compact()
+	hits, info = loaded.SearchTermsStats(terms, 5, SearchOptions{})
+	if !info.Pruned {
+		t.Error("pruning not re-armed by Compact after v1 load")
+	}
+	if !reflect.DeepEqual(hits, want) {
+		t.Fatalf("post-Compact results differ:\ngot  %+v\nwant %+v", hits, want)
+	}
+}
+
+// TestBoundsSoundness asserts the stored per-term bounds really are upper
+// bounds: for every term and every live document, the summed contribution
+// never exceeds queryUpperBound, classic and BM25 — including after
+// deletions leave the bounds stale-high.
+func TestBoundsSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ix, _ := randCorpus(t, rng, 120)
+	for i := 0; i < 120; i += 4 {
+		ix.Delete(fmt.Sprintf("d%04d", i))
+	}
+	k1, b := SearchOptions{BM25: true}.bm25Params()
+	avgLen := func() []float64 {
+		ix.mu.RLock()
+		defer ix.mu.RUnlock()
+		return ix.avgFieldLens()
+	}()
+	for term, e := range ix.terms {
+		if !e.boundsOK() {
+			t.Fatalf("term %q: no bounds on a built index", term)
+		}
+		for _, bm25 := range []bool{false, true} {
+			idf := ix.idf(e.df, bm25)
+			ub := e.queryUpperBound(idf, bm25, k1, b)
+			i := 0
+			for i < len(e.postings) {
+				d := e.postings[i].doc
+				sum := 0.0
+				for ; i < len(e.postings) && e.postings[i].doc == d; i++ {
+					sum += ix.contribution(e.postings[i], idf, bm25, k1, b, avgLen)
+				}
+				if ix.deleted[d] {
+					continue
+				}
+				// boundSlack is part of the soundness contract: the raw
+				// bound multiplies idf into a pre-summed aggregate, so it
+				// can sit an ulp below the query-time per-posting sum.
+				if sum > boundSlack(ub) {
+					t.Fatalf("term %q doc %d bm25=%v: contribution %v exceeds bound %v",
+						term, d, bm25, sum, ub)
+				}
+			}
+		}
+	}
+	// Out-of-range BM25 parameters must disable the bound, not unsound it.
+	for term, e := range ix.terms {
+		if !math.IsInf(e.queryUpperBound(1, true, -0.5, 0.75), 1) ||
+			!math.IsInf(e.queryUpperBound(1, true, 1.2, 1.5), 1) {
+			t.Fatalf("term %q: bound not disabled for out-of-range BM25 params", term)
+		}
+		break
+	}
+}
+
+// TestSearchInfoCounters drives a corpus purpose-built to trigger both
+// pruning effects: a rare strong term (fills the heap), a mid-frequency
+// term (enumerated, then abandoned by the bound check → DocsPruned) and a
+// ubiquitous weak term (non-essential, galloped over → PostingsSkipped).
+func TestSearchInfoCounters(t *testing.T) {
+	ix := New()
+	add := func(id, title, elems string) {
+		t.Helper()
+		if err := ix.Add(doc(id, title, "", elems)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 400; i++ {
+		title, elems := "", "common filler pad"
+		switch {
+		case i%80 == 0:
+			// Strong docs, scattered so non-essential cursors gallop over
+			// real gaps when seeking to them.
+			elems = strings.Repeat("rare ", 9) + "mid common"
+		case i == 370:
+			// One hot mid doc keeps the mid list essential (big bound) —
+			// so typical mid docs are enumerated, then abandoned.
+			title = "mid"
+			elems = strings.Repeat("mid ", 36) + "common"
+		case i == 380:
+			elems = "common common common common filler"
+		case i%6 == 1:
+			elems = "mid common filler pad pad pad"
+		}
+		add(fmt.Sprintf("d%03d", i), title, elems)
+	}
+	terms := []string{"rare", "mid", "common"}
+	hits, info := ix.SearchTermsStats(terms, 3, SearchOptions{})
+	if !info.Pruned {
+		t.Fatal("pruning not armed")
+	}
+	if info.DocsPruned == 0 {
+		t.Errorf("DocsPruned = 0; want > 0 (info %+v)", info)
+	}
+	if info.PostingsSkipped == 0 {
+		t.Errorf("PostingsSkipped = 0; want > 0 (info %+v)", info)
+	}
+	ex, einfo := ix.SearchTermsStats(terms, 3, SearchOptions{DisablePruning: true})
+	if einfo.Pruned || einfo.PostingsSkipped != 0 || einfo.DocsPruned != 0 {
+		t.Errorf("exhaustive info reports pruning: %+v", einfo)
+	}
+	if !reflect.DeepEqual(hits, ex) {
+		t.Fatalf("pruned %+v != exhaustive %+v", hits, ex)
+	}
+	if einfo.PostingsTouched <= info.PostingsTouched {
+		t.Errorf("pruning did not reduce postings touched: pruned %d, exhaustive %d",
+			info.PostingsTouched, einfo.PostingsTouched)
+	}
+}
+
+// TestSearchAllocsSteadyState pins the allocation-free-accumulator claim:
+// once the scratch pool is warm, a search allocates a small constant number
+// of objects (result slice + a handful of closure cells), independent of
+// corpus and postings size. The seed's map-accumulator implementation
+// allocated hundreds per search.
+func TestSearchAllocsSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	ix, vocab := randCorpus(t, rng, 300)
+	terms := []string{vocab[0], vocab[1], vocab[2], vocab[10]}
+	budget := 16.0
+	if raceEnabled {
+		budget = 48 // race instrumentation allocates on its own behalf
+	}
+	for _, opts := range []SearchOptions{{}, {BM25: true}, {Proximity: true}} {
+		ix.SearchTerms(terms, 10, opts) // warm pool + avgLens cache
+		allocs := testing.AllocsPerRun(50, func() {
+			ix.SearchTerms(terms, 10, opts)
+		})
+		if allocs > budget {
+			t.Errorf("opts %+v: %v allocs/op; want at most %v", opts, allocs, budget)
+		}
+	}
+}
