@@ -9,9 +9,17 @@
 // GET /metrics (disable with -metrics=false), and — when -pprof is set —
 // net/http/pprof under /debug/pprof/ plus expvar at /debug/vars.
 //
+// The repository is durable by default: every mutation accepted over the
+// API (import, delete, comment) is written to a write-ahead log and
+// fsynced before the response is sent, a periodic checkpoint snapshots
+// repository + index and truncates the WAL, and boot recovers snapshot +
+// WAL replay — kill -9 at any point loses no acknowledged mutation.
+// -wal=false reverts to the old memory-only mutation handling.
+//
 // Usage:
 //
 //	schemr-server -data DIR [-addr :8080] [-sync 30s]
+//	              [-wal=true] [-snapshot-interval 5m]
 //	              [-timeout 10s] [-max-inflight 64] [-slow 1s]
 //	              [-metrics=true] [-pprof]
 package main
@@ -31,9 +39,11 @@ import (
 )
 
 func main() {
-	data := flag.String("data", "schemr-data", "data directory (repository.json)")
+	data := flag.String("data", "schemr-data", "data directory (repository.json, repository.wal, schemas.idx)")
 	addr := flag.String("addr", ":8080", "listen address")
 	sync := flag.Duration("sync", 30*time.Second, "offline indexer interval")
+	walFlag := flag.Bool("wal", true, "durable repository: WAL+fsync every mutation before acknowledging, recover snapshot+WAL on boot")
+	snapInterval := flag.Duration("snapshot-interval", 5*time.Minute, "periodic repository+index checkpoint (snapshots and truncates the WAL); non-positive disables")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request search deadline (negative disables)")
 	maxInflight := flag.Int("max-inflight", 64, "max concurrent searches before shedding 503 (negative disables)")
 	slow := flag.Duration("slow", time.Second, "log requests slower than this (negative disables)")
@@ -45,9 +55,32 @@ func main() {
 
 	var opts schemr.EngineOptions
 	opts.Index.DisablePruning = !*pruning
-	sys, err := schemr.OpenWithOptions(*data, opts)
-	if err != nil {
-		log.Fatalf("schemr-server: %v", err)
+	var sys *schemr.System
+	var err error
+	if *walFlag {
+		// Durable boot: recover snapshot + WAL (a fresh directory starts
+		// empty), keep the WAL attached so every accepted mutation is
+		// fsync-logged before it is acknowledged. The persisted index
+		// snapshot loads too — recovery is snapshot + replay + incremental
+		// sync, never a cold full reindex of an existing deployment.
+		var stats schemr.RecoveryStats
+		sys, stats, err = schemr.OpenDurableWithOptions(*data, opts)
+		if err != nil {
+			log.Fatalf("schemr-server: %v", err)
+		}
+		switch {
+		case stats.TornTail:
+			log.Printf("recovered %s: snapshot=%v, %d WAL records replayed, torn tail truncated at byte %d",
+				*data, stats.SnapshotLoaded, stats.Replayed, stats.TruncatedAt)
+		case stats.Replayed > 0 || stats.Skipped > 0:
+			log.Printf("recovered %s: snapshot=%v, %d WAL records replayed (%d already in snapshot)",
+				*data, stats.SnapshotLoaded, stats.Replayed, stats.Skipped)
+		}
+	} else {
+		sys, err = schemr.OpenWithOptions(*data, opts)
+		if err != nil {
+			log.Fatalf("schemr-server: %v", err)
+		}
 	}
 	log.Printf("loaded %d schemas from %s, %d indexed", sys.Repo.Len(), *data, sys.Engine.IndexedDocs())
 
@@ -57,9 +90,17 @@ func main() {
 		SlowRequest:            *slow,
 		DisableMetricsEndpoint: !*metrics,
 		EnablePprof:            *pprofFlag,
+		Checkpoint: func() error {
+			if err := sys.Repo.FlushUsage(); err != nil {
+				log.Printf("schemr-server: usage flush: %v", err)
+			}
+			return sys.Save(*data)
+		},
 	})
 	stop := srv.StartIndexer(*sync)
 	defer stop()
+	stopCheckpoints := srv.StartCheckpointer(*snapInterval)
+	defer stopCheckpoints()
 
 	hs := &http.Server{
 		Addr:              *addr,
@@ -69,8 +110,9 @@ func main() {
 
 	// Graceful shutdown ordering on SIGINT/SIGTERM: stop accepting and
 	// drain in-flight requests (http.Server.Shutdown), then halt the
-	// offline indexer and cancel outstanding request deadlines
-	// (server.Shutdown), then exit.
+	// offline indexer and checkpointer, cancel outstanding request
+	// deadlines and take the final checkpoint snapshot (server.Shutdown),
+	// then close the WAL and exit.
 	ctx, cancelSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer cancelSignals()
 	shutdownDone := make(chan struct{})
@@ -95,5 +137,8 @@ func main() {
 		log.Fatalf("schemr-server: %v", err)
 	}
 	<-shutdownDone
+	if err := sys.Close(); err != nil {
+		log.Printf("schemr-server: close: %v", err)
+	}
 	log.Printf("shut down cleanly")
 }

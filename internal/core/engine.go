@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"schemr/internal/fsutil"
 	"schemr/internal/index"
 	"schemr/internal/learn"
 	"schemr/internal/match"
@@ -388,7 +389,8 @@ const indexEnvelopeMagic = "SCHEMR-ENGINE-IDX-1\n"
 
 // SaveIndex persists the document index together with the repository
 // change-feed cursor it reflects, so a reopened deployment resumes with an
-// incremental Sync instead of a full Reindex.
+// incremental Sync instead of a full Reindex. The write is durable: temp
+// file, fsync, rename, parent-directory fsync.
 func (e *Engine) SaveIndex(path string) error {
 	e.mu.RLock()
 	idx := e.idx
@@ -396,34 +398,29 @@ func (e *Engine) SaveIndex(path string) error {
 	e.mu.RUnlock()
 
 	idx.Compact()
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("core: save index: %w", err)
-	}
-	bw := bufio.NewWriter(f)
-	_, err = io.WriteString(bw, indexEnvelopeMagic)
-	if err == nil {
-		err = binary.Write(bw, binary.LittleEndian, cursor)
-	}
-	if err == nil {
-		_, err = idx.WriteTo(bw)
-	}
-	if err == nil {
-		err = bw.Flush()
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("core: save index: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsutil.WriteFileAtomic(path, func(w io.Writer) error {
+		if _, err := io.WriteString(w, indexEnvelopeMagic); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, cursor); err != nil {
+			return err
+		}
+		_, err := idx.WriteTo(w)
+		return err
+	}); err != nil {
 		return fmt.Errorf("core: save index: %w", err)
 	}
 	return nil
+}
+
+// Cursor returns the repository change-feed sequence the document index
+// has applied. Snapshot compaction uses it as the safe bound for dropping
+// deletion tombstones: anything at or below the cursor has been seen by
+// every persisted consumer.
+func (e *Engine) Cursor() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.cursor
 }
 
 // LoadIndex restores a persisted document index and its cursor, then syncs

@@ -1,0 +1,69 @@
+// Package fsutil holds the crash-safe file-writing primitive shared by
+// every Schemr persistence path (repository snapshots, document index,
+// engine index envelope): write to a temp file, fsync it, rename into
+// place, fsync the parent directory. Without the two fsyncs the classic
+// tmp+rename dance is atomic but not durable — after a crash the rename
+// may be visible while the file's bytes are not, leaving a present-but-
+// empty "successfully saved" file.
+package fsutil
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// WriteFileAtomic durably replaces path with the bytes produced by write:
+// the content goes to path+".tmp" (buffered), is flushed and fsynced, the
+// temp file is renamed over path, and the parent directory is fsynced so
+// the rename itself survives a crash. On any error the temp file is
+// removed and path is left untouched.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	err = write(bw)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return SyncDir(filepath.Dir(path))
+}
+
+// SyncDir fsyncs a directory so a just-created or just-renamed entry in it
+// is durable. Filesystems that cannot sync directories (reported as EINVAL
+// or ENOTSUP) are tolerated: on those the rename was as durable as the
+// platform allows.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) {
+		return nil
+	}
+	return err
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"schemr/internal/fsutil"
 )
 
 // indexMagic guards against loading files that are not Schemr indexes (or
@@ -156,31 +158,15 @@ func (ix *Index) ReadFrom(r io.Reader) (int64, error) {
 	return cr.n, nil
 }
 
-// Save compacts and writes the index atomically: to path.tmp, then rename.
+// Save compacts and durably writes the index: temp file, fsync, rename,
+// parent-directory fsync — a crash right after Save cannot leave a
+// missing or empty index file.
 func (ix *Index) Save(path string) error {
 	ix.Compact()
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("index: save: %w", err)
-	}
-	bw := bufio.NewWriter(f)
-	if _, err := ix.WriteTo(bw); err != nil {
-		f.Close()
-		os.Remove(tmp)
+	if err := fsutil.WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := ix.WriteTo(w)
 		return err
-	}
-	if err := bw.Flush(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("index: save: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("index: save: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	}); err != nil {
 		return fmt.Errorf("index: save: %w", err)
 	}
 	return nil

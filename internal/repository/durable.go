@@ -1,0 +1,380 @@
+package repository
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"schemr/internal/obs"
+)
+
+// Durability model. A repository opened with Recover logs every mutation
+// to a write-ahead log before acknowledging it: Put, Delete, Tag and
+// AddComment append one fsynced record each, so once the call returns the
+// mutation survives kill -9. Usage counters (impressions, selections) are
+// deliberately weaker — they change on every search, and an fsync per
+// search result would put disk latency on the read path — so they
+// coalesce in memory and reach the WAL in batched records (every
+// usageFlushEvery updates, before any strongly-logged mutation, and at
+// snapshot/close time). A periodic Snapshot rewrites the full repository
+// (fsynced file and parent directory), truncates the WAL and compacts the
+// deleted map; recovery is snapshot + replay of records the snapshot does
+// not already cover, decided by each record's log sequence number (LSN).
+
+// walRecord is one logged mutation. Op selects which fields are
+// meaningful. Records carry final state (the merged entry, the full tag
+// set, the completed comment) rather than operation arguments, so replay
+// is a verbatim install with no re-derivation of timestamps or merges.
+type walRecord struct {
+	Op  string `json:"op"`
+	Lsn uint64 `json:"lsn"`
+	Seq uint64 `json:"seq,omitempty"`
+
+	// opPut: the full entry as stored, plus the ID counter after
+	// assignment so recovered repositories never reissue an ID.
+	Entry  *Entry `json:"entry,omitempty"`
+	NextID int    `json:"nextId,omitempty"`
+
+	// opDelete / opTag / opComment target.
+	ID string `json:"id,omitempty"`
+
+	// opTag: the entry's complete tag set after the call.
+	Tags []string `json:"tags,omitempty"`
+
+	// opComment: the appended comment, timestamp filled in.
+	Comment *Comment `json:"comment,omitempty"`
+
+	// opUsage: coalesced counter deltas since the last usage record.
+	Usage map[string]Usage `json:"usage,omitempty"`
+}
+
+const (
+	opPut     = "put"
+	opDelete  = "delete"
+	opTag     = "tag"
+	opComment = "comment"
+	opUsage   = "usage"
+)
+
+// usageFlushEvery bounds how many usage counter updates may sit in memory
+// before they are forced into a batched WAL record.
+const usageFlushEvery = 256
+
+// Metrics is the durability layer's observability hook. Fields are
+// nil-safe obs instruments; a nil *Metrics disables recording entirely.
+type Metrics struct {
+	// Appends counts fsync-acknowledged WAL records.
+	Appends *obs.Counter
+	// AppendBytes counts framed bytes written to the WAL.
+	AppendBytes *obs.Counter
+	// FsyncSeconds is the latency of the fsync that acknowledges each
+	// append — the durability tax on the mutation path.
+	FsyncSeconds *obs.Histogram
+	// SizeBytes is the WAL's current length; it saw-tooths down to zero at
+	// every snapshot.
+	SizeBytes *obs.Gauge
+	// Replayed counts WAL records applied during recovery (records the
+	// snapshot already covered are not counted).
+	Replayed *obs.Counter
+	// RecoveriesClean / RecoveriesTornTail count Recover outcomes: a WAL
+	// read to its end versus one cut back at a torn or corrupt frame.
+	RecoveriesClean    *obs.Counter
+	RecoveriesTornTail *obs.Counter
+	// Snapshots counts successful Snapshot calls; SnapshotSeconds times
+	// them (serialization + fsync + rename + dir fsync).
+	Snapshots       *obs.Counter
+	SnapshotSeconds *obs.Histogram
+}
+
+// NewMetrics registers the durability metric families on reg and returns
+// the hook to pass to Recover.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Appends:            reg.Counter("schemr_wal_appends_total", "Fsync-acknowledged write-ahead-log records.", nil),
+		AppendBytes:        reg.Counter("schemr_wal_append_bytes_total", "Framed bytes written to the write-ahead log.", nil),
+		FsyncSeconds:       reg.Histogram("schemr_wal_fsync_seconds", "Latency of the fsync acknowledging each WAL append.", nil, nil),
+		SizeBytes:          reg.Gauge("schemr_wal_size_bytes", "Current write-ahead-log length in bytes.", nil),
+		Replayed:           reg.Counter("schemr_wal_replayed_records_total", "WAL records applied during recovery.", nil),
+		RecoveriesClean:    reg.Counter("schemr_recovery_total", "Repository recoveries by outcome.", obs.Labels{"outcome": "clean"}),
+		RecoveriesTornTail: reg.Counter("schemr_recovery_total", "Repository recoveries by outcome.", obs.Labels{"outcome": "torn_tail"}),
+		Snapshots:          reg.Counter("schemr_snapshots_total", "Successful repository snapshots.", nil),
+		SnapshotSeconds:    reg.Histogram("schemr_snapshot_seconds", "Repository snapshot duration (serialize + fsync + rename).", nil, nil),
+	}
+}
+
+// RecoveryStats reports what Recover found on disk.
+type RecoveryStats struct {
+	// SnapshotLoaded is true when a snapshot file existed and was loaded.
+	SnapshotLoaded bool
+	// Replayed is the number of WAL records applied on top of the
+	// snapshot; Skipped counts intact records the snapshot already
+	// covered (possible when a crash hit between snapshot and WAL
+	// truncation).
+	Replayed, Skipped int
+	// TornTail is true when the WAL ended in a torn or corrupt frame and
+	// was truncated back to its intact prefix at byte offset TruncatedAt.
+	TornTail    bool
+	TruncatedAt int64
+}
+
+// Recover opens a durable repository: it loads the snapshot at
+// snapshotPath if one exists (otherwise starts empty), replays the WAL at
+// walPath (created if absent, torn tail tolerated), and leaves the WAL
+// attached so every subsequent mutation is logged and fsynced before it
+// is acknowledged. met may be nil to run without instrumentation.
+func Recover(snapshotPath, walPath string, met *Metrics) (*Repository, RecoveryStats, error) {
+	var stats RecoveryStats
+	var r *Repository
+	switch _, err := os.Stat(snapshotPath); {
+	case err == nil:
+		r, err = Open(snapshotPath)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.SnapshotLoaded = true
+	case os.IsNotExist(err):
+		r = New()
+	default:
+		return nil, stats, fmt.Errorf("repository: recover: %w", err)
+	}
+	r.met = met
+
+	w, ws, err := openWAL(walPath, func(payload []byte) error {
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return fmt.Errorf("repository: wal record: %w", err)
+		}
+		if rec.Lsn <= r.lsn {
+			stats.Skipped++ // snapshot already covers it
+			return nil
+		}
+		if err := r.applyRecord(&rec); err != nil {
+			return err
+		}
+		r.lsn = rec.Lsn
+		stats.Replayed++
+		return nil
+	}, met)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.TornTail = ws.Truncated
+	stats.TruncatedAt = ws.TruncatedAt
+	r.wal = w
+	if met != nil {
+		met.Replayed.Add(uint64(stats.Replayed))
+		met.SizeBytes.Set(w.size)
+		if stats.TornTail {
+			met.RecoveriesTornTail.Inc()
+		} else {
+			met.RecoveriesClean.Inc()
+		}
+	}
+	return r, stats, nil
+}
+
+// applyRecord installs one replayed mutation. Called during Recover only,
+// before the repository is shared, so no locking.
+func (r *Repository) applyRecord(rec *walRecord) error {
+	switch rec.Op {
+	case opPut:
+		e := rec.Entry
+		if e == nil || e.Schema == nil {
+			return fmt.Errorf("repository: wal put record without entry")
+		}
+		if err := e.Schema.Validate(); err != nil {
+			return fmt.Errorf("repository: wal put record: %w", err)
+		}
+		id := e.Schema.ID
+		if old, replacing := r.entries[id]; replacing {
+			delete(r.byPrint, old.Schema.Fingerprint())
+		} else {
+			r.order = append(r.order, id)
+		}
+		r.entries[id] = e
+		r.byPrint[e.Schema.Fingerprint()] = id
+		delete(r.deleted, id)
+		r.seq = rec.Seq
+		r.nextID = rec.NextID
+	case opDelete:
+		e, ok := r.entries[rec.ID]
+		if !ok {
+			return fmt.Errorf("repository: wal delete of unknown %q", rec.ID)
+		}
+		delete(r.entries, rec.ID)
+		delete(r.byPrint, e.Schema.Fingerprint())
+		for i, oid := range r.order {
+			if oid == rec.ID {
+				r.order = append(r.order[:i], r.order[i+1:]...)
+				break
+			}
+		}
+		r.seq = rec.Seq
+		r.deleted[rec.ID] = rec.Seq
+	case opTag:
+		e, ok := r.entries[rec.ID]
+		if !ok {
+			return fmt.Errorf("repository: wal tag of unknown %q", rec.ID)
+		}
+		e.Tags = rec.Tags
+		e.Seq = rec.Seq
+		r.seq = rec.Seq
+	case opComment:
+		e, ok := r.entries[rec.ID]
+		if !ok {
+			return fmt.Errorf("repository: wal comment on unknown %q", rec.ID)
+		}
+		if rec.Comment == nil {
+			return fmt.Errorf("repository: wal comment record without comment")
+		}
+		e.Comments = append(e.Comments, *rec.Comment)
+		e.Seq = rec.Seq
+		r.seq = rec.Seq
+	case opUsage:
+		// Deltas for IDs deleted later in the log target nothing; skip
+		// them, matching the in-memory semantics (the counters died with
+		// the entry).
+		for id, d := range rec.Usage {
+			if e, ok := r.entries[id]; ok {
+				e.Usage.Impressions += d.Impressions
+				e.Usage.Selections += d.Selections
+			}
+		}
+	default:
+		return fmt.Errorf("repository: wal record with unknown op %q", rec.Op)
+	}
+	return nil
+}
+
+// logRecord marshals rec, assigns it the next LSN and appends it to the
+// WAL (fsynced). No-op without an attached WAL. Callers hold the write
+// lock and must apply the mutation only after logRecord returns nil —
+// nothing unlogged may become visible.
+func (r *Repository) logRecord(rec *walRecord) error {
+	if r.wal == nil {
+		return nil
+	}
+	rec.Lsn = r.lsn + 1
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("repository: wal encode: %w", err)
+	}
+	if err := r.wal.append(append(payload, '\n')); err != nil {
+		return err
+	}
+	r.lsn = rec.Lsn
+	return nil
+}
+
+// logMutation flushes any coalesced usage deltas and then logs rec. The
+// flush keeps the log linear: a put that replaces an entry must not bake
+// pending deltas into its logged entry and then see them replayed again
+// from a later usage record.
+func (r *Repository) logMutation(rec *walRecord) error {
+	if r.wal == nil {
+		return nil
+	}
+	if err := r.flushUsageLocked(); err != nil {
+		return err
+	}
+	return r.logRecord(rec)
+}
+
+// noteUsage coalesces one counter delta for a later batched WAL record.
+func (r *Repository) noteUsage(id string, impressions, selections int) {
+	if r.wal == nil {
+		return
+	}
+	if r.pendingUsage == nil {
+		r.pendingUsage = make(map[string]Usage)
+	}
+	u := r.pendingUsage[id]
+	u.Impressions += impressions
+	u.Selections += selections
+	r.pendingUsage[id] = u
+	r.pendingUsageN++
+	if r.pendingUsageN >= usageFlushEvery {
+		// Best effort: on append failure the deltas stay pending and the
+		// next flush (or snapshot) retries. Usage is not in the
+		// acknowledged-durability contract.
+		r.flushUsageLocked()
+	}
+}
+
+// flushUsageLocked writes the pending usage deltas as one batched WAL
+// record. Caller holds the write lock.
+func (r *Repository) flushUsageLocked() error {
+	if r.wal == nil || len(r.pendingUsage) == 0 {
+		return nil
+	}
+	rec := &walRecord{Op: opUsage, Usage: r.pendingUsage}
+	if err := r.logRecord(rec); err != nil {
+		return err
+	}
+	r.pendingUsage = nil
+	r.pendingUsageN = 0
+	return nil
+}
+
+// FlushUsage forces the coalesced usage counters into the WAL now. The
+// server's checkpoint loop calls it so counters are at most one interval
+// from durability even between snapshots.
+func (r *Repository) FlushUsage() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.flushUsageLocked()
+}
+
+// Snapshot durably persists the full repository to path (fsynced temp
+// file, rename, parent-directory fsync), then truncates the WAL — its
+// records are all covered by the snapshot — and compacts the deleted map
+// by dropping tombstones with sequence <= compactBefore. Pass the change
+// feed cursor of the slowest persisted consumer (the engine's saved index
+// cursor); pass 0 to keep every tombstone. Mutations block for the
+// duration, which keeps the snapshot, the WAL truncation and the pending-
+// usage reset one atomic transition.
+func (r *Repository) Snapshot(path string, compactBefore uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	start := time.Now()
+	for id, dseq := range r.deleted {
+		if dseq <= compactBefore {
+			delete(r.deleted, id)
+		}
+	}
+	if err := r.saveLocked(path); err != nil {
+		return err
+	}
+	if r.wal != nil {
+		// The snapshot covers everything, pending usage deltas included
+		// (they were already applied to the in-memory counters).
+		r.pendingUsage = nil
+		r.pendingUsageN = 0
+		if err := r.wal.reset(); err != nil {
+			return err
+		}
+	}
+	if r.met != nil {
+		r.met.Snapshots.Inc()
+		r.met.SnapshotSeconds.ObserveDuration(time.Since(start))
+	}
+	return nil
+}
+
+// Close flushes coalesced usage counters and closes the WAL. The
+// repository remains usable in memory but no longer logs. No-op without
+// an attached WAL.
+func (r *Repository) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.wal == nil {
+		return nil
+	}
+	err := r.flushUsageLocked()
+	if cerr := r.wal.close(); err == nil {
+		err = cerr
+	}
+	r.wal = nil
+	return err
+}

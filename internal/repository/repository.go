@@ -11,11 +11,13 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"sync"
 	"time"
 
+	"schemr/internal/fsutil"
 	"schemr/internal/model"
 )
 
@@ -47,7 +49,9 @@ type Entry struct {
 }
 
 // Repository is a concurrent-safe schema store. The zero value is not
-// usable; construct with New or Open.
+// usable; construct with New, Open or Recover. A repository from Recover
+// is durable: every mutation is written to a write-ahead log and fsynced
+// before it is acknowledged (see durable.go).
 type Repository struct {
 	mu      sync.RWMutex
 	entries map[string]*Entry
@@ -56,6 +60,15 @@ type Repository struct {
 	nextID  int
 	seq     uint64
 	deleted map[string]uint64 // id → seq of deletion
+
+	// Durability (nil/zero without Recover): the attached WAL, the log
+	// sequence number of the last record written or replayed, coalesced
+	// usage-counter deltas awaiting a batched WAL record, and metrics.
+	wal           *wal
+	lsn           uint64
+	pendingUsage  map[string]Usage
+	pendingUsageN int
+	met           *Metrics
 }
 
 // New returns an empty repository.
@@ -96,21 +109,37 @@ func (r *Repository) Put(s *model.Schema) (string, error) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.putLocked(s)
+}
+
+// putLocked is Put under an already-held write lock. The WAL record is
+// written (and fsynced) before any in-memory state changes: a put that
+// fails to log is not applied and not acknowledged.
+func (r *Repository) putLocked(s *model.Schema) (string, error) {
+	nextID := r.nextID
 	if s.ID == "" {
-		r.nextID++
-		s.ID = fmt.Sprintf("s%06d", r.nextID)
+		nextID++
+		s.ID = fmt.Sprintf("s%06d", nextID)
 		for r.entries[s.ID] != nil { // survive collisions with loaded data
-			r.nextID++
-			s.ID = fmt.Sprintf("s%06d", r.nextID)
+			nextID++
+			s.ID = fmt.Sprintf("s%06d", nextID)
 		}
 	}
-	r.seq++
+	seq := r.seq + 1
 	old, replacing := r.entries[s.ID]
-	e := &Entry{Schema: s, AddedAt: time.Now().UTC(), Seq: r.seq}
+	e := &Entry{Schema: s, AddedAt: time.Now().UTC(), Seq: seq}
 	if replacing {
 		e.Tags = old.Tags
 		e.Comments = old.Comments
+		e.Usage = old.Usage
 		e.AddedAt = old.AddedAt
+	}
+	if err := r.logMutation(&walRecord{Op: opPut, Seq: seq, Entry: e, NextID: nextID}); err != nil {
+		return "", err
+	}
+	r.nextID = nextID
+	r.seq = seq
+	if replacing {
 		delete(r.byPrint, old.Schema.Fingerprint())
 	} else {
 		r.order = append(r.order, s.ID)
@@ -124,18 +153,22 @@ func (r *Repository) Put(s *model.Schema) (string, error) {
 // PutDedup stores a schema unless a structurally identical one (same
 // fingerprint) already exists, in which case it returns the existing ID and
 // dup=true. The corpus import pipeline uses this to drop duplicates.
+// Check and insert happen under one write lock, so concurrent PutDedup
+// calls with equal fingerprints yield exactly one stored schema.
 func (r *Repository) PutDedup(s *model.Schema) (id string, dup bool, err error) {
 	if s == nil {
 		return "", false, fmt.Errorf("repository: nil schema")
 	}
+	if err := s.Validate(); err != nil {
+		return "", false, fmt.Errorf("repository: %w", err)
+	}
 	fp := s.Fingerprint()
-	r.mu.RLock()
-	existing, ok := r.byPrint[fp]
-	r.mu.RUnlock()
-	if ok {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.byPrint[fp]; ok {
 		return existing, true, nil
 	}
-	id, err = r.Put(s)
+	id, err = r.putLocked(s)
 	return id, false, err
 }
 
@@ -157,12 +190,18 @@ func (r *Repository) Entry(id string) *Entry {
 	return r.entries[id]
 }
 
-// Delete removes a schema. It reports whether anything was removed.
+// Delete removes a schema. It reports whether anything was removed; on a
+// durable repository a delete that cannot be logged is not applied and
+// reports false.
 func (r *Repository) Delete(id string) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	e, ok := r.entries[id]
 	if !ok {
+		return false
+	}
+	seq := r.seq + 1
+	if err := r.logMutation(&walRecord{Op: opDelete, Seq: seq, ID: id}); err != nil {
 		return false
 	}
 	delete(r.entries, id)
@@ -173,8 +212,8 @@ func (r *Repository) Delete(id string) bool {
 			break
 		}
 	}
-	r.seq++
-	r.deleted[id] = r.seq
+	r.seq = seq
+	r.deleted[id] = seq
 	return true
 }
 
@@ -215,13 +254,18 @@ func (r *Repository) Tag(id string, tags ...string) bool {
 			set[t] = true
 		}
 	}
-	e.Tags = e.Tags[:0]
+	newTags := make([]string, 0, len(set))
 	for t := range set {
-		e.Tags = append(e.Tags, t)
+		newTags = append(newTags, t)
 	}
-	sort.Strings(e.Tags)
-	r.seq++
-	e.Seq = r.seq
+	sort.Strings(newTags)
+	seq := r.seq + 1
+	if err := r.logMutation(&walRecord{Op: opTag, Seq: seq, ID: id, Tags: newTags}); err != nil {
+		return false
+	}
+	e.Tags = newTags
+	r.seq = seq
+	e.Seq = seq
 	return true
 }
 
@@ -255,9 +299,13 @@ func (r *Repository) AddComment(id string, c Comment) error {
 	if c.At.IsZero() {
 		c.At = time.Now().UTC()
 	}
+	seq := r.seq + 1
+	if err := r.logMutation(&walRecord{Op: opComment, Seq: seq, ID: id, Comment: &c}); err != nil {
+		return err
+	}
 	e.Comments = append(e.Comments, c)
-	r.seq++
-	e.Seq = r.seq
+	r.seq = seq
+	e.Seq = seq
 	return nil
 }
 
@@ -287,18 +335,23 @@ func (r *Repository) Rating(id string) (avg float64, n int) {
 // (unknown IDs are ignored). Usage updates deliberately do not advance the
 // change feed: counters change on every search, and re-indexing for them
 // would be churn without benefit — the document index carries no usage.
+// On a durable repository the deltas coalesce into batched WAL records
+// rather than fsyncing per search (see durable.go): counters are durable
+// at flush and snapshot boundaries, not per increment.
 func (r *Repository) RecordImpressions(ids ...string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, id := range ids {
 		if e, ok := r.entries[id]; ok {
 			e.Usage.Impressions++
+			r.noteUsage(id, 1, 0)
 		}
 	}
 }
 
 // RecordSelection bumps the selection (click-through) counter. It reports
-// whether the schema exists.
+// whether the schema exists. Durability is coalesced like
+// RecordImpressions.
 func (r *Repository) RecordSelection(id string) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -307,6 +360,7 @@ func (r *Repository) RecordSelection(id string) bool {
 		return false
 	}
 	e.Usage.Selections++
+	r.noteUsage(id, 0, 1)
 	return true
 }
 
@@ -360,49 +414,45 @@ func (r *Repository) ChangedSince(seq uint64) Changes {
 	return ch
 }
 
-// persisted is the on-disk JSON shape.
+// persisted is the on-disk JSON shape. Lsn records the WAL position the
+// snapshot covers; recovery skips replaying records at or below it (the
+// field is absent/zero for snapshots from non-durable repositories).
 type persisted struct {
 	Version int               `json:"version"`
 	NextID  int               `json:"nextId"`
 	Seq     uint64            `json:"seq"`
+	Lsn     uint64            `json:"lsn,omitempty"`
 	Order   []string          `json:"order"`
 	Entries map[string]*Entry `json:"entries"`
 	Deleted map[string]uint64 `json:"deleted,omitempty"`
 }
 
-// Save writes the repository to path atomically (tmp file + rename).
+// Save durably writes the repository to path: temp file, fsync, rename,
+// parent-directory fsync. Unlike Snapshot it leaves any attached WAL
+// untouched (recovery still skips the covered records via the persisted
+// LSN).
 func (r *Repository) Save(path string) error {
 	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.saveLocked(path)
+}
+
+// saveLocked writes the snapshot with at least a read lock held for the
+// full duration — entries are mutated in place, so serialization cannot
+// overlap writers.
+func (r *Repository) saveLocked(path string) error {
 	p := persisted{
 		Version: 1,
 		NextID:  r.nextID,
 		Seq:     r.seq,
+		Lsn:     r.lsn,
 		Order:   r.order,
 		Entries: r.entries,
 		Deleted: r.deleted,
 	}
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		r.mu.RUnlock()
-		return fmt.Errorf("repository: save: %w", err)
-	}
-	bw := bufio.NewWriter(f)
-	enc := json.NewEncoder(bw)
-	err = enc.Encode(&p)
-	r.mu.RUnlock()
-	if err == nil {
-		err = bw.Flush()
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("repository: save: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsutil.WriteFileAtomic(path, func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(&p)
+	}); err != nil {
 		return fmt.Errorf("repository: save: %w", err)
 	}
 	return nil
@@ -425,6 +475,7 @@ func Open(path string) (*Repository, error) {
 	r := New()
 	r.nextID = p.NextID
 	r.seq = p.Seq
+	r.lsn = p.Lsn
 	if p.Deleted != nil {
 		r.deleted = p.Deleted
 	}

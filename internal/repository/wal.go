@@ -1,0 +1,211 @@
+package repository
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"schemr/internal/fsutil"
+)
+
+// The write-ahead log is a flat file of framed JSON lines. Each frame is
+//
+//	[4-byte little-endian payload length][4-byte IEEE CRC-32 of payload][payload]
+//
+// where the payload is one JSON-encoded walRecord (newline-terminated, so
+// the file remains greppable). Append fsyncs before returning: once Append
+// has returned nil the record survives kill -9. Recovery reads frames
+// until the first one that does not check out — a short header, a short
+// payload, an absurd length or a CRC mismatch — and truncates the file
+// there. A torn tail (the crash interrupted an append mid-write) is
+// therefore dropped silently: by construction it was never acknowledged.
+const (
+	walHeaderSize = 8
+	// walMaxRecord caps a frame's declared payload length. A length beyond
+	// it cannot come from Append (single schemas are far smaller) and is
+	// treated as corruption rather than an allocation request.
+	walMaxRecord = 64 << 20
+)
+
+// walStats describes what replaying a WAL found.
+type walStats struct {
+	// Records is the number of intact frames read (whether or not the
+	// caller applied them).
+	Records int
+	// Truncated reports that a torn or corrupt frame was found and the
+	// file was cut back to the end of the last intact frame.
+	Truncated bool
+	// TruncatedAt is the byte offset the file was cut to (end of the
+	// intact prefix); meaningful only when Truncated.
+	TruncatedAt int64
+}
+
+// wal is the open write-ahead log. It is not itself concurrency-safe; the
+// owning Repository serializes access under its write lock, which also
+// guarantees WAL order equals apply order.
+type wal struct {
+	f    *os.File
+	path string
+	size int64 // current end offset, maintained by append
+	hdr  [walHeaderSize]byte
+	met  *Metrics
+}
+
+// openWAL opens (creating if absent) the log at path, replays every intact
+// frame through apply, truncates any torn tail, and leaves the file
+// positioned for appends. apply returning an error stops replay at that
+// frame as if it were corrupt: the file is cut back so recovery always
+// yields a clean prefix.
+func openWAL(path string, apply func(payload []byte) error, met *Metrics) (*wal, walStats, error) {
+	var stats walStats
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, stats, fmt.Errorf("repository: wal open: %w", err)
+	}
+	// The file may have just been created; make its directory entry
+	// durable so a crash cannot lose the (empty) log out from under a
+	// snapshotless repository.
+	if err := fsutil.SyncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, stats, fmt.Errorf("repository: wal open: sync dir: %w", err)
+	}
+
+	w := &wal{f: f, path: path, met: met}
+	var off int64
+	for {
+		n, payload, err := w.readFrame(off)
+		if err == io.EOF {
+			break // clean end
+		}
+		if err != nil {
+			// Torn or corrupt frame: cut the file back to the intact
+			// prefix and stop. Anything beyond was never acknowledged
+			// (or is unreadable, in which case the prefix is all we can
+			// honestly recover).
+			stats.Truncated = true
+			stats.TruncatedAt = off
+			if terr := f.Truncate(off); terr != nil {
+				f.Close()
+				return nil, stats, fmt.Errorf("repository: wal truncate torn tail: %w", terr)
+			}
+			if serr := f.Sync(); serr != nil {
+				f.Close()
+				return nil, stats, fmt.Errorf("repository: wal sync after truncate: %w", serr)
+			}
+			break
+		}
+		if aerr := apply(payload); aerr != nil {
+			stats.Truncated = true
+			stats.TruncatedAt = off
+			if terr := f.Truncate(off); terr != nil {
+				f.Close()
+				return nil, stats, fmt.Errorf("repository: wal truncate bad record: %w", terr)
+			}
+			if serr := f.Sync(); serr != nil {
+				f.Close()
+				return nil, stats, fmt.Errorf("repository: wal sync after truncate: %w", serr)
+			}
+			break
+		}
+		stats.Records++
+		off += n
+	}
+	w.size = off
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		f.Close()
+		return nil, stats, fmt.Errorf("repository: wal seek: %w", err)
+	}
+	return w, stats, nil
+}
+
+// readFrame reads the frame starting at off, returning its total size and
+// payload. io.EOF means a clean end exactly at off; any other error means
+// the frame is torn or corrupt.
+func (w *wal) readFrame(off int64) (int64, []byte, error) {
+	if _, err := w.f.ReadAt(w.hdr[:], off); err != nil {
+		if err == io.EOF {
+			// Distinguish "file ends exactly here" (clean) from "file
+			// ends mid-header" (torn). ReadAt returns io.EOF for both,
+			// with a partial count for the latter.
+			if n, _ := w.f.ReadAt(w.hdr[:1], off); n == 0 {
+				return 0, nil, io.EOF
+			}
+		}
+		return 0, nil, fmt.Errorf("wal: short header at %d", off)
+	}
+	length := binary.LittleEndian.Uint32(w.hdr[0:4])
+	sum := binary.LittleEndian.Uint32(w.hdr[4:8])
+	if length == 0 || length > walMaxRecord {
+		return 0, nil, fmt.Errorf("wal: implausible frame length %d at %d", length, off)
+	}
+	payload := make([]byte, length)
+	if _, err := w.f.ReadAt(payload, off+walHeaderSize); err != nil {
+		return 0, nil, fmt.Errorf("wal: short payload at %d", off)
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return 0, nil, fmt.Errorf("wal: crc mismatch at %d", off)
+	}
+	return walHeaderSize + int64(length), payload, nil
+}
+
+// append frames payload, writes it at the end of the log and fsyncs. Only
+// after the fsync returns is the record considered acknowledged. On a
+// write error the file is truncated back so a partial frame cannot be
+// mistaken for a record by a concurrent-era reader (recovery would discard
+// it anyway).
+func (w *wal) append(payload []byte) error {
+	var hdr [walHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.f.Write(hdr[:]); err != nil {
+		w.f.Truncate(w.size)
+		w.f.Seek(w.size, io.SeekStart)
+		return fmt.Errorf("repository: wal append: %w", err)
+	}
+	if _, err := w.f.Write(payload); err != nil {
+		w.f.Truncate(w.size)
+		w.f.Seek(w.size, io.SeekStart)
+		return fmt.Errorf("repository: wal append: %w", err)
+	}
+	start := time.Now()
+	if err := w.f.Sync(); err != nil {
+		w.f.Truncate(w.size)
+		w.f.Seek(w.size, io.SeekStart)
+		return fmt.Errorf("repository: wal fsync: %w", err)
+	}
+	w.size += walHeaderSize + int64(len(payload))
+	if w.met != nil {
+		w.met.Appends.Inc()
+		w.met.AppendBytes.Add(uint64(walHeaderSize + len(payload)))
+		w.met.FsyncSeconds.ObserveDuration(time.Since(start))
+		w.met.SizeBytes.Set(w.size)
+	}
+	return nil
+}
+
+// reset empties the log after its contents have been made durable
+// elsewhere (a snapshot): truncate to zero, rewind, fsync.
+func (w *wal) reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("repository: wal reset: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("repository: wal reset: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("repository: wal reset: %w", err)
+	}
+	w.size = 0
+	if w.met != nil {
+		w.met.SizeBytes.Set(0)
+	}
+	return nil
+}
+
+func (w *wal) close() error {
+	return w.f.Close()
+}

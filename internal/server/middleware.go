@@ -46,6 +46,12 @@ type Config struct {
 	// /debug/vars. Off by default: profiling endpoints should be opted into,
 	// not exposed on every deployment.
 	EnablePprof bool
+	// Checkpoint persists the deployment's durable state (typically
+	// System.Save: index + repository snapshot + WAL truncation). When set,
+	// StartCheckpointer runs it on a schedule and Shutdown runs it one
+	// final time after the background indexers stop, so a graceful
+	// shutdown always leaves a fresh snapshot behind. Nil disables both.
+	Checkpoint func() error
 }
 
 func (c *Config) defaults() {

@@ -63,10 +63,11 @@ type Server struct {
 
 	// baseCtx is cancelled by Shutdown; indexers and request deadlines hang
 	// off it so background work stops with the server.
-	baseCtx      context.Context
-	cancelBase   context.CancelFunc
-	shutdownOnce sync.Once
-	indexers     sync.WaitGroup
+	baseCtx         context.Context
+	cancelBase      context.CancelFunc
+	shutdownOnce    sync.Once
+	finalCheckpoint sync.Once
+	indexers        sync.WaitGroup
 }
 
 // New builds a server over an engine with default lifecycle settings.
@@ -144,13 +145,58 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.handler.ServeHTTP(w, r)
 }
 
-// Shutdown stops the server's background work: every indexer started with
-// StartIndexer halts, and pending request deadlines are cancelled. It
-// blocks until the indexer goroutines exit and is safe to call more than
-// once. Call it after http.Server.Shutdown has drained in-flight requests.
+// Shutdown stops the server's background work: every indexer and
+// checkpointer started with StartIndexer/StartCheckpointer halts, pending
+// request deadlines are cancelled, and — when Config.Checkpoint is set —
+// one final checkpoint persists the durable state (the graceful-shutdown
+// snapshot). It blocks until the background goroutines exit and is safe to
+// call more than once (the final checkpoint runs once). Call it after
+// http.Server.Shutdown has drained in-flight requests.
 func (s *Server) Shutdown() {
 	s.shutdownOnce.Do(s.cancelBase)
 	s.indexers.Wait()
+	s.finalCheckpoint.Do(func() {
+		if s.cfg.Checkpoint == nil {
+			return
+		}
+		if err := s.cfg.Checkpoint(); err != nil {
+			s.cfg.Logger.Printf("server: shutdown checkpoint: %v", err)
+		}
+	})
+}
+
+// StartCheckpointer launches the periodic snapshot loop: every interval it
+// runs Config.Checkpoint, bounding both WAL growth and recovery replay
+// time. The returned stop function halts it and is idempotent; the loop
+// also stops when the server shuts down. A nil Config.Checkpoint or
+// non-positive interval makes it a no-op.
+func (s *Server) StartCheckpointer(interval time.Duration) (stop func()) {
+	if s.cfg.Checkpoint == nil || interval <= 0 {
+		return func() {}
+	}
+	ticker := time.NewTicker(interval)
+	done := make(chan struct{})
+	s.indexers.Add(1)
+	go func() {
+		defer s.indexers.Done()
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				if err := s.cfg.Checkpoint(); err != nil {
+					s.cfg.Logger.Printf("server: checkpoint: %v", err)
+				}
+			case <-done:
+				return
+			case <-s.baseCtx.Done():
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+	}
 }
 
 // StartIndexer launches the scheduled offline indexer: every interval it

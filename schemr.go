@@ -47,6 +47,7 @@ import (
 	"schemr/internal/learn"
 	"schemr/internal/match"
 	"schemr/internal/model"
+	"schemr/internal/obs"
 	"schemr/internal/query"
 	"schemr/internal/repository"
 	"schemr/internal/server"
@@ -113,41 +114,101 @@ func NewWithOptions(opts EngineOptions) *System {
 const (
 	repoFile  = "repository.json"
 	indexFile = "schemas.idx"
+	walFile   = "repository.wal"
 )
 
+// RecoveryStats reports what opening a durable system found on disk: the
+// snapshot, the number of write-ahead-log records replayed on top of it,
+// and whether a torn WAL tail was truncated.
+type RecoveryStats = repository.RecoveryStats
+
 // Open loads a system persisted by Save: repository.json plus schemas.idx
-// under dir. A missing or unreadable index is rebuilt from the repository;
-// a loaded index is synced forward from its saved change-feed cursor.
+// under dir, with any repository.wal replayed on top (so mutations a
+// crashed server acknowledged but never snapshotted are recovered). The
+// WAL stays attached: subsequent mutations are logged and fsynced before
+// they are acknowledged. A missing or unreadable index is rebuilt from the
+// repository; a loaded index is synced forward from its saved change-feed
+// cursor.
 func Open(dir string) (*System, error) {
 	return OpenWithOptions(dir, EngineOptions{})
 }
 
 // OpenWithOptions is Open with custom engine options.
 func OpenWithOptions(dir string, opts EngineOptions) (*System, error) {
-	repo, err := repository.Open(filepath.Join(dir, repoFile))
+	if _, err := os.Stat(filepath.Join(dir, repoFile)); err != nil {
+		return nil, fmt.Errorf("repository: open: %w", err)
+	}
+	sys, _, err := openSystem(dir, opts)
+	return sys, err
+}
+
+// OpenDurable is Open for a directory that may not hold a repository yet:
+// a missing snapshot starts an empty durable system rather than failing,
+// which is what a freshly deployed server wants.
+func OpenDurable(dir string) (*System, RecoveryStats, error) {
+	return OpenDurableWithOptions(dir, EngineOptions{})
+}
+
+// OpenDurableWithOptions is OpenDurable with custom engine options.
+func OpenDurableWithOptions(dir string, opts EngineOptions) (*System, RecoveryStats, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, RecoveryStats{}, fmt.Errorf("schemr: open durable: %w", err)
+	}
+	return openSystem(dir, opts)
+}
+
+// openSystem recovers the repository (snapshot + WAL replay, WAL left
+// attached) and builds the engine over it, sharing one metrics registry
+// so GET /metrics carries the durability families too.
+func openSystem(dir string, opts EngineOptions) (*System, RecoveryStats, error) {
+	var met *repository.Metrics
+	if !opts.DisableMetrics {
+		if opts.Metrics == nil {
+			opts.Metrics = obs.NewRegistry()
+		}
+		met = repository.NewMetrics(opts.Metrics)
+	}
+	repo, stats, err := repository.Recover(
+		filepath.Join(dir, repoFile), filepath.Join(dir, walFile), met)
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	sys := &System{Repo: repo, Engine: core.NewEngine(repo, opts)}
 	if err := sys.Engine.LoadIndex(filepath.Join(dir, indexFile)); err != nil {
 		// Missing or unreadable index: rebuild from the repository.
 		if err := sys.Engine.Reindex(); err != nil {
-			return nil, err
+			return nil, stats, err
 		}
 	}
-	return sys, nil
+	return sys, stats, nil
 }
 
-// Save persists the system under dir (created if absent): the repository
-// as JSON and the document index with its change cursor.
+// Save checkpoints the system under dir (created if absent): the document
+// index with its change cursor, then a durable repository snapshot —
+// fsynced file and parent directory — after which the write-ahead log is
+// truncated (its records are all covered) and deletion tombstones the
+// saved index has already applied are compacted away. The index is saved
+// first so a crash between the two writes leaves the old snapshot + WAL
+// pair intact.
 func (s *System) Save(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("schemr: save: %w", err)
 	}
-	if err := s.Repo.Save(filepath.Join(dir, repoFile)); err != nil {
+	// Read the cursor before SaveIndex: it can only grow, so compacting
+	// tombstones at or below the pre-save cursor never drops a deletion
+	// the saved index has yet to see.
+	cursor := s.Engine.Cursor()
+	if err := s.Engine.SaveIndex(filepath.Join(dir, indexFile)); err != nil {
 		return err
 	}
-	return s.Engine.SaveIndex(filepath.Join(dir, indexFile))
+	return s.Repo.Snapshot(filepath.Join(dir, repoFile), cursor)
+}
+
+// Close flushes coalesced usage counters to the write-ahead log and
+// detaches it. Call after the final Save when shutting a durable system
+// down; a system without a WAL ignores it.
+func (s *System) Close() error {
+	return s.Repo.Close()
 }
 
 // ImportDDL parses a SQL DDL script and stores it as a schema, returning

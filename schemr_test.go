@@ -269,3 +269,63 @@ func TestFacadeLearnWeights(t *testing.T) {
 		t.Errorf("post-learning search: %v %v", results, err)
 	}
 }
+
+func TestOpenDurableCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	sys, stats, err := OpenDurable(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SnapshotLoaded || stats.Replayed != 0 {
+		t.Errorf("fresh dir recovery stats = %+v", stats)
+	}
+	id, err := sys.ImportDDL("clinic", clinicDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Repo.Tag(id, "health") {
+		t.Fatal("tag failed")
+	}
+	// Crash simulation: no Save, no Close. The acknowledged import and tag
+	// exist only in the WAL.
+
+	sys2, stats2, err := OpenDurable(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.SnapshotLoaded || stats2.Replayed < 2 || stats2.TornTail {
+		t.Errorf("post-crash recovery stats = %+v", stats2)
+	}
+	e := sys2.Repo.Entry(id)
+	if e == nil || e.Schema == nil {
+		t.Fatal("acknowledged import lost across crash")
+	}
+	if len(e.Tags) != 1 || e.Tags[0] != "health" {
+		t.Errorf("tags after recovery: %v", e.Tags)
+	}
+	q, _ := ParseQuery(QueryInput{Keywords: "patient height diagnosis"})
+	results, err := sys2.Search(q, 5)
+	if err != nil || len(results) == 0 || results[0].ID != id {
+		t.Fatalf("search after recovery: %v %v", results, err)
+	}
+
+	// Clean checkpoint: Save snapshots repository + index and truncates the
+	// WAL; the next boot loads the snapshot and replays nothing.
+	if err := sys2.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sys3, stats3, err := OpenDurable(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys3.Close()
+	if !stats3.SnapshotLoaded || stats3.Replayed != 0 || stats3.Skipped != 0 {
+		t.Errorf("post-checkpoint recovery stats = %+v", stats3)
+	}
+	if sys3.Get(id) == nil {
+		t.Error("schema lost after checkpointed restart")
+	}
+}
