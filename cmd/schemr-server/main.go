@@ -51,10 +51,14 @@ func main() {
 	metrics := flag.Bool("metrics", true, "serve Prometheus-format metrics at GET /metrics")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof at /debug/pprof/ and expvar at /debug/vars")
 	pruning := flag.Bool("phase1-pruning", true, "MaxScore top-n pruning in phase-1 candidate extraction (off = exhaustive scoring)")
+	flushDocs := flag.Int("flush-docs", 0, "mutable-head docs before the index seals an immutable segment (0 = index default, negative disables auto-flush)")
+	mergeFactor := flag.Int("merge-factor", 0, "segment count that triggers a segment merge (0 = index default, 1 disables merging)")
 	flag.Parse()
 
 	var opts schemr.EngineOptions
 	opts.Index.DisablePruning = !*pruning
+	opts.FlushDocs = *flushDocs
+	opts.MergeFactor = *mergeFactor
 	var sys *schemr.System
 	var err error
 	if *walFlag {

@@ -84,6 +84,14 @@ type Options struct {
 	// registry stays empty). Benchmarking aid: the uninstrumented baseline
 	// for the observability overhead budget.
 	DisableMetrics bool
+	// FlushDocs is the mutable-head size at which the index seals the head
+	// into an immutable segment (index.WithFlushDocs). 0 keeps the index
+	// default; negative disables automatic flushing.
+	FlushDocs int
+	// MergeFactor is the segment-count fan-in that triggers background
+	// segment merging (index.WithMergeFactor). 0 keeps the index default;
+	// 1 disables merging.
+	MergeFactor int
 	// TrigramFallback addresses an architectural gap the paper inherits
 	// from Lucene: a schema whose every element is abbreviated shares no
 	// token with the query and never becomes a candidate, so the n-gram
@@ -156,7 +164,10 @@ type SearchStats struct {
 	// fell back to exhaustive scoring.
 	PostingsSkipped  int
 	CandidatesPruned int
-	PhaseExtract     time.Duration
+	// BlocksSkipped counts whole posting blocks bypassed undecoded by the
+	// block-max bound check — pruning that never paid the varint decode.
+	BlocksSkipped int
+	PhaseExtract  time.Duration
 	PhaseMatch       time.Duration
 	PhaseTightness   time.Duration
 }
@@ -314,6 +325,12 @@ func (e *Engine) newIndex() *index.Index {
 			boosts[k] = v
 		}
 		opts = append(opts, index.WithFieldBoosts(boosts))
+	}
+	if e.opts.FlushDocs != 0 {
+		opts = append(opts, index.WithFlushDocs(e.opts.FlushDocs))
+	}
+	if e.opts.MergeFactor != 0 {
+		opts = append(opts, index.WithMergeFactor(e.opts.MergeFactor))
 	}
 	return index.New(opts...)
 }
@@ -515,6 +532,7 @@ func (e *Engine) SearchWithStatsContext(ctx context.Context, q *query.Query, lim
 	hits, sinfo := idx.SearchTermsStats(terms, e.opts.CandidateN, e.opts.Index)
 	stats.PostingsSkipped += sinfo.PostingsSkipped
 	stats.CandidatesPruned += sinfo.DocsPruned
+	stats.BlocksSkipped += sinfo.BlocksSkipped
 	if e.opts.TrigramFallback && len(hits) < e.opts.CandidateN {
 		// Recall rescue: candidates reachable only through character
 		// trigrams (fully abbreviated schemas). Their coarse scores are
@@ -526,6 +544,7 @@ func (e *Engine) SearchWithStatsContext(ctx context.Context, q *query.Query, lim
 		extra, tinfo := idx.SearchTermsStats(trigramsOf(terms), e.opts.CandidateN, e.opts.Index)
 		stats.PostingsSkipped += tinfo.PostingsSkipped
 		stats.CandidatesPruned += tinfo.DocsPruned
+		stats.BlocksSkipped += tinfo.BlocksSkipped
 		for _, h := range extra {
 			if len(hits) >= e.opts.CandidateN || ctx.Err() != nil {
 				break

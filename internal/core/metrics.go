@@ -71,6 +71,7 @@ func traceSearch(tr *obs.Trace, began time.Time, stats SearchStats) {
 		"candidates":        int64(stats.Candidates),
 		"postings_skipped":  int64(stats.PostingsSkipped),
 		"candidates_pruned": int64(stats.CandidatesPruned),
+		"blocks_skipped":    int64(stats.BlocksSkipped),
 	})
 	start = start.Add(stats.PhaseExtract)
 	tr.AddSpan("search.match", start, stats.PhaseMatch, map[string]int64{

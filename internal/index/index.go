@@ -7,9 +7,18 @@
 // scores are computed independently and summed, multiplied by a coordination
 // factor that rewards documents matching more of the query's terms.
 //
+// The index is segmented, LSM-style: a small mutable head absorbs Add and
+// Delete under its own lock and is flushed into immutable segments whose
+// postings are doc-ordinal-sorted, delta+varint-encoded and carved into
+// blocks carrying per-block max scores; a merger compacts segments,
+// physically dropping tombstoned documents and re-tightening the pruning
+// bounds. Searches take an immutable snapshot via one atomic pointer load —
+// no lock on the read path while the head is empty — and run a
+// document-at-a-time merge with Block-Max MaxScore pruning (see search.go).
+//
 // The index is safe for concurrent use, supports incremental adds, updates
 // and deletes (the repository re-indexes "at scheduled intervals"), and
-// persists itself to a single file.
+// persists itself to a single file (format v3; v2/v1 files still load).
 package index
 
 import (
@@ -17,6 +26,8 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"schemr/internal/obs"
 	"schemr/internal/text"
@@ -50,6 +61,14 @@ var DefaultFieldBoosts = map[string]float64{
 	FieldElements: 1.0,
 }
 
+// Default maintenance thresholds: the head flushes into an immutable
+// segment once it holds this many documents, and the merger compacts
+// whenever this many segments accumulate.
+const (
+	DefaultFlushDocs   = 1024
+	DefaultMergeFactor = 8
+)
+
 // Analyzer converts field text to a token stream. The default analyzer
 // splits identifiers (camelCase, delimiters) and lower-cases; summary-like
 // fields additionally drop stopwords.
@@ -65,7 +84,8 @@ func DefaultAnalyzer(field, content string) []string {
 }
 
 // posting records the occurrences of a term within one field of one
-// document.
+// document. In the head, doc is the head-local ordinal (global ordinal
+// minus head.base); in segment builders it is the segment-local ordinal.
 type posting struct {
 	doc       int32
 	field     int8
@@ -73,17 +93,17 @@ type posting struct {
 	positions []int32
 }
 
-// termEntry is the dictionary entry for one term: its live document
-// frequency and postings. Postings of deleted documents linger until
-// Compact; df is kept live so IDF stays correct.
+// termEntry is the head's dictionary entry for one term: its live document
+// frequency and postings. Postings of deleted documents linger until the
+// head flushes; df is kept live so IDF stays correct.
 //
-// The max* fields are the MaxScore pruning bounds (see DESIGN.md "Candidate
-// extraction"): query-independent caps on the term's per-document score
-// contribution, maintained incrementally. Adds raise them exactly; deletes
-// leave them stale-high (still a valid upper bound, just looser) until
-// Compact recomputes them. maxFreq == 0 marks the bounds unavailable — the
-// state of entries loaded from a v1 persisted index — which makes the term
-// always-essential at query time (exhaustive scoring).
+// The max* fields are the MaxScore pruning bounds (see DESIGN.md): query-
+// independent caps on the term's per-document score contribution. Adds
+// raise them exactly; deletes leave them stale-high (still a valid upper
+// bound, just looser) until a flush or merge recomputes them. maxFreq == 0
+// marks the bounds unavailable — the state of entries loaded from a v1
+// persisted index — which makes the term always-essential at query time
+// (exhaustive scoring).
 type termEntry struct {
 	df       int32
 	postings []posting
@@ -104,7 +124,7 @@ func (e *termEntry) boundsOK() bool { return e.maxFreq > 0 }
 
 // raiseBounds folds one document's aggregates into the entry's bounds. A
 // fresh entry (no postings yet) adopts them; an entry with unavailable
-// bounds (v1 load) stays unavailable until Compact recomputes everything.
+// bounds (v1 load) stays unavailable until a flush recomputes everything.
 func (e *termEntry) raiseBounds(classic, boostSum float64, maxFreq int32, fresh bool) {
 	if !fresh && !e.boundsOK() {
 		return
@@ -120,56 +140,173 @@ func (e *termEntry) raiseBounds(classic, boostSum float64, maxFreq int32, fresh 
 	}
 }
 
-// Index is an in-memory inverted index with persistence. The zero value is
-// not usable; construct with New.
+// queryUpperBound returns an upper bound on the term's per-document score
+// contribution under the given options, or +Inf when no sound bound is
+// available (entry loaded from a v1 index, or BM25 parameters outside the
+// provable range k1 >= 0, 0 <= b <= 1).
+func (e *termEntry) queryUpperBound(idf float64, bm25 bool, k1, b float64) float64 {
+	return boundsUpperBound(idf, bm25, k1, b, e.maxClassic, e.maxBoostSum, e.maxFreq)
+}
+
+// bitset is a global-ordinal tombstone bitmap. The master copy on Index is
+// cloned before every mutation so published snapshots are immutable.
+type bitset []uint64
+
+func (b bitset) get(i int32) bool {
+	w := int(i >> 6)
+	if w >= len(b) {
+		return false
+	}
+	return b[w]&(1<<(uint(i)&63)) != 0
+}
+
+func (b bitset) set(i int32) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// cloneFor returns a copy of b large enough to index ordinal n-1.
+func (b bitset) cloneFor(n int32) bitset {
+	words := int(n>>6) + 1
+	if words < len(b) {
+		words = len(b)
+	}
+	nb := make(bitset, words)
+	copy(nb, b)
+	return nb
+}
+
+// head is the mutable in-memory segment absorbing Add/Delete. It is small
+// (bounded by the flush threshold) and guarded by its own RWMutex; once
+// flushed it is never mutated again, so searches running against an older
+// snapshot keep a consistent view. Local ordinal i corresponds to global
+// ordinal base+i.
+type head struct {
+	mu    sync.RWMutex
+	base  int32
+	nlive atomic.Int32 // live documents; lets searches skip an empty head locklessly
+
+	docIDs   []string
+	docTerms [][]string
+	deleted  []bool
+	terms    map[string]*termEntry
+	norms    [][]float32 // global field id → per-local-doc norm column
+}
+
+func newHead(base int32, nFields int) *head {
+	return &head{
+		base:  base,
+		terms: make(map[string]*termEntry),
+		norms: make([][]float32, nFields),
+	}
+}
+
+// snapshot is the immutable view a search runs against: the segment list,
+// the head (read under its own lock), the tombstone bitmap, the per-term
+// document-frequency corrections for segment deletions, and the field
+// tables. Published by every mutation that changes anything beyond the
+// head's own arrays.
+type snapshot struct {
+	segs       []*segment
+	hd         *head
+	dels       bitset
+	dfDel      map[string]int32 // term → docs deleted from segments still holding its postings
+	fieldNames []string
+	boostByFid []float64
+
+	// Lazily computed BM25 aggregates over the snapshot's segments: per
+	// field, the Σ token-length and count of live documents. Computed once
+	// per snapshot (satellite of the avgFieldLens cache bug: a snapshot can
+	// never observe mixed-generation averages).
+	avgOnce   sync.Once
+	segLenSum []float64
+	segLenCnt []int64
+}
+
+func (sn *snapshot) boost(fid int8) float64 {
+	if int(fid) < len(sn.boostByFid) {
+		return sn.boostByFid[fid]
+	}
+	return 1
+}
+
+// segLens computes (once) the per-field length sums over live segment
+// documents: each segment's build-time aggregates minus its tombstoned
+// documents' lengths, recovered from the stored norms.
+func (sn *snapshot) segLens() ([]float64, []int64) {
+	sn.avgOnce.Do(func() {
+		var sum []float64
+		var cnt []int64
+		grow := func(n int) {
+			for len(sum) < n {
+				sum = append(sum, 0)
+				cnt = append(cnt, 0)
+			}
+		}
+		for _, s := range sn.segs {
+			grow(len(s.lenSum))
+			for f := range s.lenSum {
+				sum[f] += s.lenSum[f]
+				cnt[f] += s.lenCnt[f]
+			}
+			for local, ord := range s.docOrds {
+				if !sn.dels.get(ord) {
+					continue
+				}
+				for f, col := range s.norms {
+					if col == nil {
+						continue
+					}
+					if n := col[local]; n > 0 {
+						sum[f] -= 1 / float64(n) / float64(n)
+						cnt[f]--
+					}
+				}
+			}
+		}
+		sn.segLenSum, sn.segLenCnt = sum, cnt
+	})
+	return sn.segLenSum, sn.segLenCnt
+}
+
+// Index is a segmented in-memory inverted index with persistence. The zero
+// value is not usable; construct with New.
 type Index struct {
-	mu sync.RWMutex
+	// wmu serializes every mutation (Add, Delete, Flush, merges, loads).
+	// Searches never take it: they load the current snapshot atomically.
+	wmu sync.Mutex
 
 	analyzer Analyzer
 	boosts   map[string]float64
 
-	fieldNames []string       // field ordinal → name
-	fieldIDs   map[string]int // name → ordinal
+	// Writer-owned master state; the snapshot publishes immutable views.
+	fieldNames []string
+	fieldIDs   map[string]int
+	boostByFid []float64
+	nextOrd    int32 // next global ordinal; ordinals are never reused
+	dels       bitset
+	dfDel      map[string]int32
+	segs       []*segment
+	hd         *head
 
-	docIDs  []string         // ordinal → external ID
-	docMap  map[string]int32 // external ID → ordinal
-	deleted []bool
-	live    int
+	// dmu guards docMap (external ID → global ordinal of the live doc),
+	// the only master map read outside wmu (Has, Explain).
+	dmu    sync.RWMutex
+	docMap map[string]int32
 
-	terms map[string]*termEntry
+	live atomic.Int64
+	snap atomic.Pointer[snapshot]
 
-	// norms[fieldOrdinal][docOrdinal] = 1/sqrt(tokens in that field), 0 when
-	// the document has no such field.
-	norms [][]float32
-
-	// forward index: per doc, the distinct terms it contains (for delete).
-	docTerms [][]string
-
-	// avgLenMu guards the lazily computed per-field average-length cache
-	// used by BM25. It nests inside mu (taken briefly by readers holding
-	// RLock and by mutators holding the write lock). avgLensOK is flipped
-	// false by every mutation; the next BM25 search recomputes.
-	avgLenMu  sync.Mutex
-	avgLens   []float64
-	avgLensOK bool
+	flushDocs   int
+	mergeFactor int
+	compress    bool
 
 	// met, when non-nil, receives per-search counters (see Metrics).
 	met *Metrics
 }
 
-// invalidateAvgLens marks the BM25 average-length cache stale. Called by
-// every mutation (Add, Delete, Compact, ReadFrom) under the write lock.
-func (ix *Index) invalidateAvgLens() {
-	ix.avgLenMu.Lock()
-	ix.avgLensOK = false
-	ix.avgLenMu.Unlock()
-}
-
-// Metrics is the index's observability hook: counters fed by SearchTerms.
-// A Metrics value is typically shared across index rebuilds (the engine's
-// Reindex creates fresh Index values) so the series accumulate across the
-// index's whole lifetime. Fields are nil-safe obs instruments; a nil
-// *Metrics disables counting entirely.
+// Metrics is the index's observability hook: counters fed by SearchTerms
+// and the segment-maintenance instruments. A Metrics value is typically
+// shared across index rebuilds (the engine's Reindex creates fresh Index
+// values) so the series accumulate across the index's whole lifetime.
+// Fields are nil-safe obs instruments; a nil *Metrics disables counting.
 type Metrics struct {
 	// Searches counts SearchTerms invocations.
 	Searches *obs.Counter
@@ -179,12 +316,21 @@ type Metrics struct {
 	// PostingsTouched counts postings iterated while scoring — the index's
 	// unit of work per search.
 	PostingsTouched *obs.Counter
-	// PostingsSkipped counts postings jumped over by MaxScore pruning seeks
-	// without being scored — the work the pruned path avoided.
+	// PostingsSkipped counts postings jumped over by pruning seeks without
+	// being scored — the work the pruned path avoided.
 	PostingsSkipped *obs.Counter
 	// DocsPruned counts candidate documents abandoned by the MaxScore bound
 	// check before (or during) full scoring.
 	DocsPruned *obs.Counter
+	// BlocksSkipped counts whole postings blocks bypassed without being
+	// decoded, by block-max seeks or block-level bound checks.
+	BlocksSkipped *obs.Counter
+	// Segments gauges the current number of immutable segments.
+	Segments *obs.Gauge
+	// Merges counts segment merges performed.
+	Merges *obs.Counter
+	// FlushSeconds observes head-flush durations.
+	FlushSeconds *obs.Histogram
 }
 
 // NewMetrics registers the index metric families on reg and returns the
@@ -196,6 +342,10 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		PostingsTouched: reg.Counter("schemr_index_postings_touched_total", "Postings iterated while scoring searches.", nil),
 		PostingsSkipped: reg.Counter("schemr_index_postings_skipped_total", "Postings jumped over by MaxScore pruning without being scored.", nil),
 		DocsPruned:      reg.Counter("schemr_index_docs_pruned_total", "Candidate documents abandoned by the MaxScore bound check.", nil),
+		BlocksSkipped:   reg.Counter("schemr_index_blocks_skipped_total", "Postings blocks bypassed undecoded by block-max pruning.", nil),
+		Segments:        reg.Gauge("schemr_index_segments", "Immutable index segments currently live.", nil),
+		Merges:          reg.Counter("schemr_index_merges_total", "Segment merges performed.", nil),
+		FlushSeconds:    reg.Histogram("schemr_index_flush_seconds", "Head-segment flush duration.", nil, nil),
 	}
 }
 
@@ -223,88 +373,196 @@ func WithFieldBoosts(b map[string]float64) Option {
 	}
 }
 
+// WithFlushDocs sets the head-flush threshold: Add flushes the head into
+// an immutable segment once it holds n documents. n <= 0 disables
+// automatic flushing (Flush and Compact still work).
+func WithFlushDocs(n int) Option {
+	return func(ix *Index) { ix.flushDocs = n }
+}
+
+// WithMergeFactor sets the merge policy: whenever n or more segments
+// accumulate, the n adjacent segments covering the fewest documents are
+// merged into one (dropping tombstones and re-tightening bounds). n <= 1
+// disables automatic merging.
+func WithMergeFactor(n int) Option {
+	return func(ix *Index) { ix.mergeFactor = n }
+}
+
+// WithCompression toggles delta+varint postings compression in flushed
+// segments (default on). Raw segments keep decoded postings in memory —
+// faster to scan, several times larger; the block-max pruning metadata is
+// identical either way.
+func WithCompression(enabled bool) Option {
+	return func(ix *Index) { ix.compress = enabled }
+}
+
 // New returns an empty index.
 func New(opts ...Option) *Index {
 	ix := &Index{
-		analyzer: DefaultAnalyzer,
-		boosts:   DefaultFieldBoosts,
-		fieldIDs: make(map[string]int),
-		docMap:   make(map[string]int32),
-		terms:    make(map[string]*termEntry),
+		analyzer:    DefaultAnalyzer,
+		boosts:      DefaultFieldBoosts,
+		fieldIDs:    make(map[string]int),
+		docMap:      make(map[string]int32),
+		dfDel:       make(map[string]int32),
+		hd:          newHead(0, 0),
+		flushDocs:   DefaultFlushDocs,
+		mergeFactor: DefaultMergeFactor,
+		compress:    true,
 	}
 	for _, o := range opts {
 		o(ix)
 	}
+	ix.publishLocked()
 	return ix
 }
 
-// NumDocs returns the number of live (non-deleted) documents.
-func (ix *Index) NumDocs() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.live
+// publishLocked builds and atomically installs a fresh snapshot from the
+// master state. Caller holds wmu (or is inside New/ReadFrom).
+func (ix *Index) publishLocked() {
+	sn := &snapshot{
+		segs:       ix.segs,
+		hd:         ix.hd,
+		dels:       ix.dels,
+		dfDel:      ix.dfDel,
+		fieldNames: ix.fieldNames,
+		boostByFid: ix.boostByFid,
+	}
+	ix.snap.Store(sn)
+	if ix.met != nil {
+		ix.met.Segments.Set(int64(len(ix.segs)))
+	}
 }
 
-// NumTerms returns the size of the term dictionary (including terms whose
-// only postings are deleted, until Compact).
+// fieldIDLocked interns a field name, extending the boost table. Caller
+// holds wmu. Reports whether a new field was created.
+func (ix *Index) fieldIDLocked(name string) (int, bool) {
+	if id, ok := ix.fieldIDs[name]; ok {
+		return id, false
+	}
+	id := len(ix.fieldNames)
+	ix.fieldNames = append(ix.fieldNames, name)
+	ix.fieldIDs[name] = id
+	b := 1.0
+	if v, ok := ix.boosts[name]; ok {
+		b = v
+	}
+	ix.boostByFid = append(ix.boostByFid, b)
+	return id, true
+}
+
+// NumDocs returns the number of live (non-deleted) documents.
+func (ix *Index) NumDocs() int { return int(ix.live.Load()) }
+
+// NumSegments returns the number of immutable segments currently live
+// (excluding the mutable head).
+func (ix *Index) NumSegments() int { return len(ix.snap.Load().segs) }
+
+// NumTerms returns the size of the term dictionary: distinct terms across
+// all segments and the head (including terms whose only live postings were
+// deleted, until a flush or merge drops them).
 func (ix *Index) NumTerms() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return len(ix.terms)
+	sn := ix.snap.Load()
+	seen := make(map[string]bool)
+	for _, s := range sn.segs {
+		for t := range s.terms {
+			seen[t] = true
+		}
+	}
+	hd := sn.hd
+	hd.mu.RLock()
+	for t := range hd.terms {
+		seen[t] = true
+	}
+	hd.mu.RUnlock()
+	return len(seen)
 }
 
 // Has reports whether a live document with the given ID exists.
 func (ix *Index) Has(id string) bool {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	ord, ok := ix.docMap[id]
-	return ok && !ix.deleted[ord]
+	ix.dmu.RLock()
+	_, ok := ix.docMap[id]
+	ix.dmu.RUnlock()
+	return ok
 }
 
 // DocFreq returns the live document frequency of term (after analysis by
 // the caller — the term is matched verbatim against the dictionary).
 func (ix *Index) DocFreq(term string) int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	if e, ok := ix.terms[term]; ok {
-		return int(e.df)
+	sn := ix.snap.Load()
+	df := int32(0)
+	for _, s := range sn.segs {
+		if st, ok := s.terms[term]; ok {
+			df += st.df
+		}
 	}
-	return 0
-}
-
-// fieldID interns a field name. Caller holds the write lock.
-func (ix *Index) fieldID(name string) int {
-	if id, ok := ix.fieldIDs[name]; ok {
-		return id
+	df -= sn.dfDel[term]
+	hd := sn.hd
+	hd.mu.RLock()
+	if e, ok := hd.terms[term]; ok {
+		df += e.df
 	}
-	id := len(ix.fieldNames)
-	ix.fieldNames = append(ix.fieldNames, name)
-	ix.fieldIDs[name] = id
-	ix.norms = append(ix.norms, nil)
-	return id
+	hd.mu.RUnlock()
+	if df < 0 {
+		df = 0
+	}
+	return int(df)
 }
 
 // Add indexes a document. Adding an ID that already exists replaces the
 // previous document (an update). An empty ID is an error; a document with
-// no tokens at all is indexed but unfindable.
+// no tokens at all is indexed but unfindable. When the head reaches the
+// flush threshold, Add flushes it into an immutable segment and runs the
+// merge policy inline — searches are never blocked by either.
 func (ix *Index) Add(doc Document) error {
 	if doc.ID == "" {
 		return fmt.Errorf("index: document with empty ID")
 	}
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	if ord, ok := ix.docMap[doc.ID]; ok && !ix.deleted[ord] {
+	ix.wmu.Lock()
+	defer ix.wmu.Unlock()
+
+	if ord, ok := ix.docMap[doc.ID]; ok {
 		ix.deleteLocked(ord)
 	}
 
-	ord := int32(len(ix.docIDs))
-	ix.docIDs = append(ix.docIDs, doc.ID)
-	ix.docMap[doc.ID] = ord
-	ix.deleted = append(ix.deleted, false)
-	ix.docTerms = append(ix.docTerms, nil)
-	ix.live++
-	for f := range ix.norms {
-		ix.norms[f] = append(ix.norms[f], 0)
+	// Analyze and intern fields before touching the head, so the head's
+	// norm columns can be padded once.
+	type analyzedField struct {
+		fid  int
+		toks []string
+	}
+	fields := make([]analyzedField, 0, len(doc.Fields))
+	newField := false
+	for _, f := range doc.Fields {
+		toks := ix.analyzer(f.Name, f.Text)
+		if len(toks) == 0 {
+			continue
+		}
+		fid, fresh := ix.fieldIDLocked(f.Name)
+		newField = newField || fresh
+		fields = append(fields, analyzedField{fid: fid, toks: toks})
+	}
+	if newField {
+		// Publish the extended field/boost tables before any posting can
+		// reference the new field id.
+		ix.publishLocked()
+	}
+
+	ord := ix.nextOrd
+	ix.nextOrd++
+
+	hd := ix.hd
+	hd.mu.Lock()
+	local := int32(len(hd.docIDs))
+	hd.docIDs = append(hd.docIDs, doc.ID)
+	hd.deleted = append(hd.deleted, false)
+	hd.docTerms = append(hd.docTerms, nil)
+	for len(hd.norms) < len(ix.fieldNames) {
+		hd.norms = append(hd.norms, nil)
+	}
+	for f := range hd.norms {
+		for len(hd.norms[f]) < int(local)+1 {
+			hd.norms[f] = append(hd.norms[f], 0)
+		}
 	}
 
 	// bounds aggregates this document's MaxScore bound inputs per term
@@ -318,25 +576,14 @@ func (ix *Index) Add(doc Document) error {
 	}
 	bounds := make(map[string]*docAgg)
 	distinct := make(map[string]bool)
-	for _, field := range doc.Fields {
-		toks := ix.analyzer(field.Name, field.Text)
-		if len(toks) == 0 {
-			continue
-		}
-		fid := ix.fieldID(field.Name)
-		// fieldID may have grown norms; re-pad new field columns.
-		for f := range ix.norms {
-			for len(ix.norms[f]) < len(ix.docIDs) {
-				ix.norms[f] = append(ix.norms[f], 0)
-			}
-		}
+	for _, af := range fields {
 		// Accumulate frequency and positions per term within this field.
 		type occ struct {
 			freq      int32
 			positions []int32
 		}
-		occs := make(map[string]*occ, len(toks))
-		for pos, tok := range toks {
+		occs := make(map[string]*occ, len(af.toks))
+		for pos, tok := range af.toks {
 			o := occs[tok]
 			if o == nil {
 				o = &occ{}
@@ -345,18 +592,17 @@ func (ix *Index) Add(doc Document) error {
 			o.freq++
 			o.positions = append(o.positions, int32(pos))
 		}
-		norm := float32(1 / math.Sqrt(float64(len(toks))))
-		// A field may appear twice in one document (rare); keep the shorter
-		// norm (more tokens → smaller norm) by summing lengths is overkill —
-		// last write wins is fine and documented by tests.
-		ix.norms[fid][ord] = norm
-		boost := ix.boost(int8(fid))
+		norm := float32(1 / math.Sqrt(float64(len(af.toks))))
+		// A field may appear twice in one document (rare); last write wins,
+		// as documented by tests.
+		hd.norms[af.fid][local] = norm
+		boost := ix.boostByFid[af.fid]
 		for tok, o := range occs {
-			e := ix.terms[tok]
+			e := hd.terms[tok]
 			fresh := false
 			if e == nil {
 				e = &termEntry{}
-				ix.terms[tok] = e
+				hd.terms[tok] = e
 				fresh = true
 			}
 			if !distinct[tok] {
@@ -376,140 +622,337 @@ func (ix *Index) Add(doc Document) error {
 				agg.maxFreq = o.freq
 			}
 			e.postings = append(e.postings, posting{
-				doc: ord, field: int8(fid), freq: o.freq, positions: o.positions,
+				doc: local, field: int8(af.fid), freq: o.freq, positions: o.positions,
 			})
 		}
 	}
 	for tok, agg := range bounds {
-		ix.terms[tok].raiseBounds(agg.classic, agg.boostSum, agg.maxFreq, agg.fresh)
+		hd.terms[tok].raiseBounds(agg.classic, agg.boostSum, agg.maxFreq, agg.fresh)
 	}
 	termList := make([]string, 0, len(distinct))
 	for t := range distinct {
 		termList = append(termList, t)
 	}
 	sort.Strings(termList)
-	ix.docTerms[ord] = termList
-	ix.invalidateAvgLens()
+	hd.docTerms[local] = termList
+	hd.mu.Unlock()
+	hd.nlive.Add(1)
+
+	ix.dmu.Lock()
+	ix.docMap[doc.ID] = ord
+	ix.dmu.Unlock()
+	ix.live.Add(1)
+
+	if ix.flushDocs > 0 && len(hd.docIDs) >= ix.flushDocs {
+		ix.flushLocked()
+		ix.maybeMergeLocked()
+	}
 	return nil
 }
 
 // Delete removes the document with the given ID. It returns false if no
 // live document has that ID.
 func (ix *Index) Delete(id string) bool {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	ix.wmu.Lock()
+	defer ix.wmu.Unlock()
 	ord, ok := ix.docMap[id]
-	if !ok || ix.deleted[ord] {
+	if !ok {
 		return false
 	}
 	ix.deleteLocked(ord)
 	return true
 }
 
-// deleteLocked tombstones a document ordinal and maintains df. The MaxScore
-// bounds are left untouched: a deleted document that held a term's maximum
-// leaves the bound stale-high, which is still a valid (merely looser) upper
-// bound; Compact recomputes bounds exactly. Caller holds the write lock.
+// deleteLocked tombstones the document at global ordinal ord. Head
+// documents get their head df decremented in place; segment documents get
+// a dfDel correction (segment term entries are immutable, so their bounds
+// stay stale-high — a valid, merely looser upper bound — until a merge
+// drops the dead postings and recomputes bounds exactly). Caller holds
+// wmu; a fresh snapshot is published.
 func (ix *Index) deleteLocked(ord int32) {
-	ix.deleted[ord] = true
-	ix.live--
-	delete(ix.docMap, ix.docIDs[ord])
-	for _, t := range ix.docTerms[ord] {
-		if e, ok := ix.terms[t]; ok {
-			e.df--
+	var id string
+	hd := ix.hd
+	if ord >= hd.base {
+		local := ord - hd.base
+		hd.mu.Lock()
+		id = hd.docIDs[local]
+		hd.deleted[local] = true
+		for _, t := range hd.docTerms[local] {
+			if e, ok := hd.terms[t]; ok {
+				e.df--
+			}
 		}
+		hd.docTerms[local] = nil
+		hd.mu.Unlock()
+		hd.nlive.Add(-1)
+	} else {
+		s := ix.segByOrdLocked(ord)
+		local := s.localOf(ord)
+		id = s.docIDs[local]
+		ndf := make(map[string]int32, len(ix.dfDel)+len(s.docTerms[local]))
+		for k, v := range ix.dfDel {
+			ndf[k] = v
+		}
+		for _, t := range s.docTerms[local] {
+			ndf[t]++
+		}
+		ix.dfDel = ndf
 	}
-	ix.docTerms[ord] = nil
-	ix.invalidateAvgLens()
+	nd := ix.dels.cloneFor(ix.nextOrd)
+	nd.set(ord)
+	ix.dels = nd
+
+	ix.dmu.Lock()
+	delete(ix.docMap, id)
+	ix.dmu.Unlock()
+	ix.live.Add(-1)
+	ix.publishLocked()
 }
 
-// Compact rebuilds the index without tombstoned postings, reclaiming memory
-// after heavy churn. Document ordinals change; external IDs are stable.
-func (ix *Index) Compact() {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+// segByOrdLocked finds the segment whose ordinal span contains ord.
+// Segment spans are disjoint and sorted. Caller holds wmu.
+func (ix *Index) segByOrdLocked(ord int32) *segment {
+	i := sort.Search(len(ix.segs), func(i int) bool { return ix.segs[i].maxOrd() >= ord })
+	return ix.segs[i]
+}
 
-	remap := make([]int32, len(ix.docIDs))
-	newIDs := make([]string, 0, ix.live)
-	for ord, id := range ix.docIDs {
-		if ix.deleted[ord] {
-			remap[ord] = -1
+// Flush converts the head into an immutable segment (dropping tombstoned
+// head documents and computing exact block-max bounds) and installs a
+// fresh empty head. A no-op when the head is empty.
+func (ix *Index) Flush() {
+	ix.wmu.Lock()
+	defer ix.wmu.Unlock()
+	ix.flushLocked()
+}
+
+func (ix *Index) flushLocked() {
+	hd := ix.hd
+	if len(hd.docIDs) == 0 {
+		return
+	}
+	start := time.Now()
+	seg := ix.buildSegmentFromHeadLocked(hd)
+	newSegs := make([]*segment, 0, len(ix.segs)+1)
+	newSegs = append(newSegs, ix.segs...)
+	if seg != nil {
+		newSegs = append(newSegs, seg)
+	}
+	ix.segs = newSegs
+	ix.hd = newHead(ix.nextOrd, len(ix.fieldNames))
+	ix.publishLocked()
+	if ix.met != nil {
+		ix.met.FlushSeconds.ObserveDuration(time.Since(start))
+	}
+}
+
+// buildSegmentFromHeadLocked freezes the head's live documents into an
+// immutable segment, preserving their global ordinals. Caller holds wmu;
+// the head is no longer mutated after this (only concurrent readers of
+// older snapshots still see it).
+func (ix *Index) buildSegmentFromHeadLocked(hd *head) *segment {
+	n := len(hd.docIDs)
+	remap := make([]int32, n) // head local → segment local, -1 dead
+	docIDs := make([]string, 0, n)
+	docOrds := make([]int32, 0, n)
+	docTerms := make([][]string, 0, n)
+	for local := 0; local < n; local++ {
+		if hd.deleted[local] {
+			remap[local] = -1
 			continue
 		}
-		remap[ord] = int32(len(newIDs))
-		newIDs = append(newIDs, id)
+		remap[local] = int32(len(docIDs))
+		docIDs = append(docIDs, hd.docIDs[local])
+		docOrds = append(docOrds, hd.base+int32(local))
+		docTerms = append(docTerms, hd.docTerms[local])
 	}
-	newNorms := make([][]float32, len(ix.norms))
-	for f := range ix.norms {
-		col := make([]float32, len(newIDs))
-		for ord, n := range ix.norms[f] {
-			if remap[ord] >= 0 {
-				col[remap[ord]] = n
+	if len(docIDs) == 0 {
+		return nil
+	}
+	norms := make([][]float32, len(ix.fieldNames))
+	for f := range hd.norms {
+		if hd.norms[f] == nil {
+			continue
+		}
+		col := make([]float32, len(docIDs))
+		any := false
+		for local, v := range hd.norms[f] {
+			if remap[local] >= 0 && v != 0 {
+				col[remap[local]] = v
+				any = true
 			}
 		}
-		newNorms[f] = col
+		if any {
+			norms[f] = col
+		}
 	}
-	newTerms := make(map[string]*termEntry, len(ix.terms))
-	for t, e := range ix.terms {
+	postings := make(map[string][]posting, len(hd.terms))
+	for t, e := range hd.terms {
 		var kept []posting
 		for _, p := range e.postings {
-			if remap[p.doc] >= 0 {
-				p.doc = remap[p.doc]
-				kept = append(kept, p)
+			if remap[p.doc] < 0 {
+				continue
 			}
+			q := p
+			q.doc = remap[p.doc]
+			kept = append(kept, q)
 		}
 		if len(kept) > 0 {
-			ne := &termEntry{df: e.df, postings: kept}
-			ix.recomputeBounds(ne, newNorms)
-			newTerms[t] = ne
+			postings[t] = kept
 		}
 	}
-	newDocTerms := make([][]string, len(newIDs))
-	newMap := make(map[string]int32, len(newIDs))
-	for ord, id := range ix.docIDs {
-		if remap[ord] >= 0 {
-			newDocTerms[remap[ord]] = ix.docTerms[ord]
-			newMap[id] = remap[ord]
-		}
-	}
-	ix.docIDs = newIDs
-	ix.docMap = newMap
-	ix.deleted = make([]bool, len(newIDs))
-	ix.docTerms = newDocTerms
-	ix.norms = newNorms
-	ix.terms = newTerms
-	ix.invalidateAvgLens()
+	return newSegment(docIDs, docOrds, docTerms, norms, postings, ix.boostByFid, ix.compress)
 }
 
-// recomputeBounds rebuilds a term entry's MaxScore bounds exactly from its
-// postings (grouped by document — postings are doc-ordinal-sorted), reading
-// norms from the given columns. Caller holds the write lock.
-func (ix *Index) recomputeBounds(e *termEntry, norms [][]float32) {
-	e.maxClassic, e.maxBoostSum, e.maxFreq = 0, 0, 0
-	i := 0
-	for i < len(e.postings) {
-		doc := e.postings[i].doc
-		classic, boostSum := 0.0, 0.0
-		var maxFreq int32
-		for ; i < len(e.postings) && e.postings[i].doc == doc; i++ {
-			p := &e.postings[i]
-			boost := ix.boost(p.field)
-			classic += boost * math.Sqrt(float64(p.freq)) * float64(norms[p.field][p.doc])
-			if boost > 0 {
-				boostSum += boost
+// Maintain runs the merge policy: whenever mergeFactor or more segments
+// exist, the adjacent run of mergeFactor segments covering the fewest
+// documents is merged. Add runs this inline after an automatic flush; a
+// server can also call it from a background maintenance loop.
+func (ix *Index) Maintain() {
+	ix.wmu.Lock()
+	defer ix.wmu.Unlock()
+	ix.maybeMergeLocked()
+}
+
+func (ix *Index) maybeMergeLocked() {
+	for ix.mergeFactor > 1 && len(ix.segs) >= ix.mergeFactor {
+		k := ix.mergeFactor
+		best, bestDocs := 0, int(^uint(0)>>1)
+		for i := 0; i+k <= len(ix.segs); i++ {
+			docs := 0
+			for _, s := range ix.segs[i : i+k] {
+				docs += s.numDocs()
 			}
-			if p.freq > maxFreq {
-				maxFreq = p.freq
+			if docs < bestDocs {
+				best, bestDocs = i, docs
 			}
 		}
-		e.raiseBounds(classic, boostSum, maxFreq, e.maxFreq == 0)
+		ix.mergeRangeLocked(best, best+k)
 	}
 }
 
-// boost returns the configured boost for a field ordinal, default 1.
-func (ix *Index) boost(fid int8) float64 {
-	if b, ok := ix.boosts[ix.fieldNames[fid]]; ok {
-		return b
+// mergeRangeLocked merges segs[lo:hi) into a single segment, physically
+// dropping tombstoned documents, recomputing exact per-term and per-block
+// bounds, and removing the merged documents' dfDel corrections. Global
+// ordinals are preserved, so searches on older snapshots stay valid and
+// segment spans stay disjoint. Caller holds wmu.
+func (ix *Index) mergeRangeLocked(lo, hi int) {
+	if hi-lo < 1 {
+		return
 	}
-	return 1
+	ins := ix.segs[lo:hi]
+
+	total := 0
+	for _, s := range ins {
+		total += s.numDocs()
+	}
+	remaps := make([][]int32, len(ins))
+	docIDs := make([]string, 0, total)
+	docOrds := make([]int32, 0, total)
+	docTerms := make([][]string, 0, total)
+	for si, s := range ins {
+		remap := make([]int32, s.numDocs())
+		for local := 0; local < s.numDocs(); local++ {
+			ord := s.docOrds[local]
+			if ix.dels.get(ord) {
+				remap[local] = -1
+				continue
+			}
+			remap[local] = int32(len(docIDs))
+			docIDs = append(docIDs, s.docIDs[local])
+			docOrds = append(docOrds, ord)
+			docTerms = append(docTerms, s.docTerms[local])
+		}
+		remaps[si] = remap
+	}
+
+	norms := make([][]float32, len(ix.fieldNames))
+	for si, s := range ins {
+		for f, col := range s.norms {
+			if col == nil {
+				continue
+			}
+			for local, v := range col {
+				if remaps[si][local] < 0 || v == 0 {
+					continue
+				}
+				if norms[f] == nil {
+					norms[f] = make([]float32, len(docIDs))
+				}
+				norms[f][remaps[si][local]] = v
+			}
+		}
+	}
+
+	// Gather postings per term across the inputs (already globally doc-
+	// sorted: segment spans are disjoint and iterated in span order) and
+	// account the build-time df so dfDel can drop the merged share.
+	postings := make(map[string][]posting)
+	buildDF := make(map[string]int32)
+	for si, s := range ins {
+		for t, st := range s.terms {
+			buildDF[t] += st.df
+			for _, p := range s.materializeTerm(st) {
+				if remaps[si][p.doc] < 0 {
+					continue
+				}
+				p.doc = remaps[si][p.doc]
+				postings[t] = append(postings[t], p)
+			}
+		}
+	}
+
+	merged := newSegment(docIDs, docOrds, docTerms, norms, postings, ix.boostByFid, ix.compress)
+
+	// The merged segment contains no tombstones, so every dfDel correction
+	// attributable to the inputs (build df minus surviving df) is retired.
+	ndf := make(map[string]int32, len(ix.dfDel))
+	for k, v := range ix.dfDel {
+		ndf[k] = v
+	}
+	for t, bdf := range buildDF {
+		liveDF := int32(0)
+		if merged != nil {
+			if st, ok := merged.terms[t]; ok {
+				liveDF = st.df
+			}
+		}
+		if drop := bdf - liveDF; drop > 0 {
+			if ndf[t] -= drop; ndf[t] <= 0 {
+				delete(ndf, t)
+			}
+		}
+	}
+	ix.dfDel = ndf
+
+	newSegs := make([]*segment, 0, len(ix.segs)-(hi-lo)+1)
+	newSegs = append(newSegs, ix.segs[:lo]...)
+	if merged != nil {
+		newSegs = append(newSegs, merged)
+	}
+	newSegs = append(newSegs, ix.segs[hi:]...)
+	ix.segs = newSegs
+	ix.publishLocked()
+	if ix.met != nil {
+		ix.met.Merges.Inc()
+	}
+}
+
+// Compact flushes the head and merges every segment into one, physically
+// dropping all tombstoned postings, reclaiming memory after heavy churn
+// and recomputing every pruning bound exactly (re-arming pruning after a
+// v1 load). External IDs and global ordinals are stable.
+func (ix *Index) Compact() {
+	ix.wmu.Lock()
+	defer ix.wmu.Unlock()
+	ix.flushLocked()
+	if len(ix.segs) == 0 {
+		return
+	}
+	clean := len(ix.segs) == 1 && int64(ix.segs[0].numDocs()) == ix.live.Load()
+	if !clean {
+		ix.mergeRangeLocked(0, len(ix.segs))
+	}
+	// Everything live is now tombstone-free; retire the bitmap.
+	ix.dels = nil
+	ix.publishLocked()
 }

@@ -48,6 +48,12 @@ type SearchOptions struct {
 	// retrieval return identical top-n hits (the property tests assert
 	// byte-identical IDs, scores, match counts and order).
 	DisablePruning bool
+	// DisableBlockMax keeps top-n pruning but ignores the per-block maxima:
+	// candidate bound checks fall back to the list-wide per-term bounds and
+	// whole-block skips are off — the index-wide MaxScore strategy that
+	// preceded the segmented format. Benchmarking aid for isolating the
+	// block-max contribution; results stay identical either way.
+	DisableBlockMax bool
 }
 
 // SearchInfo reports one search's work counters — the observability payload
@@ -59,12 +65,15 @@ type SearchInfo struct {
 	// PostingsTouched counts postings iterated while scoring (including
 	// tombstone checks on deleted documents).
 	PostingsTouched int
-	// PostingsSkipped counts postings jumped over by MaxScore pruning seeks
-	// without being scored.
+	// PostingsSkipped counts postings jumped over by pruning seeks without
+	// being scored, including every posting of a block bypassed undecoded.
 	PostingsSkipped int
-	// DocsPruned counts candidate documents abandoned by the MaxScore bound
-	// check before full scoring.
+	// DocsPruned counts candidate documents (or, for whole-block skips,
+	// candidate blocks) abandoned by the bound checks before full scoring.
 	DocsPruned int
+	// BlocksSkipped counts postings blocks bypassed without being decoded,
+	// by block-max seeks or the block-level bound check.
+	BlocksSkipped int
 	// Pruned reports whether MaxScore pruning was armed for this search
 	// (top-n requested, MinShouldMatch <= 1, pruning enabled, and at least
 	// one term with usable bounds). False implies exhaustive scoring.
@@ -87,114 +96,297 @@ func (ix *Index) SearchTerms(terms []string, n int, opts SearchOptions) []Hit {
 	return hits
 }
 
-// termCursor walks one term's postings list during the document-at-a-time
-// merge. Postings are doc-ordinal-sorted (Add appends monotonically
-// increasing ordinals and Compact preserves relative order), so the cursor
-// only ever moves forward.
-type termCursor struct {
-	ti       int // index into the deduplicated query term list
-	idf      float64
-	ub       float64 // query-time upper bound on the per-doc contribution (+Inf when unavailable)
-	postings []posting
-	i        int
+// cursorSrc walks one term's postings within one source — an immutable
+// segment (block-at-a-time, decoding lazily so bypassed blocks are never
+// touched) or the mutable head (a plain postings slice). Sources of one
+// term cover disjoint, ascending global-ordinal spans, so a termCursor
+// consumes them strictly in order.
+type cursorSrc struct {
+	// Segment source (seg != nil):
+	seg *segment
+	st  *segTerm
+	blk int  // current block
+	dec decBlock
+	on  bool // current block decoded into dec
+
+	// Head source (seg == nil):
+	hd    *head
+	hbase int32
+	hpost []posting
+
+	// Shared:
+	i  int     // index into dec (segment) or hpost (head)
+	ub float64 // this source's query-time upper bound
 }
 
-// cur returns the doc ordinal under the cursor, or -1 when exhausted.
-func (c *termCursor) cur() int32 {
-	if c.i < len(c.postings) {
-		return c.postings[c.i].doc
+func (s *cursorSrc) done() bool {
+	if s.seg != nil {
+		return s.blk >= len(s.st.blocks)
+	}
+	return s.i >= len(s.hpost)
+}
+
+// cur returns the global ordinal under the source, or -1 when exhausted.
+// An undecoded block reports its first document — exact, because blocks
+// start on document boundaries — so the DAAT merge can pick candidates
+// without forcing a decode.
+func (s *cursorSrc) cur() int32 {
+	if s.seg != nil {
+		if s.blk >= len(s.st.blocks) {
+			return -1
+		}
+		if s.on {
+			return s.dec.globals[s.i]
+		}
+		return s.st.blocks[s.blk].firstOrd
+	}
+	if s.i < len(s.hpost) {
+		return s.hbase + s.hpost[s.i].doc
 	}
 	return -1
 }
 
-// seek advances the cursor to the first posting with doc >= d (galloping
-// then binary-searching, so long jumps cost O(log skip)) and returns the
-// number of postings jumped over without being scored.
-func (c *termCursor) seek(d int32) int {
-	start := c.i
-	if c.i >= len(c.postings) || c.postings[c.i].doc >= d {
-		return 0
-	}
-	// Gallop to bracket the target, then binary search within the bracket.
-	lo, hi := c.i, len(c.postings) // invariant: postings[lo].doc < d
-	step := 1
-	for lo+step < len(c.postings) && c.postings[lo+step].doc < d {
-		lo += step
-		step *= 2
-	}
-	if lo+step < hi {
-		hi = lo + step // postings[hi].doc >= d
-	}
-	for lo+1 < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if c.postings[mid].doc < d {
-			lo = mid
-		} else {
-			hi = mid
+// curLocal returns the local ordinal under the source (caller ensures the
+// source is not exhausted).
+func (s *cursorSrc) curLocal() int32 {
+	if s.seg != nil {
+		if s.on {
+			return s.dec.locals[s.i]
 		}
+		return s.st.blocks[s.blk].firstLocal
 	}
-	c.i = hi
-	return c.i - start
+	return s.hpost[s.i].doc
 }
 
-// scoreDoc sums the contributions of every posting of document d (the
-// cursor must be positioned on d), advancing past them. Postings of one
-// term are summed in postings order — the canonical accumulation the
-// exhaustive and pruned paths share, and the grouping Explain uses, so all
-// three produce bit-identical scores. Positions are appended to posOut when
-// non-nil.
-func (c *termCursor) scoreDoc(ix *Index, d int32, bm25 bool, k1, b float64, avgLen []float64, posOut *[]int32) (sum float64, touched int) {
-	for c.i < len(c.postings) && c.postings[c.i].doc == d {
-		p := &c.postings[c.i]
-		sum += ix.contribution(*p, c.idf, bm25, k1, b, avgLen)
+// load decodes the current block (segment sources only).
+func (s *cursorSrc) load() {
+	if s.seg == nil || s.on {
+		return
+	}
+	s.seg.loadBlock(s.st, s.blk, &s.dec)
+	s.on = true
+	s.i = 0
+}
+
+// bump keeps the invariant that a decoded block always has entries left:
+// when the cursor consumes a block's last posting it advances to the next
+// block, undecoded.
+func (s *cursorSrc) bump() {
+	if s.on && s.i >= len(s.dec.globals) {
+		s.blk++
+		s.on = false
+		s.i = 0
+	}
+}
+
+// skipBlock abandons the current block without decoding it (caller ensures
+// it is undecoded), counting its postings as skipped.
+func (s *cursorSrc) skipBlock(info *SearchInfo) {
+	info.PostingsSkipped += int(s.st.blocks[s.blk].count)
+	info.BlocksSkipped++
+	s.blk++
+	s.i = 0
+}
+
+// seek advances the source to the first posting with global ordinal >= d.
+// Whole blocks whose lastOrd < d are bypassed without decoding; a block
+// whose span merely brackets d is decoded only when d lies strictly inside
+// it (when firstOrd >= d the cursor parks at the block start, still
+// undecoded — the common case when d is absent from this list).
+func (s *cursorSrc) seek(d int32, info *SearchInfo) {
+	if s.seg == nil {
+		// Head: gallop then binary search, as postings are local-doc-sorted.
+		ld := d - s.hbase
+		if s.i >= len(s.hpost) || s.hpost[s.i].doc >= ld {
+			return
+		}
+		start := s.i
+		lo, hi := s.i, len(s.hpost) // invariant: hpost[lo].doc < ld
+		step := 1
+		for lo+step < len(s.hpost) && s.hpost[lo+step].doc < ld {
+			lo += step
+			step *= 2
+		}
+		if lo+step < hi {
+			hi = lo + step
+		}
+		for lo+1 < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if s.hpost[mid].doc < ld {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		s.i = hi
+		info.PostingsSkipped += s.i - start
+		return
+	}
+	for s.blk < len(s.st.blocks) {
+		bm := &s.st.blocks[s.blk]
+		if bm.lastOrd < d {
+			if s.on {
+				info.PostingsSkipped += len(s.dec.globals) - s.i
+				s.on = false
+				s.i = 0
+				s.blk++
+			} else {
+				s.skipBlock(info)
+			}
+			continue
+		}
+		if !s.on && bm.firstOrd >= d {
+			return
+		}
+		s.load()
+		start := s.i
+		for s.i < len(s.dec.globals) && s.dec.globals[s.i] < d {
+			s.i++
+		}
+		info.PostingsSkipped += s.i - start
+		s.bump()
+		return
+	}
+}
+
+// scoreDoc sums the contributions of every posting of document d (global
+// ordinal; the source must be positioned on d), advancing past them.
+// Postings of one term are summed in postings order — the canonical
+// accumulation the exhaustive and pruned paths share, and the grouping
+// Explain uses, so all three produce bit-identical scores.
+func (s *cursorSrc) scoreDoc(sn *snapshot, d int32, idf float64, bm25 bool, k1, b float64, avgLen []float64, posOut *[]int32) (sum float64, touched int) {
+	if s.seg != nil {
+		s.load()
+		for s.i < len(s.dec.globals) && s.dec.globals[s.i] == d {
+			f := s.dec.fields[s.i]
+			al := 0.0
+			if int(f) < len(avgLen) {
+				al = avgLen[f]
+			}
+			sum += contribution(sn.boost(f), s.seg.norm(f, s.dec.locals[s.i]), s.dec.freqs[s.i], idf, bm25, k1, b, al)
+			if posOut != nil {
+				*posOut = append(*posOut, s.dec.posBuf[s.dec.posOff[s.i]:s.dec.posOff[s.i+1]]...)
+			}
+			s.i++
+			touched++
+		}
+		s.bump()
+		return sum, touched
+	}
+	ld := d - s.hbase
+	for s.i < len(s.hpost) && s.hpost[s.i].doc == ld {
+		p := &s.hpost[s.i]
+		norm := 0.0
+		if int(p.field) < len(s.hd.norms) && s.hd.norms[p.field] != nil {
+			norm = float64(s.hd.norms[p.field][ld])
+		}
+		al := 0.0
+		if int(p.field) < len(avgLen) {
+			al = avgLen[p.field]
+		}
+		sum += contribution(sn.boost(p.field), norm, p.freq, idf, bm25, k1, b, al)
 		if posOut != nil {
 			*posOut = append(*posOut, p.positions...)
 		}
-		c.i++
+		s.i++
 		touched++
 	}
 	return sum, touched
 }
 
 // skipDoc advances past every posting of document d (used for tombstoned
-// documents) and returns how many were passed.
-func (c *termCursor) skipDoc(d int32) int {
+// and pruned documents) and returns how many were passed.
+func (s *cursorSrc) skipDoc(d int32) int {
 	n := 0
-	for c.i < len(c.postings) && c.postings[c.i].doc == d {
-		c.i++
+	if s.seg != nil {
+		s.load()
+		for s.i < len(s.dec.globals) && s.dec.globals[s.i] == d {
+			s.i++
+			n++
+		}
+		s.bump()
+		return n
+	}
+	ld := d - s.hbase
+	for s.i < len(s.hpost) && s.hpost[s.i].doc == ld {
+		s.i++
 		n++
 	}
 	return n
 }
 
-// queryUpperBound returns an upper bound on the term's per-document score
-// contribution under the given options, or +Inf when no sound bound is
-// available (entry loaded from a v1 index, or BM25 parameters outside the
-// provable range k1 >= 0, 0 <= b <= 1).
-func (e *termEntry) queryUpperBound(idf float64, bm25 bool, k1, b float64) float64 {
-	if !e.boundsOK() {
-		return math.Inf(1)
+// termCursor walks one term's postings across its sources during the
+// document-at-a-time merge. Sources cover disjoint ascending ordinal
+// spans, so the cursor only ever moves forward.
+type termCursor struct {
+	ti   int // index into the deduplicated query term list
+	idf  float64
+	ub   float64 // query-time upper bound across all sources (+Inf when unavailable)
+	srcs []cursorSrc
+	si   int
+}
+
+// cur returns the global ordinal under the cursor, or -1 when exhausted.
+func (c *termCursor) cur() int32 {
+	for c.si < len(c.srcs) {
+		if g := c.srcs[c.si].cur(); g >= 0 {
+			return g
+		}
+		c.si++
 	}
-	if !bm25 {
-		return idf * e.maxClassic
+	return -1
+}
+
+// curID returns the external ID of the document under the cursor.
+func (c *termCursor) curID() string {
+	s := &c.srcs[c.si]
+	if s.seg != nil {
+		return s.seg.docIDs[s.curLocal()]
 	}
-	if k1 < 0 || b < 0 || b > 1 {
-		return math.Inf(1)
+	return s.hd.docIDs[s.curLocal()]
+}
+
+// ubAtCur bounds the cursor's contribution to the document under it: the
+// current block's block-max bound for segment sources (strictly tighter
+// than the list-wide bound on skewed lists), the source bound otherwise.
+// blockMax false falls back to the list-wide source bound.
+func (c *termCursor) ubAtCur(blockMax, bm25 bool, k1, b float64) float64 {
+	s := &c.srcs[c.si]
+	if blockMax && s.seg != nil && !math.IsInf(s.ub, 1) {
+		return blockUpperBound(&s.st.blocks[s.blk], c.idf, bm25, k1, b)
 	}
-	// tfPart = freq·(k1+1)/(freq + k1·denom) with denom >= 1-b >= 0, and it
-	// is increasing in freq, so maxFreq caps it (see DESIGN.md "Candidate
-	// extraction" for the full bound argument).
-	mf := float64(e.maxFreq)
-	tfB := mf * (k1 + 1) / (mf + k1*(1-b))
-	return idf * e.maxBoostSum * tfB
+	return s.ub
+}
+
+// seek advances the cursor to the first posting with global ordinal >= d,
+// accounting skipped postings and blocks to info.
+func (c *termCursor) seek(d int32, info *SearchInfo) {
+	for c.si < len(c.srcs) {
+		s := &c.srcs[c.si]
+		s.seek(d, info)
+		if !s.done() {
+			return
+		}
+		c.si++
+	}
+}
+
+func (c *termCursor) scoreDoc(sn *snapshot, d int32, bm25 bool, k1, b float64, avgLen []float64, posOut *[]int32) (float64, int) {
+	return c.srcs[c.si].scoreDoc(sn, d, c.idf, bm25, k1, b, avgLen, posOut)
+}
+
+func (c *termCursor) skipDoc(d int32) int {
+	return c.srcs[c.si].skipDoc(d)
 }
 
 // searchScratch holds every per-search buffer the document-at-a-time merge
 // needs, pooled across searches so the steady state allocates nothing but
-// the result slice. Buffers are sized to the query (terms, top-n), not the
-// corpus — DAAT never materializes per-document accumulators.
+// the result slice. Buffers are sized to the query (terms, top-n, touched
+// blocks), not the corpus — DAAT never materializes per-document
+// accumulators.
 type searchScratch struct {
 	uniq       []string
+	srcArena   []cursorSrc // backing store for every cursor's sources (decode buffers reused)
 	cursors    []termCursor
 	order      []int     // cursor indices sorted by ascending upper bound
 	prefix     []float64 // prefix[j] = Σ ub of order[0..j-1]
@@ -203,17 +395,23 @@ type searchScratch struct {
 	matchedTI  []int     // term indices matched in the current doc
 	pos        [][]int32 // per term index: positions in the current doc
 	lists      [][]int32 // minSpanLists input scratch
+	avgLen     []float64 // per-field BM25 average lengths for this search
 	heap       hitHeap
 }
 
 var scratchPool = sync.Pool{New: func() any { return &searchScratch{} }}
 
 // release returns the scratch to the pool, dropping references into the
-// index (postings slices) and result IDs so a pooled scratch never pins a
-// discarded index generation.
+// index (segments, head postings) and result IDs so a pooled scratch never
+// pins a discarded index generation — only the decode buffers survive.
 func (sc *searchScratch) release() {
+	arena := sc.srcArena[:cap(sc.srcArena)]
+	for i := range arena {
+		arena[i] = cursorSrc{dec: arena[i].dec}
+	}
+	sc.srcArena = arena
 	for i := range sc.cursors {
-		sc.cursors[i].postings = nil
+		sc.cursors[i].srcs = nil
 	}
 	sc.cursors = sc.cursors[:0]
 	full := sc.heap[:cap(sc.heap)]
@@ -258,16 +456,20 @@ func boundSlack(s float64) float64 {
 
 // SearchTermsStats is SearchTerms returning the search's work counters.
 //
-// The scorer is a document-at-a-time merge over the per-term postings lists
-// with MaxScore top-n pruning: terms are ordered by their maximum possible
-// per-document contribution (maintained at index time), and once the top-n
-// heap is full, documents that can only appear in low-bound ("non-
-// essential") lists whose summed bounds — adjusted for the coordination
-// factor and proximity bonus — cannot beat the current heap threshold are
-// skipped without being scored. Pruned and exhaustive retrieval return
-// identical hits. Pruning disarms (exhaustive scoring through the same
-// merge) when n <= 0, MinShouldMatch > 1, DisablePruning is set, or no term
-// has usable bounds (v1 persisted index before a Compact).
+// The scorer runs against an immutable snapshot (one atomic pointer load;
+// the head is read under its RWMutex only when it holds live documents, so
+// a flushed index has a lock-free read path). Per term it merges the
+// segment streams and the head into one document-at-a-time cursor, with
+// MaxScore top-n pruning upgraded to block-max: terms are ordered by their
+// maximum possible per-document contribution, non-essential lists (whose
+// summed bounds cannot beat the heap threshold) are only probed by seeks
+// that bypass whole undecoded blocks, and candidates from essential lists
+// are pre-checked against their current blocks' bounds — when a lone
+// essential block cannot beat the threshold it is skipped without ever
+// being decoded. Pruned and exhaustive retrieval return identical hits.
+// Pruning disarms (exhaustive scoring through the same merge) when n <= 0,
+// MinShouldMatch > 1, DisablePruning is set, or no term has usable bounds
+// (v1 persisted index before a flush or Compact re-arms them).
 func (ix *Index) SearchTermsStats(terms []string, n int, opts SearchOptions) ([]Hit, SearchInfo) {
 	var info SearchInfo
 	sc := scratchPool.Get().(*searchScratch)
@@ -295,17 +497,22 @@ func (ix *Index) SearchTermsStats(terms []string, n int, opts SearchOptions) ([]
 		return nil, info
 	}
 
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-
-	if ix.live == 0 {
+	live := ix.live.Load()
+	if live == 0 {
 		return nil, info
+	}
+	sn := ix.snap.Load()
+	hd := sn.hd
+	headOn := hd.nlive.Load() > 0
+	if headOn {
+		hd.mu.RLock()
+		defer hd.mu.RUnlock()
 	}
 
 	k1, b := opts.bm25Params()
 	var avgLen []float64
 	if opts.BM25 {
-		avgLen = ix.avgFieldLens()
+		avgLen = ix.avgFieldLens(sn, headOn, sc)
 	}
 
 	numTerms := len(uniq)
@@ -323,20 +530,76 @@ func (ix *Index) SearchTermsStats(terms []string, n int, opts SearchOptions) ([]
 		proxCap = w
 	}
 
-	// Build one cursor per term that hits the dictionary.
+	// Build one cursor per term that hits the dictionary, each spanning the
+	// term's segment streams (in ordinal-span order) plus the head. Two
+	// passes: size the source arena exactly, then fill it, so the cursors'
+	// sub-slices stay valid.
+	totalSrc := 0
+	for _, term := range uniq {
+		for _, sg := range sn.segs {
+			if _, ok := sg.terms[term]; ok {
+				totalSrc++
+			}
+		}
+		if headOn {
+			if e, ok := hd.terms[term]; ok && len(e.postings) > 0 {
+				totalSrc++
+			}
+		}
+	}
+	arena := sc.srcArena
+	if cap(arena) < totalSrc {
+		na := make([]cursorSrc, totalSrc)
+		copy(na, arena[:cap(arena)])
+		arena = na
+	}
+	arena = arena[:totalSrc]
+	sc.srcArena = arena
+
 	cursors := sc.cursors[:0]
+	pos := 0
 	for ti, term := range uniq {
-		e, ok := ix.terms[term]
-		if !ok || e.df == 0 {
+		start := pos
+		df := -sn.dfDel[term]
+		for _, sg := range sn.segs {
+			if st, ok := sg.terms[term]; ok {
+				df += st.df
+				s := &arena[pos]
+				*s = cursorSrc{dec: s.dec, seg: sg, st: st}
+				s.dec.skipPos = !proxOn // positions never read: don't materialize them
+				pos++
+			}
+		}
+		var hent *termEntry
+		if headOn {
+			if e, ok := hd.terms[term]; ok {
+				df += e.df
+				if len(e.postings) > 0 {
+					hent = e
+					s := &arena[pos]
+					*s = cursorSrc{dec: s.dec, hd: hd, hbase: hd.base, hpost: e.postings}
+					pos++
+				}
+			}
+		}
+		if df <= 0 || pos == start {
+			pos = start
 			continue
 		}
-		idf := ix.idf(e.df, opts.BM25)
-		cursors = append(cursors, termCursor{
-			ti:       ti,
-			idf:      idf,
-			ub:       e.queryUpperBound(idf, opts.BM25, k1, b),
-			postings: e.postings,
-		})
+		idf := idfValue(float64(live), df, opts.BM25)
+		ub := math.Inf(-1)
+		for i := start; i < pos; i++ {
+			s := &arena[i]
+			if s.seg != nil {
+				s.ub = s.st.queryUpperBound(idf, opts.BM25, k1, b)
+			} else {
+				s.ub = hent.queryUpperBound(idf, opts.BM25, k1, b)
+			}
+			if s.ub > ub {
+				ub = s.ub
+			}
+		}
+		cursors = append(cursors, termCursor{ti: ti, idf: idf, ub: ub, srcs: arena[start:pos]})
 	}
 	sc.cursors = cursors
 	info.TermsScored = len(cursors)
@@ -444,6 +707,7 @@ func (ix *Index) SearchTermsStats(terms []string, n int, opts SearchOptions) ([]
 	// once per search, not once per candidate document.
 	var (
 		d         int32
+		dID       string
 		m         int
 		boundBase float64 // running contribution sum, for bound checks only
 	)
@@ -454,7 +718,7 @@ func (ix *Index) SearchTermsStats(terms []string, n int, opts SearchOptions) ([]
 			sc.pos[c.ti] = sc.pos[c.ti][:0]
 			posOut = &sc.pos[c.ti]
 		}
-		s, touched := c.scoreDoc(ix, d, opts.BM25, k1, b, avgLen, posOut)
+		s, touched := c.scoreDoc(sn, d, opts.BM25, k1, b, avgLen, posOut)
 		info.PostingsTouched += touched
 		sc.perTermC[c.ti] = s
 		sc.perTermHit[c.ti] = true
@@ -468,21 +732,75 @@ func (ix *Index) SearchTermsStats(terms []string, n int, opts SearchOptions) ([]
 		// every essential list is exhausted, all remaining docs live only
 		// in non-essential lists and are provably below the threshold.
 		d = -1
+		minOi := -1
 		for _, oi := range order[firstEss:] {
 			if doc := cursors[oi].cur(); doc >= 0 && (d < 0 || doc < d) {
 				d = doc
+				minOi = oi
 			}
 		}
 		if d < 0 {
 			break
 		}
-		if ix.deleted[d] {
+		if sn.dels.get(d) {
 			for _, oi := range order[firstEss:] {
 				if cursors[oi].cur() == d {
 					info.PostingsTouched += cursors[oi].skipDoc(d)
 				}
 			}
 			continue
+		}
+		dID = cursors[minOi].curID()
+
+		// Block-max pre-check: before decoding or scoring anything, bound
+		// the candidate by its essential cursors' current blocks plus the
+		// non-essential prefix. When the bound cannot beat the threshold,
+		// shallow-advance (the BMW move): the same bound stays valid up to
+		// the nearest current-block end and up to just before the next
+		// other-essential cursor, so every cursor at d jumps there in one
+		// seek — bypassed blocks are never decoded. Ties defer to the exact
+		// per-document path so the heap stays bit-identical to exhaustive.
+		if info.Pruned && n > 0 && len(*h) >= n {
+			essUB := prefix[firstEss]
+			cnt := firstEss
+			atD := 0
+			shallow := int32(math.MaxInt32 - 1)
+			for _, oi := range order[firstEss:] {
+				c := &cursors[oi]
+				cc := c.cur()
+				if cc == d {
+					essUB += c.ubAtCur(!opts.DisableBlockMax, opts.BM25, k1, b)
+					cnt++
+					atD++
+					if s := &c.srcs[c.si]; s.seg != nil {
+						// The block bound only covers this block's docs.
+						if last := s.st.blocks[s.blk].lastOrd; last < shallow {
+							shallow = last
+						}
+					}
+				} else if cc >= 0 && cc-1 < shallow {
+					// Beyond cc another essential list joins in; the bound
+					// no longer covers the combination.
+					shallow = cc - 1
+				}
+			}
+			if !canEnter(Hit{ID: dID, Score: boundFinal(essUB, cnt)}) {
+				info.DocsPruned++
+				if !opts.DisableBlockMax && shallow > d && boundFinal(essUB, cnt) < (*h)[0].Score {
+					for _, oi := range order[firstEss:] {
+						if cursors[oi].cur() == d {
+							cursors[oi].seek(shallow+1, &info)
+						}
+					}
+					continue
+				}
+				for _, oi := range order[firstEss:] {
+					if cursors[oi].cur() == d {
+						info.PostingsSkipped += cursors[oi].skipDoc(d)
+					}
+				}
+				continue
+			}
 		}
 
 		m, boundBase = 0, 0
@@ -495,19 +813,20 @@ func (ix *Index) SearchTermsStats(terms []string, n int, opts SearchOptions) ([]
 
 		// Probe the non-essential lists, highest bound first, abandoning
 		// the document as soon as its best possible final score cannot
-		// enter the heap.
+		// enter the heap. Seeks bypass whole undecoded blocks; a list whose
+		// current block does not span d is never decoded at all.
 		abandoned := false
 		if firstEss > 0 && n > 0 && len(*h) >= n {
-			if !canEnter(Hit{ID: ix.docIDs[d], Score: boundFinal(boundBase+prefix[firstEss], m+firstEss)}) {
+			if !canEnter(Hit{ID: dID, Score: boundFinal(boundBase+prefix[firstEss], m+firstEss)}) {
 				abandoned = true
 			} else {
 				for i := firstEss - 1; i >= 0; i-- {
 					c := &cursors[order[i]]
-					info.PostingsSkipped += c.seek(d)
+					c.seek(d, &info)
 					if c.cur() == d {
 						score(c)
 					}
-					if !canEnter(Hit{ID: ix.docIDs[d], Score: boundFinal(boundBase+prefix[i], m+i)}) {
+					if !canEnter(Hit{ID: dID, Score: boundFinal(boundBase+prefix[i], m+i)}) {
 						abandoned = true
 						break
 					}
@@ -519,7 +838,7 @@ func (ix *Index) SearchTermsStats(terms []string, n int, opts SearchOptions) ([]
 		} else {
 			for i := firstEss - 1; i >= 0; i-- {
 				c := &cursors[order[i]]
-				info.PostingsSkipped += c.seek(d)
+				c.seek(d, &info)
 				if c.cur() == d {
 					score(c)
 				}
@@ -551,7 +870,7 @@ func (ix *Index) SearchTermsStats(terms []string, n int, opts SearchOptions) ([]
 			if !opts.DisableCoord {
 				s *= float64(m) / float64(numTerms)
 			}
-			push(Hit{ID: ix.docIDs[d], Score: s, TermsMatched: m})
+			push(Hit{ID: dID, Score: s, TermsMatched: m})
 			advanceBoundary()
 		}
 		for _, ti := range mts {
@@ -574,8 +893,7 @@ func (ix *Index) SearchTermsStats(terms []string, n int, opts SearchOptions) ([]
 	return out, info
 }
 
-// publish feeds one search's counters to the metrics hook. Caller holds at
-// least the read lock.
+// publish feeds one search's counters to the metrics hook.
 func (ix *Index) publish(info SearchInfo) {
 	if ix.met == nil {
 		return
@@ -585,6 +903,7 @@ func (ix *Index) publish(info SearchInfo) {
 	ix.met.PostingsTouched.Add(uint64(info.PostingsTouched))
 	ix.met.PostingsSkipped.Add(uint64(info.PostingsSkipped))
 	ix.met.DocsPruned.Add(uint64(info.DocsPruned))
+	ix.met.BlocksSkipped.Add(uint64(info.BlocksSkipped))
 }
 
 // bm25Params resolves the BM25 tuning parameters with their defaults.
@@ -599,64 +918,71 @@ func (o SearchOptions) bm25Params() (k1, b float64) {
 	return k1, b
 }
 
-// avgFieldLens returns the per-field average token length over live
-// documents, recovered from the stored norms (norm = 1/sqrt(len)). The
-// result is cached on the index and invalidated by every mutation, so BM25
-// searches skip the O(numDocs·fields) scan in the steady state. Caller
-// holds at least the read lock; the returned slice is shared and must not
-// be mutated.
-func (ix *Index) avgFieldLens() []float64 {
-	ix.avgLenMu.Lock()
-	defer ix.avgLenMu.Unlock()
-	if ix.avgLensOK && len(ix.avgLens) == len(ix.norms) {
-		return ix.avgLens
+// avgFieldLens computes the per-field average token length over the
+// snapshot's live documents, recovered from the stored norms
+// (norm = 1/sqrt(len)). The segment aggregates are computed once per
+// snapshot (so a concurrent flush or merge can never bleed another
+// generation's averages into a running BM25 search); the head portion is
+// re-scanned per search — the head is small by construction. The result
+// lives in the search's scratch buffer.
+func (ix *Index) avgFieldLens(sn *snapshot, headOn bool, sc *searchScratch) []float64 {
+	segSum, segCnt := sn.segLens()
+	nf := len(sn.fieldNames)
+	if len(segSum) > nf {
+		nf = len(segSum)
 	}
-	avgLen := make([]float64, len(ix.norms))
-	for f, col := range ix.norms {
-		total, n := 0.0, 0
-		for doc, norm := range col {
-			if norm > 0 && !ix.deleted[doc] {
-				total += 1 / float64(norm) / float64(norm)
-				n++
+	avgLen := growFloats(sc.avgLen, nf)
+	for i := range avgLen {
+		avgLen[i] = 0
+	}
+	sc.avgLen = avgLen
+	hd := sn.hd
+	for f := 0; f < nf; f++ {
+		total, cnt := 0.0, int64(0)
+		if f < len(segSum) {
+			total, cnt = segSum[f], segCnt[f]
+		}
+		if headOn && f < len(hd.norms) {
+			for local, norm := range hd.norms[f] {
+				if norm > 0 && !hd.deleted[local] {
+					total += 1 / float64(norm) / float64(norm)
+					cnt++
+				}
 			}
 		}
-		if n > 0 {
-			avgLen[f] = total / float64(n)
+		if cnt > 0 {
+			avgLen[f] = total / float64(cnt)
 		}
 	}
-	ix.avgLens = avgLen
-	ix.avgLensOK = true
 	return avgLen
 }
 
-// idf returns the inverse document frequency of a term with df live
-// postings, in the classic or BM25 formulation. Caller holds a lock.
-func (ix *Index) idf(df int32, bm25 bool) float64 {
-	n := float64(ix.live)
+// idfValue returns the inverse document frequency of a term with df live
+// postings among n live documents, in the classic or BM25 formulation.
+func idfValue(n float64, df int32, bm25 bool) float64 {
 	if bm25 {
 		return math.Log(1 + (n-float64(df)+0.5)/(float64(df)+0.5))
 	}
 	return 1 + math.Log(n/float64(df+1))
 }
 
-// contribution scores one posting: the per-term, per-field score fragment
-// summed into a document's total by the merge and itemized by Explain.
-// avgLen is only consulted when bm25 is set. Caller holds a lock.
-func (ix *Index) contribution(p posting, idf float64, bm25 bool, k1, b float64, avgLen []float64) float64 {
-	norm := float64(ix.norms[p.field][p.doc])
+// contribution scores one posting occurrence: the per-term, per-field score
+// fragment summed into a document's total by the merge and itemized by
+// Explain. avgLen is the field's average length, only consulted under BM25.
+func contribution(boost, norm float64, freq int32, idf float64, bm25 bool, k1, b, avgLen float64) float64 {
 	if bm25 {
 		fieldLen := 0.0
 		if norm > 0 {
 			fieldLen = 1 / norm / norm
 		}
 		denomNorm := 1.0
-		if avgLen[p.field] > 0 {
-			denomNorm = 1 - b + b*fieldLen/avgLen[p.field]
+		if avgLen > 0 {
+			denomNorm = 1 - b + b*fieldLen/avgLen
 		}
-		freq := float64(p.freq)
-		return ix.boost(p.field) * idf * freq * (k1 + 1) / (freq + k1*denomNorm)
+		f := float64(freq)
+		return boost * idf * f * (k1 + 1) / (f + k1*denomNorm)
 	}
-	return ix.boost(p.field) * math.Sqrt(float64(p.freq)) * idf * norm
+	return boost * math.Sqrt(float64(freq)) * idf * norm
 }
 
 // minSpanLists returns the smallest absolute distance between positions of
@@ -764,12 +1090,26 @@ type TermStats struct {
 // descending document frequency then term. Intended for diagnostics; it
 // allocates proportionally to the dictionary.
 func (ix *Index) Terms() []TermStats {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	out := make([]TermStats, 0, len(ix.terms))
-	for t, e := range ix.terms {
-		if e.df > 0 {
-			out = append(out, TermStats{Term: t, DocFreq: int(e.df)})
+	sn := ix.snap.Load()
+	dfs := make(map[string]int32)
+	for _, sg := range sn.segs {
+		for t, st := range sg.terms {
+			dfs[t] += st.df
+		}
+	}
+	for t, n := range sn.dfDel {
+		dfs[t] -= n
+	}
+	hd := sn.hd
+	hd.mu.RLock()
+	for t, e := range hd.terms {
+		dfs[t] += e.df
+	}
+	hd.mu.RUnlock()
+	out := make([]TermStats, 0, len(dfs))
+	for t, df := range dfs {
+		if df > 0 {
+			out = append(out, TermStats{Term: t, DocFreq: int(df)})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -813,45 +1153,115 @@ func (ix *Index) Explain(query string, id string, opts SearchOptions) *Explanati
 			uniq = append(uniq, t)
 		}
 	}
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+	ix.dmu.RLock()
 	ord, ok := ix.docMap[id]
-	if !ok || ix.deleted[ord] || ix.live == 0 || len(uniq) == 0 {
+	ix.dmu.RUnlock()
+	live := ix.live.Load()
+	if !ok || live == 0 || len(uniq) == 0 {
 		return nil
 	}
+	sn := ix.snap.Load()
+	hd := sn.hd
+	headOn := hd.nlive.Load() > 0
+	if headOn {
+		hd.mu.RLock()
+		defer hd.mu.RUnlock()
+	}
+
+	// Locate the document's source: the head, or the segment whose ordinal
+	// span contains it.
+	var (
+		inHead bool
+		sg     *segment
+		local  int32
+	)
+	if ord >= hd.base {
+		if !headOn {
+			return nil
+		}
+		inHead = true
+		local = ord - hd.base
+		if int(local) >= len(hd.docIDs) || hd.deleted[local] {
+			return nil
+		}
+	} else {
+		i := sort.Search(len(sn.segs), func(i int) bool { return sn.segs[i].maxOrd() >= ord })
+		if i >= len(sn.segs) {
+			return nil
+		}
+		sg = sn.segs[i]
+		local = sg.localOf(ord)
+		if local < 0 || sn.dels.get(ord) {
+			return nil
+		}
+	}
+
 	k1, b := opts.bm25Params()
 	var avgLen []float64
 	if opts.BM25 {
-		avgLen = ix.avgFieldLens()
+		sc := scratchPool.Get().(*searchScratch)
+		src := ix.avgFieldLens(sn, headOn, sc)
+		avgLen = append([]float64(nil), src...)
+		sc.release()
 	}
 	ex := &Explanation{ID: id, PerTerm: make(map[string]float64), TermsInNeed: len(uniq)}
 	var positions [][]int32 // per matched term, this doc's positions
 	for _, term := range uniq {
-		e, ok := ix.terms[term]
-		if !ok || e.df == 0 {
+		df := -sn.dfDel[term]
+		for _, s := range sn.segs {
+			if st, ok := s.terms[term]; ok {
+				df += st.df
+			}
+		}
+		if headOn {
+			if e, ok := hd.terms[term]; ok {
+				df += e.df
+			}
+		}
+		if df <= 0 {
 			continue
 		}
-		idf := ix.idf(e.df, opts.BM25)
-		contrib := 0.0
-		matched := false
-		var pos []int32
-		for _, p := range e.postings {
-			if p.doc != ord {
-				continue
+		idf := idfValue(float64(live), df, opts.BM25)
+		var ps []posting
+		if inHead {
+			if e, ok := hd.terms[term]; ok {
+				for i := range e.postings {
+					if e.postings[i].doc == local {
+						ps = append(ps, e.postings[i])
+					}
+				}
 			}
-			matched = true
-			contrib += ix.contribution(p, idf, opts.BM25, k1, b, avgLen)
+		} else if st, ok := sg.terms[term]; ok {
+			ps = sg.docPostings(st, local)
+		}
+		if len(ps) == 0 {
+			continue
+		}
+		contrib := 0.0
+		var pos []int32
+		for _, p := range ps {
+			norm := 0.0
+			if inHead {
+				if int(p.field) < len(hd.norms) && hd.norms[p.field] != nil {
+					norm = float64(hd.norms[p.field][local])
+				}
+			} else {
+				norm = sg.norm(p.field, local)
+			}
+			al := 0.0
+			if int(p.field) < len(avgLen) {
+				al = avgLen[p.field]
+			}
+			contrib += contribution(sn.boost(p.field), norm, p.freq, idf, opts.BM25, k1, b, al)
 			if opts.Proximity {
 				pos = append(pos, p.positions...)
 			}
 		}
-		if matched {
-			ex.PerTerm[term] = contrib
-			ex.Total += contrib
-			ex.TermsHit++
-			if len(pos) > 0 {
-				positions = append(positions, pos)
-			}
+		ex.PerTerm[term] = contrib
+		ex.Total += contrib
+		ex.TermsHit++
+		if len(pos) > 0 {
+			positions = append(positions, pos)
 		}
 	}
 	if ex.TermsHit == 0 {

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -80,19 +81,68 @@ var daatOptionGrid = []SearchOptions{
 	{BM25: true, MinShouldMatch: 3, Proximity: true},
 }
 
+// randTopoCorpus builds a corpus under a randomized segment topology:
+// random auto-flush thresholds and merge factors, explicit flush points,
+// merge schedules and deletions interleaved with the adds — so the
+// pruned-vs-exhaustive property is exercised across head-only, many-small-
+// segment, freshly-merged and tombstone-riddled index shapes alike.
+func randTopoCorpus(t *testing.T, rng *rand.Rand, numDocs int) (*Index, []string) {
+	t.Helper()
+	docs, vocab := randDocs(rng, numDocs)
+	var opts []Option
+	switch rng.Intn(3) {
+	case 0: // head-only: automatic flushing disabled
+		opts = append(opts, WithFlushDocs(-1))
+	case 1: // small auto-flush + aggressive merging
+		opts = append(opts, WithFlushDocs(8+rng.Intn(56)), WithMergeFactor(2+rng.Intn(7)))
+	case 2: // manual flush points only
+		opts = append(opts, WithFlushDocs(-1), WithMergeFactor(2+rng.Intn(7)))
+	}
+	if rng.Intn(4) == 0 {
+		opts = append(opts, WithCompression(false))
+	}
+	ix := New(opts...)
+	for i, d := range docs {
+		if err := ix.Add(d); err != nil {
+			t.Fatal(err)
+		}
+		if rng.Intn(40) == 0 {
+			ix.Flush()
+		}
+		if rng.Intn(80) == 0 {
+			ix.Maintain()
+		}
+		if i > 0 && rng.Intn(10) == 0 {
+			ix.Delete(fmt.Sprintf("d%04d", rng.Intn(i)))
+		}
+	}
+	if rng.Intn(4) == 0 {
+		ix.Flush()
+		ix.Maintain()
+	}
+	return ix, vocab
+}
+
 // TestPrunedMatchesExhaustiveRandomized is the tentpole property: across
-// random corpora (with deletions), random queries, every SearchOptions
-// combination and a spread of top-n limits, MaxScore-pruned retrieval is
-// byte-identical — IDs, scores, TermsMatched, order — to exhaustive
-// document-at-a-time scoring.
+// random corpora (with deletions), randomized segment topologies (random
+// flush points, merge schedules, interleaved deletes), random queries,
+// every SearchOptions combination and a spread of top-n limits, block-max
+// pruned retrieval is byte-identical — IDs, scores, TermsMatched, order —
+// to exhaustive document-at-a-time scoring.
 func TestPrunedMatchesExhaustiveRandomized(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	totalPruned, totalSkipped := 0, 0
-	for round := 0; round < 8; round++ {
-		ix, vocab := randCorpus(t, rng, 120+rng.Intn(200))
+	totalPruned, totalSkipped, totalBlocks := 0, 0, 0
+	for round := 0; round < 10; round++ {
+		var ix *Index
+		var vocab []string
+		if round < 2 {
+			ix, vocab = randCorpus(t, rng, 120+rng.Intn(200)) // pure head
+		} else {
+			ix, vocab = randTopoCorpus(t, rng, 120+rng.Intn(200))
+		}
 		// Tombstone ~20% of documents so pruning runs over stale-high
 		// bounds and deleted ordinals.
-		for i := 0; i < ix.NumDocs(); i++ {
+		for i := 0; i < 320; i++ {
 			if rng.Intn(5) == 0 {
 				ix.Delete(fmt.Sprintf("d%04d", i))
 			}
@@ -109,18 +159,22 @@ func TestPrunedMatchesExhaustiveRandomized(t *testing.T) {
 						t.Fatalf("round %d query %v opts %+v n=%d:\npruned     %+v\nexhaustive %+v",
 							round, terms, opts, n, pruned, exhaustive)
 					}
-					if einfo.Pruned || einfo.PostingsSkipped != 0 || einfo.DocsPruned != 0 {
+					if einfo.Pruned || einfo.PostingsSkipped != 0 || einfo.DocsPruned != 0 || einfo.BlocksSkipped != 0 {
 						t.Fatalf("exhaustive search reported pruning work: %+v", einfo)
 					}
 					totalPruned += pinfo.DocsPruned
 					totalSkipped += pinfo.PostingsSkipped
+					totalBlocks += pinfo.BlocksSkipped
 				}
 			}
 		}
 	}
 	// The property is vacuous if pruning never triggered.
 	if totalPruned == 0 && totalSkipped == 0 {
-		t.Fatal("MaxScore pruning never pruned a document or skipped a posting across all rounds")
+		t.Fatal("pruning never pruned a document or skipped a posting across all rounds")
+	}
+	if totalBlocks == 0 {
+		t.Fatal("block-max pruning never skipped a whole block across all rounds")
 	}
 }
 
@@ -193,22 +247,38 @@ func TestDeleteScoresMatchFreshIndex(t *testing.T) {
 	}
 }
 
-// TestPersistV2RoundTripBounds asserts format v2 carries the MaxScore
-// bounds through Save/Load: the loaded index prunes, with results identical
-// to the source.
+// writeLegacyFixture writes a legacy v2 file for the format-compatibility
+// tests (Save itself now emits v3).
+func writeLegacyFixture(t *testing.T, ix *Index, path string) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.writeLegacyV2(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPersistV2RoundTripBounds asserts format v2 files still carry the
+// MaxScore bounds through Load: the loaded index prunes, with results
+// identical to the source.
 func TestPersistV2RoundTripBounds(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	ix, vocab := randCorpus(t, rng, 100)
 	path := filepath.Join(t.TempDir(), "ix.v2")
-	if err := ix.Save(path); err != nil {
-		t.Fatal(err)
-	}
+	writeLegacyFixture(t, ix, path)
 	loaded, err := Load(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for term, e := range ix.terms {
-		le, ok := loaded.terms[term]
+	srcHd := ix.snap.Load().hd
+	loadedHd := loaded.snap.Load().hd
+	for term, e := range srcHd.terms {
+		le, ok := loadedHd.terms[term]
 		if !ok {
 			t.Fatalf("term %q missing after load", term)
 		}
@@ -231,6 +301,66 @@ func TestPersistV2RoundTripBounds(t *testing.T) {
 	}
 }
 
+// TestPersistV3RoundTrip asserts the segmented v3 format round-trips a
+// multi-segment index with tombstones: identical searches, df, live count
+// and pruning behavior after Load.
+func TestPersistV3RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	ix, vocab := randCorpus(t, rng, 150)
+	ix.Flush()
+	for i := 0; i < 150; i += 7 {
+		ix.Delete(fmt.Sprintf("d%04d", i))
+	}
+	// Leave a dirty state on purpose: one segment with tombstones plus a
+	// fresh head. WriteTo must persist it verbatim (no Compact).
+	docs, _ := randDocs(rng, 30)
+	for i, d := range docs {
+		d.ID = fmt.Sprintf("x%04d", i)
+		if err := ix.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded := New()
+	if _, err := loaded.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumDocs() != ix.NumDocs() {
+		t.Fatalf("NumDocs: got %d want %d", loaded.NumDocs(), ix.NumDocs())
+	}
+	if loaded.NumSegments() != ix.NumSegments() {
+		t.Fatalf("NumSegments: got %d want %d", loaded.NumSegments(), ix.NumSegments())
+	}
+	for _, term := range vocab {
+		if got, want := loaded.DocFreq(term), ix.DocFreq(term); got != want {
+			t.Fatalf("DocFreq(%q): got %d want %d", term, got, want)
+		}
+	}
+	for q := 0; q < 10; q++ {
+		terms := randQuery(rng, vocab)
+		for _, opts := range []SearchOptions{{}, {BM25: true}, {Proximity: true}} {
+			got, ginfo := loaded.SearchTermsStats(terms, 10, opts)
+			want, winfo := ix.SearchTermsStats(terms, 10, opts)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("query %v opts %+v:\nloaded %+v\nsource %+v", terms, opts, got, want)
+			}
+			if ginfo.Pruned != winfo.Pruned {
+				t.Fatalf("query %v: pruning armed %v on loaded, %v on source", terms, ginfo.Pruned, winfo.Pruned)
+			}
+		}
+	}
+	// The loaded index must accept further mutations.
+	if err := loaded.Add(doc("fresh", "fresh doc", "", vocab[0])); err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Has("fresh") {
+		t.Fatal("added doc missing after v3 load")
+	}
+}
+
 // TestPersistV1FallsBackToExhaustive simulates a v1 index file (the magic
 // strings are the same length, so rewriting the header yields a valid v1
 // stream as written by the previous format): loading must succeed with
@@ -241,17 +371,15 @@ func TestPersistV1FallsBackToExhaustive(t *testing.T) {
 	ix, vocab := randCorpus(t, rng, 100)
 	dir := t.TempDir()
 	v2path := filepath.Join(dir, "ix.v2")
-	if err := ix.Save(v2path); err != nil {
-		t.Fatal(err)
-	}
+	writeLegacyFixture(t, ix, v2path)
 	raw, err := os.ReadFile(v2path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.HasPrefix(raw, []byte(indexMagic)) {
-		t.Fatalf("saved file does not start with v2 magic")
+	if !bytes.HasPrefix(raw, []byte(indexMagicV2)) {
+		t.Fatalf("fixture file does not start with v2 magic")
 	}
-	v1raw := append([]byte(indexMagicV1), raw[len(indexMagic):]...)
+	v1raw := append([]byte(indexMagicV1), raw[len(indexMagicV2):]...)
 	v1path := filepath.Join(dir, "ix.v1")
 	if err := os.WriteFile(v1path, v1raw, 0o644); err != nil {
 		t.Fatal(err)
@@ -260,7 +388,7 @@ func TestPersistV1FallsBackToExhaustive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for term, e := range loaded.terms {
+	for term, e := range loaded.snap.Load().hd.terms {
 		if e.boundsOK() {
 			t.Fatalf("term %q has bounds after v1 load; want unavailable", term)
 		}
@@ -284,10 +412,18 @@ func TestPersistV1FallsBackToExhaustive(t *testing.T) {
 	}
 }
 
-// TestBoundsSoundness asserts the stored per-term bounds really are upper
-// bounds: for every term and every live document, the summed contribution
-// never exceeds queryUpperBound, classic and BM25 — including after
-// deletions leave the bounds stale-high.
+// testAvgLens recomputes the per-field BM25 averages the scorer would use
+// for the current snapshot (single-threaded test helper).
+func testAvgLens(ix *Index) []float64 {
+	sn := ix.snap.Load()
+	headOn := sn.hd.nlive.Load() > 0
+	return append([]float64(nil), ix.avgFieldLens(sn, headOn, &searchScratch{})...)
+}
+
+// TestBoundsSoundness asserts the stored bounds really are upper bounds:
+// for every term and every live document, the summed contribution never
+// exceeds queryUpperBound — head entries (stale-high after deletions),
+// segment list-wide bounds, and per-block block-max bounds alike.
 func TestBoundsSoundness(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	ix, _ := randCorpus(t, rng, 120)
@@ -295,45 +431,258 @@ func TestBoundsSoundness(t *testing.T) {
 		ix.Delete(fmt.Sprintf("d%04d", i))
 	}
 	k1, b := SearchOptions{BM25: true}.bm25Params()
-	avgLen := func() []float64 {
-		ix.mu.RLock()
-		defer ix.mu.RUnlock()
-		return ix.avgFieldLens()
-	}()
-	for term, e := range ix.terms {
-		if !e.boundsOK() {
-			t.Fatalf("term %q: no bounds on a built index", term)
+
+	check := func(stage string) {
+		t.Helper()
+		sn := ix.snap.Load()
+		hd := sn.hd
+		avgLen := testAvgLens(ix)
+		live := float64(ix.live.Load())
+		contrib := func(field int8, norm float64, freq int32, idf float64, bm25 bool) float64 {
+			al := 0.0
+			if int(field) < len(avgLen) {
+				al = avgLen[field]
+			}
+			return contribution(sn.boost(field), norm, freq, idf, bm25, k1, b, al)
 		}
-		for _, bm25 := range []bool{false, true} {
-			idf := ix.idf(e.df, bm25)
-			ub := e.queryUpperBound(idf, bm25, k1, b)
-			i := 0
-			for i < len(e.postings) {
-				d := e.postings[i].doc
-				sum := 0.0
-				for ; i < len(e.postings) && e.postings[i].doc == d; i++ {
-					sum += ix.contribution(e.postings[i], idf, bm25, k1, b, avgLen)
+		for term, e := range hd.terms {
+			if e.df <= 0 {
+				continue
+			}
+			if !e.boundsOK() {
+				t.Fatalf("%s: head term %q: no bounds on a built index", stage, term)
+			}
+			for _, bm25 := range []bool{false, true} {
+				idf := idfValue(live, e.df, bm25)
+				ub := e.queryUpperBound(idf, bm25, k1, b)
+				i := 0
+				for i < len(e.postings) {
+					d := e.postings[i].doc
+					sum := 0.0
+					for ; i < len(e.postings) && e.postings[i].doc == d; i++ {
+						p := e.postings[i]
+						norm := 0.0
+						if int(p.field) < len(hd.norms) && hd.norms[p.field] != nil {
+							norm = float64(hd.norms[p.field][d])
+						}
+						sum += contrib(p.field, norm, p.freq, idf, bm25)
+					}
+					if hd.deleted[d] {
+						continue
+					}
+					// boundSlack is part of the soundness contract: the raw
+					// bound multiplies idf into a pre-summed aggregate, so it
+					// can sit an ulp below the query-time per-posting sum.
+					if sum > boundSlack(ub) {
+						t.Fatalf("%s: head term %q doc %d bm25=%v: contribution %v exceeds bound %v",
+							stage, term, d, bm25, sum, ub)
+					}
 				}
-				if ix.deleted[d] {
-					continue
+			}
+		}
+		for si, sg := range sn.segs {
+			for term, st := range sg.terms {
+				if st.maxFreq <= 0 {
+					t.Fatalf("%s: segment %d term %q: no bounds on a built segment", stage, si, term)
 				}
-				// boundSlack is part of the soundness contract: the raw
-				// bound multiplies idf into a pre-summed aggregate, so it
-				// can sit an ulp below the query-time per-posting sum.
-				if sum > boundSlack(ub) {
-					t.Fatalf("term %q doc %d bm25=%v: contribution %v exceeds bound %v",
-						term, d, bm25, sum, ub)
+				df := st.df - sn.dfDel[term]
+				if df <= 0 {
+					df = 1
+				}
+				for _, bm25 := range []bool{false, true} {
+					idf := idfValue(live, df, bm25)
+					ub := st.queryUpperBound(idf, bm25, k1, b)
+					var dec decBlock
+					for bi := range st.blocks {
+						bub := blockUpperBound(&st.blocks[bi], idf, bm25, k1, b)
+						if bub > boundSlack(ub) {
+							t.Fatalf("%s: segment %d term %q block %d: block bound %v exceeds list bound %v",
+								stage, si, term, bi, bub, ub)
+						}
+						sg.loadBlock(st, bi, &dec)
+						i := 0
+						for i < len(dec.locals) {
+							d := dec.locals[i]
+							sum := 0.0
+							for ; i < len(dec.locals) && dec.locals[i] == d; i++ {
+								sum += contrib(dec.fields[i], sg.norm(dec.fields[i], d), dec.freqs[i], idf, bm25)
+							}
+							if sn.dels.get(sg.docOrds[d]) {
+								continue
+							}
+							if sum > boundSlack(bub) {
+								t.Fatalf("%s: segment %d term %q block %d doc %d bm25=%v: contribution %v exceeds block bound %v",
+									stage, si, term, bi, d, bm25, sum, bub)
+							}
+						}
+					}
 				}
 			}
 		}
 	}
+
+	check("head")
+	ix.Flush()
+	check("flushed")
+	// More deletions after the flush: segment bounds go stale-high but must
+	// stay sound.
+	for i := 1; i < 120; i += 9 {
+		ix.Delete(fmt.Sprintf("d%04d", i))
+	}
+	check("deleted post-flush")
+
 	// Out-of-range BM25 parameters must disable the bound, not unsound it.
-	for term, e := range ix.terms {
-		if !math.IsInf(e.queryUpperBound(1, true, -0.5, 0.75), 1) ||
-			!math.IsInf(e.queryUpperBound(1, true, 1.2, 1.5), 1) {
+	for term, st := range ix.snap.Load().segs[0].terms {
+		if !math.IsInf(st.queryUpperBound(1, true, -0.5, 0.75), 1) ||
+			!math.IsInf(st.queryUpperBound(1, true, 1.2, 1.5), 1) {
 			t.Fatalf("term %q: bound not disabled for out-of-range BM25 params", term)
 		}
 		break
+	}
+}
+
+// TestMergeRetightensBounds is the delete-wart regression: deleting the
+// top-scoring document leaves segment bounds stale-high (sound, but
+// pruning weakens), and a merge physically drops the tombstone and
+// recomputes bounds — after which pruned retrieval still matches
+// exhaustive AND prunes at least as hard as an index built fresh from the
+// surviving documents.
+func TestMergeRetightensBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	docs, _ := randDocs(rng, 300)
+	// A whale: one document whose "qqq" frequency dwarfs everything else,
+	// so its contribution dominates the term's upper bound.
+	whale := doc("whale", strings.Repeat("qqq ", 40), "", "qqq qqq qqq")
+	for i := range docs {
+		docs[i].Fields[2].Text += " qqq" // every doc carries one weak qqq
+	}
+	build := func(withWhale bool) *Index {
+		ix := New(WithFlushDocs(-1))
+		if withWhale {
+			if err := ix.Add(whale); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, d := range docs {
+			if err := ix.Add(d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ix.Flush()
+		return ix
+	}
+	terms := []string{"qqq", "aaa"}
+	search := func(ix *Index) ([]Hit, SearchInfo) {
+		return ix.SearchTermsStats(terms, 5, SearchOptions{})
+	}
+	checkExact := func(ix *Index, stage string) SearchInfo {
+		t.Helper()
+		pruned, pinfo := search(ix)
+		exhaustive, _ := ix.SearchTermsStats(terms, 5, SearchOptions{DisablePruning: true})
+		if !reflect.DeepEqual(pruned, exhaustive) {
+			t.Fatalf("%s: pruned %+v != exhaustive %+v", stage, pruned, exhaustive)
+		}
+		return pinfo
+	}
+
+	ix := build(true)
+	checkExact(ix, "pre-delete")
+	ix.Delete("whale")
+	staleInfo := checkExact(ix, "stale bounds after delete")
+
+	// Merge: Compact flushes and rewrites the segment, dropping the
+	// tombstone and recomputing list-wide and per-block maxima.
+	ix.Compact()
+	mergedInfo := checkExact(ix, "after merge")
+
+	fresh := build(false)
+	fresh.Compact()
+	freshInfo := checkExact(fresh, "fresh")
+
+	if mergedInfo.PostingsTouched > freshInfo.PostingsTouched {
+		t.Errorf("merged index touched %d postings, fresh only %d — merge did not re-tighten bounds",
+			mergedInfo.PostingsTouched, freshInfo.PostingsTouched)
+	}
+	mergedWork := mergedInfo.DocsPruned + mergedInfo.PostingsSkipped + mergedInfo.BlocksSkipped
+	freshWork := freshInfo.DocsPruned + freshInfo.PostingsSkipped + freshInfo.BlocksSkipped
+	if mergedWork < freshWork {
+		t.Errorf("merged index pruned less (%d) than fresh (%d)", mergedWork, freshWork)
+	}
+	// And the stale index must have pruned no harder than the merged one —
+	// the stale-high whale bound can only weaken pruning.
+	if staleInfo.PostingsTouched < mergedInfo.PostingsTouched {
+		t.Errorf("stale index touched %d postings, merged %d — stale bounds out-pruned tight ones",
+			staleInfo.PostingsTouched, mergedInfo.PostingsTouched)
+	}
+}
+
+// TestSearchDuringMaintenanceHammer races searches against concurrent
+// adds, deletes, flushes and merges. Under -race this is the lock-audit
+// for the snapshot swap; in any mode it asserts searches stay internally
+// consistent (scores sorted, no tombstoned IDs) while topology churns,
+// and that per-snapshot BM25 field-length averages never mix generations
+// (a search never observes a torn avgFieldLens).
+func TestSearchDuringMaintenanceHammer(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	docs, vocab := randDocs(rng, 600)
+	ix := New(WithFlushDocs(48), WithMergeFactor(3))
+	for _, d := range docs[:200] {
+		if err := ix.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				terms := randQuery(r, vocab)
+				opts := daatOptionGrid[r.Intn(len(daatOptionGrid))]
+				hits, _ := ix.SearchTermsStats(terms, 10, opts)
+				for i := 1; i < len(hits); i++ {
+					if hits[i].Score > hits[i-1].Score {
+						t.Errorf("hits out of order: %+v", hits)
+						return
+					}
+				}
+			}
+		}(int64(w) + 100)
+	}
+	for i, d := range docs[200:] {
+		if err := ix.Add(d); err != nil {
+			t.Fatal(err)
+		}
+		if rng.Intn(3) == 0 {
+			ix.Delete(fmt.Sprintf("d%04d", rng.Intn(200+i)))
+		}
+		if rng.Intn(50) == 0 {
+			ix.Flush()
+		}
+		if rng.Intn(100) == 0 {
+			ix.Maintain()
+		}
+		if rng.Intn(200) == 0 {
+			ix.Compact()
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// Settled: pruned still matches exhaustive on the final topology.
+	for q := 0; q < 10; q++ {
+		terms := randQuery(rng, vocab)
+		pruned, _ := ix.SearchTermsStats(terms, 10, SearchOptions{BM25: true})
+		exhaustive, _ := ix.SearchTermsStats(terms, 10, SearchOptions{BM25: true, DisablePruning: true})
+		if !reflect.DeepEqual(pruned, exhaustive) {
+			t.Fatalf("post-hammer query %v: pruned %+v != exhaustive %+v", terms, pruned, exhaustive)
+		}
 	}
 }
 
