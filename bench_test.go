@@ -24,6 +24,7 @@ import (
 	"schemr/internal/model"
 	"schemr/internal/query"
 	"schemr/internal/repository"
+	"schemr/internal/shard"
 	"schemr/internal/summary"
 	"schemr/internal/svg"
 	"schemr/internal/tightness"
@@ -744,6 +745,44 @@ func BenchmarkPhase1Skewed(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				idx.SearchTerms(terms, 10, v.opts)
 			}
+		})
+	}
+}
+
+// --- Sharded candidate extraction (in-process scatter/gather) ---
+
+// BenchmarkShard measures phase-1 throughput against shard count on the
+// 20k-schema WebTables corpus: the paper query at CandidateN=10, serial
+// (one search at a time — scatter latency) and parallel (b.RunParallel —
+// aggregate searches/sec under concurrent load). Sharded results are
+// byte-identical to single-shard by construction (distributed IDF + global
+// threshold exchange; see internal/shard), so this measures pure topology
+// cost/benefit. Results are recorded in BENCH_shard.json; throughput
+// scaling requires real cores, so multi-vCPU runners report the headline
+// numbers.
+func BenchmarkShard(b *testing.B) {
+	repo := benchRepo(b, 20000)
+	terms := paperQuery(b).Flatten()
+	for _, n := range []int{1, 2, 4} {
+		g := shard.New(n, func() *index.Index { return index.New() })
+		for _, s := range repo.All() {
+			if err := g.Add(core.SchemaDocument(s)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Run(fmt.Sprintf("serial-shards%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g.SearchTerms(terms, 10, index.SearchOptions{})
+			}
+		})
+		b.Run(fmt.Sprintf("parallel-shards%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					g.SearchTerms(terms, 10, index.SearchOptions{})
+				}
+			})
 		})
 	}
 }

@@ -16,17 +16,26 @@
 // WAL replay — kill -9 at any point loses no acknowledged mutation.
 // -wal=false reverts to the old memory-only mutation handling.
 //
+// -shards hash-partitions the document index into N in-process shards
+// searched in parallel (results byte-identical to one shard), and
+// -replica-of turns the server into a read-only replica that streams the
+// named primary's WAL (mutating routes answer 403).
+//
 // Usage:
 //
 //	schemr-server -data DIR [-addr :8080] [-sync 30s]
 //	              [-wal=true] [-snapshot-interval 5m]
+//	              [-shards 1] [-replica-of URL] [-replica-poll 1s]
 //	              [-timeout 10s] [-max-inflight 64] [-slow 1s]
 //	              [-metrics=true] [-pprof]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
+	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os/signal"
@@ -53,12 +62,16 @@ func main() {
 	pruning := flag.Bool("phase1-pruning", true, "MaxScore top-n pruning in phase-1 candidate extraction (off = exhaustive scoring)")
 	flushDocs := flag.Int("flush-docs", 0, "mutable-head docs before the index seals an immutable segment (0 = index default, negative disables auto-flush)")
 	mergeFactor := flag.Int("merge-factor", 0, "segment count that triggers a segment merge (0 = index default, 1 disables merging)")
+	shards := flag.Int("shards", 1, "hash-partition the document index into this many shards searched in parallel (results identical to 1)")
+	replicaOf := flag.String("replica-of", "", "primary base URL to replicate from (e.g. http://primary:8080); serves read-only and streams the primary's WAL")
+	replicaPoll := flag.Duration("replica-poll", time.Second, "replication poll interval (with -replica-of)")
 	flag.Parse()
 
 	var opts schemr.EngineOptions
 	opts.Index.DisablePruning = !*pruning
 	opts.FlushDocs = *flushDocs
 	opts.MergeFactor = *mergeFactor
+	opts.Shards = *shards
 	var sys *schemr.System
 	var err error
 	if *walFlag {
@@ -94,6 +107,7 @@ func main() {
 		SlowRequest:            *slow,
 		DisableMetricsEndpoint: !*metrics,
 		EnablePprof:            *pprofFlag,
+		ReadOnly:               *replicaOf != "",
 		Checkpoint: func() error {
 			if err := sys.Repo.FlushUsage(); err != nil {
 				log.Printf("schemr-server: usage flush: %v", err)
@@ -119,6 +133,16 @@ func main() {
 	// then close the WAL and exit.
 	ctx, cancelSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer cancelSignals()
+	replicaDone := make(chan struct{})
+	if *replicaOf != "" {
+		log.Printf("replicating from %s every %v (read-only)", *replicaOf, *replicaPoll)
+		go func() {
+			defer close(replicaDone)
+			runReplica(ctx, sys, *replicaOf, *replicaPoll, *data)
+		}()
+	} else {
+		close(replicaDone)
+	}
 	shutdownDone := make(chan struct{})
 	go func() {
 		defer close(shutdownDone)
@@ -141,8 +165,131 @@ func main() {
 		log.Fatalf("schemr-server: %v", err)
 	}
 	<-shutdownDone
+	<-replicaDone
 	if err := sys.Close(); err != nil {
 		log.Printf("schemr-server: close: %v", err)
 	}
 	log.Printf("shut down cleanly")
+}
+
+// runReplica is the read-only replica's catch-up loop: every poll interval
+// it fetches the primary's WAL records after the local LSN and applies
+// them (each fsynced into the local WAL first, primary LSNs preserved).
+// When the primary reports the position has aged out of its retention
+// window — or applying detects an LSN gap — the replica reinstalls the
+// primary's full state export, rebuilds the index and snapshots, then
+// resumes streaming. The schemr_replica_lag gauge tracks primary LSN minus
+// local LSN after every poll.
+func runReplica(ctx context.Context, sys *schemr.System, primary string, poll time.Duration, dataDir string) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	lag := sys.Engine.Metrics().Gauge("schemr_replica_lag",
+		"Replication lag in WAL records (primary LSN minus local LSN).", nil)
+	primary = strings.TrimRight(primary, "/")
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		if err := replicateOnce(ctx, client, sys, primary, dataDir, lag); err != nil && ctx.Err() == nil {
+			log.Printf("schemr-server: replication: %v", err)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// replicateOnce runs one poll: stream-and-apply, or full resync when the
+// primary (or a detected gap) demands it.
+func replicateOnce(ctx context.Context, client *http.Client, sys *schemr.System, primary, dataDir string, lag interface{ Set(int64) }) error {
+	var env struct {
+		Data struct {
+			LSN     uint64            `json:"lsn"`
+			Resync  bool              `json:"resync"`
+			Records []json.RawMessage `json:"records"`
+		} `json:"data"`
+		Error *struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	from := sys.Repo.LSN()
+	body, err := replicaGet(ctx, client, fmt.Sprintf("%s/api/v1/replication/wal?from=%d", primary, from))
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		return fmt.Errorf("decoding wal response: %w", err)
+	}
+	if env.Error != nil {
+		return fmt.Errorf("primary: %s: %s", env.Error.Code, env.Error.Message)
+	}
+	if env.Data.Resync {
+		return replicaResync(ctx, client, sys, primary, dataDir, lag)
+	}
+	applied := 0
+	for _, rec := range env.Data.Records {
+		ok, aerr := sys.Repo.ApplyReplicated(rec)
+		if aerr != nil {
+			log.Printf("schemr-server: replication: %v; resyncing", aerr)
+			return replicaResync(ctx, client, sys, primary, dataDir, lag)
+		}
+		if ok {
+			applied++
+		}
+	}
+	if applied > 0 {
+		if err := sys.Refresh(); err != nil {
+			return err
+		}
+	}
+	if local := sys.Repo.LSN(); env.Data.LSN > local {
+		lag.Set(int64(env.Data.LSN - local))
+	} else {
+		lag.Set(0)
+	}
+	return nil
+}
+
+// replicaResync reinstalls the primary's full state: download, install,
+// rebuild the index, snapshot (truncating the local WAL to the installed
+// LSN) and zero the lag against the installed position.
+func replicaResync(ctx context.Context, client *http.Client, sys *schemr.System, primary, dataDir string, lag interface{ Set(int64) }) error {
+	state, err := replicaGet(ctx, client, primary+"/api/v1/replication/state")
+	if err != nil {
+		return err
+	}
+	if err := sys.Repo.InstallState(state); err != nil {
+		return err
+	}
+	if err := sys.Engine.Reindex(); err != nil {
+		return err
+	}
+	if err := sys.Save(dataDir); err != nil {
+		return err
+	}
+	lag.Set(0)
+	log.Printf("schemr-server: replication: resynced %d schemas at lsn %d", sys.Repo.Len(), sys.Repo.LSN())
+	return nil
+}
+
+// replicaGet issues one GET against the primary and returns the body.
+func replicaGet(ctx context.Context, client *http.Client, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return body, nil
 }

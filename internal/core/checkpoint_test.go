@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"schemr/internal/model"
+	"schemr/internal/query"
+	"schemr/internal/repository"
+)
+
+// bulkSchema returns a small distinct schema for segment-churn tests.
+func bulkSchema(i int) *model.Schema {
+	return &model.Schema{
+		Name: fmt.Sprintf("inventory %d", i),
+		Entities: []*model.Entity{{
+			Name: fmt.Sprintf("warehouse%d", i),
+			Attributes: []*model.Attribute{
+				{Name: "sku"}, {Name: "quantity"}, {Name: fmt.Sprintf("bin%d", i)},
+			},
+		}},
+	}
+}
+
+// TestSaveIndexDoesNotCompact: a checkpoint must serialize the current
+// snapshot, not force-merge every segment first. The old SaveIndex called
+// Compact(), which collapsed the segment set to one on every checkpoint —
+// stalling writers and defeating the merge policy's amortization.
+func TestSaveIndexDoesNotCompact(t *testing.T) {
+	repo := repository.New()
+	// Tiny head, huge merge factor: segments accumulate and stay.
+	e := NewEngine(repo, Options{FlushDocs: 4, MergeFactor: 64})
+	for i := 0; i < 24; i++ {
+		if _, err := repo.Put(bulkSchema(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := e.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	before := e.idx.NumSegments()
+	if before < 2 {
+		t.Fatalf("precondition: want >=2 segments, got %d", before)
+	}
+
+	path := filepath.Join(t.TempDir(), "engine.idx")
+	if err := e.SaveIndex(path); err != nil {
+		t.Fatal(err)
+	}
+	if after := e.idx.NumSegments(); after != before {
+		t.Fatalf("SaveIndex changed segment count %d -> %d; checkpoints must not compact", before, after)
+	}
+
+	// And the saved artifact still round-trips.
+	e2 := NewEngine(repo, Options{FlushDocs: 4, MergeFactor: 64})
+	if err := e2.LoadIndex(path); err != nil {
+		t.Fatal(err)
+	}
+	if e2.IndexedDocs() != repo.Len() {
+		t.Fatalf("loaded %d docs, want %d", e2.IndexedDocs(), repo.Len())
+	}
+}
+
+// TestSaveIndexUnderConcurrentWrites: checkpoints race live imports. The
+// cursor and index state must be captured atomically — every doc the saved
+// cursor claims must be in the saved index, so a load + incremental sync
+// never misses a schema.
+func TestSaveIndexUnderConcurrentWrites(t *testing.T) {
+	repo := repository.New()
+	e := NewEngine(repo, Options{FlushDocs: 4, MergeFactor: 64})
+	path := filepath.Join(t.TempDir(), "engine.idx")
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // writer: keeps importing and syncing during the saves
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := repo.Put(bulkSchema(i)); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, _, err := e.Sync(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		if err := e.SaveIndex(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Load the final checkpoint and catch up from its cursor: the result
+	// must cover the whole repository with no gaps.
+	e2 := NewEngine(repo, Options{FlushDocs: 4, MergeFactor: 64})
+	if err := e2.LoadIndex(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if e2.IndexedDocs() != repo.Len() {
+		t.Fatalf("after load+sync: %d docs indexed, repo holds %d", e2.IndexedDocs(), repo.Len())
+	}
+}
+
+// TestSaveLoadMultiShard: the v2 envelope round-trips every shard, and a
+// shard-count mismatch is an explicit error (the caller reindexes).
+func TestSaveLoadMultiShard(t *testing.T) {
+	repo, ids := seedRepo(t)
+	e := NewEngine(repo, Options{Shards: 3})
+	if err := e.Reindex(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "engine.idx")
+	if err := e.SaveIndex(path); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := NewEngine(repo, Options{Shards: 3})
+	if err := e2.LoadIndex(path); err != nil {
+		t.Fatal(err)
+	}
+	if e2.IndexedDocs() != repo.Len() {
+		t.Fatalf("loaded %d docs, want %d", e2.IndexedDocs(), repo.Len())
+	}
+	q := mustQ(t, query.Input{Keywords: "patient height gender diagnosis"})
+	results, err := e2.Search(q, 5)
+	if err != nil || len(results) == 0 || results[0].ID != ids["clinic"] {
+		t.Fatalf("multi-shard load lost content: %v %v", results, err)
+	}
+
+	mismatched := NewEngine(repo, Options{Shards: 2})
+	if err := mismatched.LoadIndex(path); err == nil {
+		t.Fatal("loading a 3-shard snapshot into a 2-shard engine must fail")
+	}
+}

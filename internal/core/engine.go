@@ -10,6 +10,7 @@ package core
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/binary"
 	"fmt"
@@ -31,6 +32,7 @@ import (
 	"schemr/internal/obs"
 	"schemr/internal/query"
 	"schemr/internal/repository"
+	"schemr/internal/shard"
 	"schemr/internal/text"
 	"schemr/internal/tightness"
 )
@@ -92,6 +94,13 @@ type Options struct {
 	// segment merging (index.WithMergeFactor). 0 keeps the index default;
 	// 1 disables merging.
 	MergeFactor int
+	// Shards hash-partitions the document index (and the match-profile
+	// cache) into this many independent shards searched in parallel and
+	// merged — see DESIGN.md "Sharding & replication". Results are exactly
+	// those of a single index: candidate extraction gathers corpus-wide
+	// statistics first and the shards exchange a shared top-n threshold.
+	// 0 or 1 means unsharded (the default single-index layout).
+	Shards int
 	// TrigramFallback addresses an architectural gap the paper inherits
 	// from Lucene: a schema whose every element is abbreviated shares no
 	// token with the query and never becomes a candidate, so the n-gram
@@ -182,7 +191,7 @@ func (s SearchStats) Total() time.Duration {
 // index maintenance and weight updates serialize internally.
 type Engine struct {
 	repo *repository.Repository
-	idx  *index.Index
+	idx  *shard.Group
 	opts Options
 
 	mu       sync.RWMutex // guards ensemble (weights) and cursor
@@ -212,7 +221,7 @@ func NewEngine(repo *repository.Repository, opts Options) *Engine {
 		repo:     repo,
 		opts:     opts,
 		ensemble: match.DefaultEnsemble(),
-		profiles: newProfileCache(),
+		profiles: newProfileCache(opts.Shards),
 		reg:      opts.Metrics,
 	}
 	if e.reg == nil {
@@ -223,7 +232,10 @@ func NewEngine(repo *repository.Repository, opts Options) *Engine {
 		e.idxMetrics = index.NewMetrics(e.reg)
 		e.profiles.instrument(e.reg)
 	}
-	e.idx = e.newIndex()
+	e.idx = e.newGroup()
+	if e.metrics != nil {
+		e.metrics.shards.Set(int64(e.idx.NumShards()))
+	}
 	return e
 }
 
@@ -335,12 +347,18 @@ func (e *Engine) newIndex() *index.Index {
 	return index.New(opts...)
 }
 
+// newGroup builds the empty shard group for the configured shard count
+// (Options.Shards; at least one), each shard an identical newIndex.
+func (e *Engine) newGroup() *shard.Group {
+	return shard.New(e.opts.Shards, e.newIndex)
+}
+
 // Reindex rebuilds the document index from the full repository contents and
 // fast-forwards the change cursor.
 func (e *Engine) Reindex() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	fresh := e.newIndex()
+	fresh := e.newGroup()
 	seq := e.repo.Seq()
 	e.profiles.reset()
 	for _, s := range e.repo.All() {
@@ -401,29 +419,67 @@ func (e *Engine) CachedProfiles() int { return e.profiles.count() }
 func (e *Engine) IndexedDocs() int { return e.idx.NumDocs() }
 
 // indexMagic versions the engine's index envelope (change-feed cursor +
-// document index).
-const indexEnvelopeMagic = "SCHEMR-ENGINE-IDX-1\n"
+// document index). V1 is the unsharded layout: cursor followed by one index
+// stream. V2 is the sharded layout: cursor, a little-endian uint32 shard
+// count, then each shard's stream preceded by its little-endian uint64 byte
+// length — the length prefixes are required because the index decoder reads
+// through a buffer and would otherwise consume bytes of the next shard.
+const (
+	indexEnvelopeMagic   = "SCHEMR-ENGINE-IDX-1\n"
+	indexEnvelopeMagicV2 = "SCHEMR-ENGINE-IDX-2\n"
+)
 
 // SaveIndex persists the document index together with the repository
 // change-feed cursor it reflects, so a reopened deployment resumes with an
 // incremental Sync instead of a full Reindex. The write is durable: temp
 // file, fsync, rename, parent-directory fsync.
+//
+// The snapshot is consistent by construction: every shard is serialized to
+// memory while holding the engine read lock, which excludes Sync and
+// Reindex, so the persisted cursor exactly matches the persisted index
+// contents. The current segment layout is written as is — checkpoints never
+// compact (compaction forced every periodic checkpoint to rewrite the whole
+// index into one segment, stalling writers and defeating the merge policy).
 func (e *Engine) SaveIndex(path string) error {
 	e.mu.RLock()
-	idx := e.idx
+	shards := e.idx.Shards()
 	cursor := e.cursor
+	streams := make([]bytes.Buffer, len(shards))
+	for i, sh := range shards {
+		if _, err := sh.WriteTo(&streams[i]); err != nil {
+			e.mu.RUnlock()
+			return fmt.Errorf("core: save index: %w", err)
+		}
+	}
 	e.mu.RUnlock()
 
-	idx.Compact()
 	if err := fsutil.WriteFileAtomic(path, func(w io.Writer) error {
-		if _, err := io.WriteString(w, indexEnvelopeMagic); err != nil {
+		magic := indexEnvelopeMagic
+		if len(streams) > 1 {
+			magic = indexEnvelopeMagicV2
+		}
+		if _, err := io.WriteString(w, magic); err != nil {
 			return err
 		}
 		if err := binary.Write(w, binary.LittleEndian, cursor); err != nil {
 			return err
 		}
-		_, err := idx.WriteTo(w)
-		return err
+		if len(streams) == 1 {
+			_, err := w.Write(streams[0].Bytes())
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(streams))); err != nil {
+			return err
+		}
+		for i := range streams {
+			if err := binary.Write(w, binary.LittleEndian, uint64(streams[i].Len())); err != nil {
+				return err
+			}
+			if _, err := w.Write(streams[i].Bytes()); err != nil {
+				return err
+			}
+		}
+		return nil
 	}); err != nil {
 		return fmt.Errorf("core: save index: %w", err)
 	}
@@ -454,16 +510,49 @@ func (e *Engine) LoadIndex(path string) error {
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return fmt.Errorf("core: load index: %w", err)
 	}
-	if string(magic) != indexEnvelopeMagic {
+	var savedShards uint32
+	switch string(magic) {
+	case indexEnvelopeMagic:
+		savedShards = 1
+	case indexEnvelopeMagicV2:
+	default:
 		return fmt.Errorf("core: load index: bad magic %q", string(magic))
 	}
 	var cursor uint64
 	if err := binary.Read(br, binary.LittleEndian, &cursor); err != nil {
 		return fmt.Errorf("core: load index: %w", err)
 	}
-	fresh := e.newIndex()
-	if _, err := fresh.ReadFrom(br); err != nil {
-		return err
+	if savedShards == 0 { // V2 carries an explicit shard count
+		if err := binary.Read(br, binary.LittleEndian, &savedShards); err != nil {
+			return fmt.Errorf("core: load index: %w", err)
+		}
+	}
+	fresh := e.newGroup()
+	if int(savedShards) != fresh.NumShards() {
+		// A resharded deployment cannot reuse the old partition layout;
+		// the caller falls back to Reindex as for any other load error.
+		return fmt.Errorf("core: load index: saved with %d shards, engine configured for %d",
+			savedShards, fresh.NumShards())
+	}
+	for i, sh := range fresh.Shards() {
+		var r io.Reader = br
+		if string(magic) == indexEnvelopeMagicV2 {
+			var n uint64
+			if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+				return fmt.Errorf("core: load index: shard %d: %w", i, err)
+			}
+			r = io.LimitReader(br, int64(n))
+		}
+		if _, err := sh.ReadFrom(r); err != nil {
+			return fmt.Errorf("core: load index: shard %d: %w", i, err)
+		}
+		// Drain to the length prefix's boundary: the decoder buffers and
+		// may leave a tail of its shard's bytes unconsumed.
+		if r != br {
+			if _, err := io.Copy(io.Discard, r); err != nil {
+				return fmt.Errorf("core: load index: shard %d: %w", i, err)
+			}
+		}
 	}
 	e.mu.Lock()
 	e.idx = fresh
@@ -530,6 +619,9 @@ func (e *Engine) SearchWithStatsContext(ctx context.Context, q *query.Query, lim
 	terms := q.Flatten()
 	stats.QueryTerms = len(terms)
 	hits, sinfo := idx.SearchTermsStats(terms, e.opts.CandidateN, e.opts.Index)
+	if e.metrics != nil {
+		e.metrics.shardSearches.Add(uint64(idx.NumShards()))
+	}
 	stats.PostingsSkipped += sinfo.PostingsSkipped
 	stats.CandidatesPruned += sinfo.DocsPruned
 	stats.BlocksSkipped += sinfo.BlocksSkipped
@@ -542,6 +634,9 @@ func (e *Engine) SearchWithStatsContext(ctx context.Context, q *query.Query, lim
 			seen[h.ID] = true
 		}
 		extra, tinfo := idx.SearchTermsStats(trigramsOf(terms), e.opts.CandidateN, e.opts.Index)
+		if e.metrics != nil {
+			e.metrics.shardSearches.Add(uint64(idx.NumShards()))
+		}
 		stats.PostingsSkipped += tinfo.PostingsSkipped
 		stats.CandidatesPruned += tinfo.DocsPruned
 		stats.BlocksSkipped += tinfo.BlocksSkipped

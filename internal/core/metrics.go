@@ -18,6 +18,13 @@ type engineMetrics struct {
 	candidates     *obs.Counter
 	elementsScored *obs.Counter
 
+	// shards is the configured index shard count; shardSearches counts
+	// per-shard phase-1 sub-searches (shards × searches, so it equals
+	// schemr_search_total when unsharded and measures scatter fan-out
+	// otherwise).
+	shards        *obs.Gauge
+	shardSearches *obs.Counter
+
 	phaseExtract   *obs.Histogram
 	phaseMatch     *obs.Histogram
 	phaseTightness *obs.Histogram
@@ -35,6 +42,8 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 		searchErrors:   reg.Counter("schemr_search_errors_total", "Searches that returned an error (cancellations, deadlines, bad queries).", nil),
 		candidates:     reg.Counter("schemr_search_candidates_total", "Candidate schemas extracted by phase 1 across searches.", nil),
 		elementsScored: reg.Counter("schemr_search_elements_scored_total", "Schema elements scored by the match phase across searches.", nil),
+		shards:         reg.Gauge("schemr_shards", "Configured document-index shard count.", nil),
+		shardSearches:  reg.Counter("schemr_shard_searches_total", "Per-shard phase-1 sub-searches scattered by candidate extraction.", nil),
 		phaseExtract:   phase("extract"),
 		phaseMatch:     phase("match"),
 		phaseTightness: phase("tightness"),

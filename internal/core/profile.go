@@ -2,16 +2,21 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"schemr/internal/match"
 	"schemr/internal/model"
 	"schemr/internal/obs"
+	"schemr/internal/shard"
 )
 
 // profileCache holds one precomputed match.Profile per schema ID. Profiles
 // are immutable; the cache is safe for concurrent use by the parallel match
-// workers.
+// workers. It is partitioned with the same hash the index shard group uses
+// (one partition per index shard, one for an unsharded engine), so lock
+// contention scales down with the shard count and a schema's profile lives
+// alongside its index shard.
 //
 // Staleness is impossible by construction: every profile remembers the exact
 // *model.Schema value it was built from, the repository replaces that value
@@ -22,8 +27,8 @@ import (
 // the correctness mechanism, so a search racing a Sync can never score a new
 // schema through an old profile no matter how the operations interleave.
 type profileCache struct {
-	mu sync.RWMutex
-	m  map[string]*match.Profile
+	parts []profilePart
+	total atomic.Int64 // live entries across partitions, mirrored to size
 
 	// Observability instruments (nil-safe; nil when metrics are disabled).
 	// hits/misses measure the lookup economics on the search path; evicts
@@ -36,8 +41,26 @@ type profileCache struct {
 	build  *obs.Histogram
 }
 
-func newProfileCache() *profileCache {
-	return &profileCache{m: make(map[string]*match.Profile)}
+type profilePart struct {
+	mu sync.RWMutex
+	m  map[string]*match.Profile
+}
+
+func newProfileCache(shards int) *profileCache {
+	if shards < 1 {
+		shards = 1
+	}
+	c := &profileCache{parts: make([]profilePart, shards)}
+	for i := range c.parts {
+		c.parts[i].m = make(map[string]*match.Profile)
+	}
+	return c
+}
+
+// part returns the partition owning id — shard.Partition, so the profile of
+// a schema is cached next to the index shard that retrieves it.
+func (c *profileCache) part(id string) *profilePart {
+	return &c.parts[shard.Partition(id, len(c.parts))]
 }
 
 // instrument registers the cache's metric families on reg. Called once at
@@ -53,9 +76,10 @@ func (c *profileCache) instrument(reg *obs.Registry) {
 // get returns the profile for (id, s), building and caching one when the
 // cached entry is missing or was built from a different schema value.
 func (c *profileCache) get(id string, s *model.Schema) *match.Profile {
-	c.mu.RLock()
-	p := c.m[id]
-	c.mu.RUnlock()
+	pt := c.part(id)
+	pt.mu.RLock()
+	p := pt.m[id]
+	pt.mu.RUnlock()
 	if p != nil && p.Schema() == s {
 		c.hits.Inc()
 		return p
@@ -68,26 +92,33 @@ func (c *profileCache) get(id string, s *model.Schema) *match.Profile {
 	} else {
 		p = match.NewProfile(s)
 	}
-	c.mu.Lock()
+	pt.mu.Lock()
 	// Keep a racing writer's profile if it is for the same schema value;
 	// both are equivalent, but not replacing it lets concurrent readers of
 	// the published entry keep hitting one instance.
-	if cur := c.m[id]; cur == nil || cur.Schema() != s {
-		c.m[id] = p
+	if cur := pt.m[id]; cur == nil || cur.Schema() != s {
+		if cur == nil {
+			c.total.Add(1)
+		}
+		pt.m[id] = p
 	} else {
 		p = cur
 	}
-	c.size.Set(int64(len(c.m)))
-	c.mu.Unlock()
+	pt.mu.Unlock()
+	c.size.Set(c.total.Load())
 	return p
 }
 
 // put installs an eagerly built profile.
 func (c *profileCache) put(id string, p *match.Profile) {
-	c.mu.Lock()
-	c.m[id] = p
-	c.size.Set(int64(len(c.m)))
-	c.mu.Unlock()
+	pt := c.part(id)
+	pt.mu.Lock()
+	if _, ok := pt.m[id]; !ok {
+		c.total.Add(1)
+	}
+	pt.m[id] = p
+	pt.mu.Unlock()
+	c.size.Set(c.total.Load())
 }
 
 // drop evicts the given IDs (missing IDs are ignored).
@@ -95,29 +126,33 @@ func (c *profileCache) drop(ids ...string) {
 	if len(ids) == 0 {
 		return
 	}
-	c.mu.Lock()
 	for _, id := range ids {
-		if _, ok := c.m[id]; ok {
+		pt := c.part(id)
+		pt.mu.Lock()
+		if _, ok := pt.m[id]; ok {
 			c.evicts.Inc()
-			delete(c.m, id)
+			c.total.Add(-1)
+			delete(pt.m, id)
 		}
+		pt.mu.Unlock()
 	}
-	c.size.Set(int64(len(c.m)))
-	c.mu.Unlock()
+	c.size.Set(c.total.Load())
 }
 
 // reset empties the cache.
 func (c *profileCache) reset() {
-	c.mu.Lock()
-	c.evicts.Add(uint64(len(c.m)))
-	c.m = make(map[string]*match.Profile)
-	c.size.Set(0)
-	c.mu.Unlock()
+	for i := range c.parts {
+		pt := &c.parts[i]
+		pt.mu.Lock()
+		c.evicts.Add(uint64(len(pt.m)))
+		c.total.Add(-int64(len(pt.m)))
+		pt.m = make(map[string]*match.Profile)
+		pt.mu.Unlock()
+	}
+	c.size.Set(c.total.Load())
 }
 
-// size returns the number of cached profiles.
+// count returns the number of cached profiles.
 func (c *profileCache) count() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.m)
+	return int(c.total.Load())
 }

@@ -1,0 +1,123 @@
+package index
+
+import "sync/atomic"
+
+// GlobalStats carries corpus-wide statistics into a shard-local search so
+// that a hash-partitioned group of indexes scores documents exactly as one
+// big index would. A sharded coordinator gathers these before scattering
+// phase-1 extraction (dfs_query_then_fetch, in Elasticsearch terms):
+//
+//   - Live and DocFreq replace the shard-local live-document count and
+//     per-term document frequencies in the IDF computation. Both are exact
+//     integer sums over the shards, so the resulting IDF is bit-identical
+//     to the single-index value.
+//   - AvgFieldLen (BM25 only) replaces the shard-local per-field average
+//     token lengths. Per-shard length sums are exact integers (see
+//     lenFromNorm), so the merged average is bit-identical too.
+//   - Threshold, when non-nil, is the shared top-n boundary the shards
+//     exchange while searching concurrently: each shard publishes its heap
+//     minimum once its local heap holds n hits, and every shard's pruning
+//     checks the best published boundary in addition to its own heap —
+//     shard-local MaxScore/block-max pruning stays globally sound because
+//     a published hit certifies n globally better documents.
+//
+// A nil *GlobalStats (the zero SearchOptions) means single-index behavior.
+type GlobalStats struct {
+	// Live is the number of live documents across all shards.
+	Live int64
+	// DocFreq maps each (deduplicated) query term to its live document
+	// frequency across all shards. Terms absent from the map score as
+	// df=0 and are skipped, so the map must cover every query term.
+	DocFreq map[string]int32
+	// AvgFieldLen maps field names to the corpus-wide average token
+	// length. Only consulted under BM25; nil falls back to shard-local
+	// averages (wrong across shards — coordinators must set it when
+	// SearchOptions.BM25 is on).
+	AvgFieldLen map[string]float64
+	// Threshold is the shared top-n boundary exchanged between the
+	// shards of one search. Optional; nil disables the exchange (each
+	// shard prunes against its own heap only, still exact).
+	Threshold *TopNThreshold
+}
+
+// TopNThreshold is a monotonically rising top-n boundary shared by the
+// shard searches of one query. The stored hit is a real document some
+// shard's full top-n heap has as its minimum — publishing it certifies n
+// globally better-or-equal documents, so any candidate that cannot beat
+// it (under the total result order, score then ID) is provably outside
+// the global top n. Safe for concurrent use; the zero value is ready.
+type TopNThreshold struct {
+	p atomic.Pointer[Hit]
+}
+
+// Offer raises the boundary to h if h outranks the current boundary.
+func (t *TopNThreshold) Offer(h Hit) {
+	for {
+		cur := t.p.Load()
+		if cur != nil && !less(*cur, h) {
+			return
+		}
+		nh := h
+		if t.p.CompareAndSwap(cur, &nh) {
+			return
+		}
+	}
+}
+
+// Load returns the current boundary hit, if any shard has published one.
+func (t *TopNThreshold) Load() (Hit, bool) {
+	if p := t.p.Load(); p != nil {
+		return *p, true
+	}
+	return Hit{}, false
+}
+
+// HitBefore reports whether hit a ranks before hit b in result order:
+// descending score, ties broken by ascending ID. It is the exact order
+// SearchTerms returns hits in, exported so a sharded coordinator can
+// merge per-shard top-n lists with the same tie-break and stay
+// byte-identical to the single-index engine.
+func HitBefore(a, b Hit) bool { return less(b, a) }
+
+// FieldLen aggregates one field's token lengths over a snapshot's live
+// documents: the Σ token-length (an exact integer, stored as float64) and
+// the number of documents carrying the field. A sharded coordinator sums
+// these across shards and divides once, reproducing the single-index BM25
+// average length exactly.
+type FieldLen struct {
+	Sum   float64
+	Count int64
+}
+
+// FieldLens reports the per-field-name length aggregates for the current
+// snapshot (segments plus live head documents) — the inputs to the BM25
+// average-length computation a sharded coordinator merges.
+func (ix *Index) FieldLens() map[string]FieldLen {
+	sn := ix.snap.Load()
+	segSum, segCnt := sn.segLens()
+	out := make(map[string]FieldLen, len(sn.fieldNames))
+	hd := sn.hd
+	headOn := hd.nlive.Load() > 0
+	if headOn {
+		hd.mu.RLock()
+		defer hd.mu.RUnlock()
+	}
+	for fid, name := range sn.fieldNames {
+		fl := FieldLen{}
+		if fid < len(segSum) {
+			fl.Sum, fl.Count = segSum[fid], segCnt[fid]
+		}
+		if headOn && fid < len(hd.norms) {
+			for local, norm := range hd.norms[fid] {
+				if norm > 0 && !hd.deleted[local] {
+					fl.Sum += lenFromNorm(norm)
+					fl.Count++
+				}
+			}
+		}
+		if fl.Count > 0 {
+			out[name] = fl
+		}
+	}
+	return out
+}

@@ -199,15 +199,14 @@ func newHead(base int32, nFields int) *head {
 }
 
 // snapshot is the immutable view a search runs against: the segment list,
-// the head (read under its own lock), the tombstone bitmap, the per-term
-// document-frequency corrections for segment deletions, and the field
+// the head (read under its own lock), the tombstone bitmap and the field
 // tables. Published by every mutation that changes anything beyond the
-// head's own arrays.
+// head's own arrays. (Per-term document-frequency corrections for segment
+// deletions live on the segment terms themselves — see segTerm.delDF.)
 type snapshot struct {
 	segs       []*segment
 	hd         *head
 	dels       bitset
-	dfDel      map[string]int32 // term → docs deleted from segments still holding its postings
 	fieldNames []string
 	boostByFid []float64
 
@@ -255,7 +254,7 @@ func (sn *snapshot) segLens() ([]float64, []int64) {
 						continue
 					}
 					if n := col[local]; n > 0 {
-						sum[f] -= 1 / float64(n) / float64(n)
+						sum[f] -= lenFromNorm(n)
 						cnt[f]--
 					}
 				}
@@ -282,7 +281,6 @@ type Index struct {
 	boostByFid []float64
 	nextOrd    int32 // next global ordinal; ordinals are never reused
 	dels       bitset
-	dfDel      map[string]int32
 	segs       []*segment
 	hd         *head
 
@@ -403,7 +401,6 @@ func New(opts ...Option) *Index {
 		boosts:      DefaultFieldBoosts,
 		fieldIDs:    make(map[string]int),
 		docMap:      make(map[string]int32),
-		dfDel:       make(map[string]int32),
 		hd:          newHead(0, 0),
 		flushDocs:   DefaultFlushDocs,
 		mergeFactor: DefaultMergeFactor,
@@ -423,7 +420,6 @@ func (ix *Index) publishLocked() {
 		segs:       ix.segs,
 		hd:         ix.hd,
 		dels:       ix.dels,
-		dfDel:      ix.dfDel,
 		fieldNames: ix.fieldNames,
 		boostByFid: ix.boostByFid,
 	}
@@ -492,10 +488,9 @@ func (ix *Index) DocFreq(term string) int {
 	df := int32(0)
 	for _, s := range sn.segs {
 		if st, ok := s.terms[term]; ok {
-			df += st.df
+			df += st.liveDF()
 		}
 	}
-	df -= sn.dfDel[term]
 	hd := sn.hd
 	hd.mu.RLock()
 	if e, ok := hd.terms[term]; ok {
@@ -665,10 +660,11 @@ func (ix *Index) Delete(id string) bool {
 
 // deleteLocked tombstones the document at global ordinal ord. Head
 // documents get their head df decremented in place; segment documents get
-// a dfDel correction (segment term entries are immutable, so their bounds
-// stay stale-high — a valid, merely looser upper bound — until a merge
-// drops the dead postings and recomputes bounds exactly). Caller holds
-// wmu; a fresh snapshot is published.
+// per-term delDF corrections bumped atomically in place — O(terms in the
+// document) per delete, no map cloning (segment postings stay immutable,
+// so their bounds stay stale-high — a valid, merely looser upper bound —
+// until a merge drops the dead postings and recomputes bounds exactly).
+// Caller holds wmu; a fresh snapshot is published.
 func (ix *Index) deleteLocked(ord int32) {
 	var id string
 	hd := ix.hd
@@ -689,14 +685,11 @@ func (ix *Index) deleteLocked(ord int32) {
 		s := ix.segByOrdLocked(ord)
 		local := s.localOf(ord)
 		id = s.docIDs[local]
-		ndf := make(map[string]int32, len(ix.dfDel)+len(s.docTerms[local]))
-		for k, v := range ix.dfDel {
-			ndf[k] = v
-		}
 		for _, t := range s.docTerms[local] {
-			ndf[t]++
+			if st, ok := s.terms[t]; ok {
+				st.delDF.Add(1)
+			}
 		}
-		ix.dfDel = ndf
 	}
 	nd := ix.dels.cloneFor(ix.nextOrd)
 	nd.set(ord)
@@ -717,12 +710,15 @@ func (ix *Index) segByOrdLocked(ord int32) *segment {
 }
 
 // Flush converts the head into an immutable segment (dropping tombstoned
-// head documents and computing exact block-max bounds) and installs a
-// fresh empty head. A no-op when the head is empty.
+// head documents and computing exact block-max bounds), installs a fresh
+// empty head, and then applies the merge policy — the same sequence Add's
+// automatic flush runs, so manual flush callers cannot accumulate
+// segments past mergeFactor indefinitely. A no-op when the head is empty.
 func (ix *Index) Flush() {
 	ix.wmu.Lock()
 	defer ix.wmu.Unlock()
 	ix.flushLocked()
+	ix.maybeMergeLocked()
 }
 
 func (ix *Index) flushLocked() {
@@ -831,8 +827,8 @@ func (ix *Index) maybeMergeLocked() {
 }
 
 // mergeRangeLocked merges segs[lo:hi) into a single segment, physically
-// dropping tombstoned documents, recomputing exact per-term and per-block
-// bounds, and removing the merged documents' dfDel corrections. Global
+// dropping tombstoned documents along with their delDF corrections and
+// recomputing exact per-term and per-block bounds. Global
 // ordinals are preserved, so searches on older snapshots stay valid and
 // segment spans stay disjoint. Caller holds wmu.
 func (ix *Index) mergeRangeLocked(lo, hi int) {
@@ -884,13 +880,12 @@ func (ix *Index) mergeRangeLocked(lo, hi int) {
 	}
 
 	// Gather postings per term across the inputs (already globally doc-
-	// sorted: segment spans are disjoint and iterated in span order) and
-	// account the build-time df so dfDel can drop the merged share.
+	// sorted: segment spans are disjoint and iterated in span order). The
+	// merged segment contains no tombstones, so its per-term df is exact
+	// and the inputs' delDF corrections die with them.
 	postings := make(map[string][]posting)
-	buildDF := make(map[string]int32)
 	for si, s := range ins {
 		for t, st := range s.terms {
-			buildDF[t] += st.df
 			for _, p := range s.materializeTerm(st) {
 				if remaps[si][p.doc] < 0 {
 					continue
@@ -902,27 +897,6 @@ func (ix *Index) mergeRangeLocked(lo, hi int) {
 	}
 
 	merged := newSegment(docIDs, docOrds, docTerms, norms, postings, ix.boostByFid, ix.compress)
-
-	// The merged segment contains no tombstones, so every dfDel correction
-	// attributable to the inputs (build df minus surviving df) is retired.
-	ndf := make(map[string]int32, len(ix.dfDel))
-	for k, v := range ix.dfDel {
-		ndf[k] = v
-	}
-	for t, bdf := range buildDF {
-		liveDF := int32(0)
-		if merged != nil {
-			if st, ok := merged.terms[t]; ok {
-				liveDF = st.df
-			}
-		}
-		if drop := bdf - liveDF; drop > 0 {
-			if ndf[t] -= drop; ndf[t] <= 0 {
-				delete(ndf, t)
-			}
-		}
-	}
-	ix.dfDel = ndf
 
 	newSegs := make([]*segment, 0, len(ix.segs)-(hi-lo)+1)
 	newSegs = append(newSegs, ix.segs[:lo]...)

@@ -106,10 +106,15 @@ type persistedV3 struct {
 	FieldNames []string
 	Boosts     map[string]float64
 	NextOrd    int32
-	DFDel      map[string]int32
-	Dels       []uint64
-	Segments   []persistedSegment
-	Head       persistedHead
+	// DFDel is the legacy global df-correction map older v3 writers
+	// persisted. Current builds keep corrections per segment term
+	// (segTerm.delDF) and recompute them from Dels + DocTerms on load —
+	// exactly the increments deleteLocked performed — so this field is
+	// no longer written and is ignored when read.
+	DFDel    map[string]int32
+	Dels     []uint64
+	Segments []persistedSegment
+	Head     persistedHead
 }
 
 // WriteTo serializes the index in format v3. The writer mutex is held for
@@ -128,7 +133,6 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 		FieldNames: ix.fieldNames,
 		Boosts:     ix.boosts,
 		NextOrd:    ix.nextOrd,
-		DFDel:      ix.dfDel,
 		Dels:       ix.dels,
 	}
 	for _, s := range ix.segs {
@@ -249,7 +253,7 @@ func (ix *Index) readV3(r io.Reader) error {
 		for f, col := range s.norms {
 			for _, n := range col {
 				if n > 0 {
-					s.lenSum[f] += 1 / float64(n) / float64(n)
+					s.lenSum[f] += lenFromNorm(n)
 					s.lenCnt[f]++
 				}
 			}
@@ -335,11 +339,25 @@ func (ix *Index) readV3(r io.Reader) error {
 	ix.segs = segs
 	ix.hd = hd
 	ix.dels = bitset(p.Dels)
-	ix.dfDel = p.DFDel
-	if ix.dfDel == nil {
-		ix.dfDel = make(map[string]int32)
-	}
 	ix.nextOrd = p.NextOrd
+
+	// Rebuild the per-segment-term df corrections from the tombstone
+	// bitmap: every tombstoned segment document bumps delDF for each of
+	// its terms — the exact increments deleteLocked performed before the
+	// save (the legacy global DFDel map, when present, recorded the same
+	// totals and is superseded by this recomputation).
+	for _, s := range segs {
+		for local, ord := range s.docOrds {
+			if !ix.dels.get(ord) {
+				continue
+			}
+			for _, t := range s.docTerms[local] {
+				if st, ok := s.terms[t]; ok {
+					st.delDF.Add(1)
+				}
+			}
+		}
+	}
 
 	live := int64(0)
 	ix.dmu.Lock()
@@ -430,7 +448,6 @@ func (ix *Index) readLegacy(r io.Reader, v1 bool) error {
 	ix.segs = nil
 	ix.hd = hd
 	ix.dels = nil
-	ix.dfDel = make(map[string]int32)
 	ix.nextOrd = int32(len(p.DocIDs))
 	ix.dmu.Lock()
 	ix.docMap = make(map[string]int32, len(p.DocIDs))

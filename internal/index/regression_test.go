@@ -1,0 +1,67 @@
+package index
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// TestFlushAppliesMergePolicy: a manual Flush must run the same merge
+// policy as an automatic head flush. Before the fix, Flush sealed a new
+// segment without ever calling maybeMergeLocked, so a caller flushing
+// between batches accumulated one segment per batch unboundedly.
+func TestFlushAppliesMergePolicy(t *testing.T) {
+	ix := New(WithFlushDocs(-1), WithMergeFactor(2)) // manual flushes only
+	for i := 0; i < 10; i++ {
+		if err := ix.Add(doc(fmt.Sprintf("d%d", i), "title", "summary text", "a b c")); err != nil {
+			t.Fatal(err)
+		}
+		ix.Flush()
+	}
+	// Factor 2 keeps the segment set collapsing as it grows: without the
+	// fix this is 10 segments, with it the policy bounds it.
+	if n := ix.NumSegments(); n > 2 {
+		t.Fatalf("10 manual flushes left %d segments; merge policy not applied", n)
+	}
+	if ix.NumDocs() != 10 {
+		t.Fatalf("merge lost documents: %d, want 10", ix.NumDocs())
+	}
+}
+
+// TestDeleteStormAllocations: deleting a document must not clone a
+// df-delta map per call. The old implementation copied the accumulated
+// deleted-term-frequency map on every delete — quadratic bytes in the
+// number of deletes — which a delete storm turned into gigabytes of
+// garbage. With per-term atomic counters the storm stays flat.
+func TestDeleteStormAllocations(t *testing.T) {
+	const docs = 2048
+	ix := New(WithFlushDocs(256), WithMergeFactor(0)) // seal segments, never merge
+	for i := 0; i < docs; i++ {
+		if err := ix.Add(doc(fmt.Sprintf("d%d", i), "alpha beta gamma delta",
+			"epsilon zeta eta theta", "iota kappa lambda mu")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix.Flush()
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < docs; i++ {
+		if !ix.Delete(fmt.Sprintf("d%d", i)) {
+			t.Fatalf("d%d not deleted", i)
+		}
+	}
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	if ix.NumDocs() != 0 {
+		t.Fatalf("%d live docs after full delete", ix.NumDocs())
+	}
+	// 2048 deletes × ~12 terms of quadratically recopied map entries would
+	// allocate hundreds of MB; atomic decrements allocate almost nothing.
+	// 64 MB gives a generous order-of-magnitude margin both ways.
+	if delta := after.TotalAlloc - before.TotalAlloc; delta > 64<<20 {
+		t.Fatalf("delete storm allocated %d MB; df-delta tracking is quadratic again", delta>>20)
+	}
+}

@@ -54,6 +54,12 @@ type SearchOptions struct {
 	// preceded the segmented format. Benchmarking aid for isolating the
 	// block-max contribution; results stay identical either way.
 	DisableBlockMax bool
+	// Global, when set, overrides the corpus statistics (live count, per-
+	// term document frequencies, BM25 average field lengths) with corpus-
+	// wide values and plugs this search into a shared top-n threshold — the
+	// hooks a sharded coordinator uses to keep per-shard searches exactly
+	// equivalent to one search of a single big index. Nil for normal use.
+	Global *GlobalStats
 }
 
 // SearchInfo reports one search's work counters — the observability payload
@@ -85,8 +91,15 @@ type SearchInfo struct {
 // convention (identifier splitting, no stopword removal), so "patientHeight"
 // and "patient height" search identically. n <= 0 means no limit.
 func (ix *Index) Search(query string, n int, opts SearchOptions) []Hit {
-	terms := ix.analyzer(FieldElements, query)
-	return ix.SearchTerms(terms, n, opts)
+	return ix.SearchTerms(ix.AnalyzeQuery(query), n, opts)
+}
+
+// AnalyzeQuery tokenizes a free-text query with the index's analyzer under
+// the elements-field convention — the tokenization Search and Explain use.
+// Exported so a sharded coordinator can analyze once and gather corpus
+// statistics for exactly the terms the shards will score.
+func (ix *Index) AnalyzeQuery(query string) []string {
+	return ix.analyzer(FieldElements, query)
 }
 
 // SearchTerms runs a pre-analyzed term list. Duplicate terms are collapsed
@@ -509,10 +522,25 @@ func (ix *Index) SearchTermsStats(terms []string, n int, opts SearchOptions) ([]
 		defer hd.mu.RUnlock()
 	}
 
+	// Sharded search: corpus-wide statistics override the local ones, and
+	// the shared threshold (if any) joins every pruning check below.
+	glive := float64(live)
+	var gdf map[string]int32
+	var shared *TopNThreshold
+	if g := opts.Global; g != nil {
+		glive = float64(g.Live)
+		gdf = g.DocFreq
+		shared = g.Threshold
+	}
+
 	k1, b := opts.bm25Params()
 	var avgLen []float64
 	if opts.BM25 {
-		avgLen = ix.avgFieldLens(sn, headOn, sc)
+		if g := opts.Global; g != nil && g.AvgFieldLen != nil {
+			avgLen = globalFieldLens(sn, g.AvgFieldLen, sc)
+		} else {
+			avgLen = ix.avgFieldLens(sn, headOn, sc)
+		}
 	}
 
 	numTerms := len(uniq)
@@ -560,10 +588,10 @@ func (ix *Index) SearchTermsStats(terms []string, n int, opts SearchOptions) ([]
 	pos := 0
 	for ti, term := range uniq {
 		start := pos
-		df := -sn.dfDel[term]
+		df := int32(0)
 		for _, sg := range sn.segs {
 			if st, ok := sg.terms[term]; ok {
-				df += st.df
+				df += st.liveDF()
 				s := &arena[pos]
 				*s = cursorSrc{dec: s.dec, seg: sg, st: st}
 				s.dec.skipPos = !proxOn // positions never read: don't materialize them
@@ -582,11 +610,17 @@ func (ix *Index) SearchTermsStats(terms []string, n int, opts SearchOptions) ([]
 				}
 			}
 		}
+		if gdf != nil {
+			// Corpus-wide df (≥ the local df whenever this shard holds any
+			// postings); the local source check below still skips terms with
+			// nothing to score here.
+			df = gdf[term]
+		}
 		if df <= 0 || pos == start {
 			pos = start
 			continue
 		}
-		idf := idfValue(float64(live), df, opts.BM25)
+		idf := idfValue(glive, df, opts.BM25)
 		ub := math.Inf(-1)
 		for i := start; i < pos; i++ {
 			s := &arena[i]
@@ -670,34 +704,71 @@ func (ix *Index) SearchTermsStats(terms []string, n int, opts SearchOptions) ([]
 		return boundSlack(s)
 	}
 	// canEnter reports whether a hit (or a bound standing in for one) could
-	// still enter the top-n heap — exact on score ties via the ID
-	// tie-break, so pruning reproduces the exhaustive heap bit for bit.
+	// still enter the global top n — exact on score ties via the ID
+	// tie-break, so pruning reproduces the exhaustive heap bit for bit. A
+	// hit must beat the local heap minimum (when the heap is full) and the
+	// shared cross-shard boundary (when one is published): either one
+	// certifies n better documents.
 	canEnter := func(hit Hit) bool {
-		return n <= 0 || len(*h) < n || less((*h)[0], hit)
+		if n > 0 && len(*h) >= n && !less((*h)[0], hit) {
+			return false
+		}
+		if shared != nil {
+			if t, ok := shared.Load(); ok && !less(t, hit) {
+				return false
+			}
+		}
+		return true
 	}
 	// push maintains the min-heap with direct sifts (no container/heap
-	// interface boxing, so inserting a Hit never allocates).
+	// interface boxing, so inserting a Hit never allocates). Once the heap
+	// is full its minimum certifies n better-or-equal documents, so it is
+	// offered to the cross-shard threshold.
 	push := func(hit Hit) {
 		if n > 0 && len(*h) >= n {
 			if less((*h)[0], hit) {
 				(*h)[0] = hit
 				h.siftDown(0)
 			}
+			if shared != nil {
+				shared.Offer((*h)[0])
+			}
 			return
 		}
 		*h = append(*h, hit)
 		h.siftUp(len(*h) - 1)
+		if shared != nil && n > 0 && len(*h) >= n {
+			shared.Offer((*h)[0])
+		}
+	}
+	// threshold returns the strongest certified lower bound on the global
+	// top-n boundary score: the local heap minimum (full heap) or the
+	// shared cross-shard boundary, whichever is higher.
+	threshold := func() (float64, bool) {
+		top, ok := 0.0, false
+		if n > 0 && len(*h) >= n {
+			top, ok = (*h)[0].Score, true
+		}
+		if shared != nil {
+			if t, tok := shared.Load(); tok && (!ok || t.Score > top) {
+				top, ok = t.Score, true
+			}
+		}
+		return top, ok
 	}
 
 	// firstEss partitions order: order[:firstEss] are the non-essential
-	// lists (their summed bounds cannot beat the heap threshold), the rest
+	// lists (their summed bounds cannot beat the threshold), the rest
 	// are essential and drive the merge. Only grows as the threshold rises.
 	firstEss := 0
 	advanceBoundary := func() {
-		if !info.Pruned || len(*h) < n {
+		if !info.Pruned {
 			return
 		}
-		top := (*h)[0].Score
+		top, ok := threshold()
+		if !ok {
+			return
+		}
 		for firstEss < len(order) && boundFinal(prefix[firstEss+1], firstEss+1) < top {
 			firstEss++
 		}
@@ -728,6 +799,12 @@ func (ix *Index) SearchTermsStats(terms []string, n int, opts SearchOptions) ([]
 	}
 
 	for {
+		// A concurrent shard may have raised the shared threshold since the
+		// last push; re-partition the lists against it so this shard's
+		// pruning keeps pace with the global boundary.
+		if shared != nil {
+			advanceBoundary()
+		}
 		// Next doc: the minimum ordinal under the essential cursors. When
 		// every essential list is exhausted, all remaining docs live only
 		// in non-essential lists and are provably below the threshold.
@@ -760,7 +837,8 @@ func (ix *Index) SearchTermsStats(terms []string, n int, opts SearchOptions) ([]
 		// other-essential cursor, so every cursor at d jumps there in one
 		// seek — bypassed blocks are never decoded. Ties defer to the exact
 		// per-document path so the heap stays bit-identical to exhaustive.
-		if info.Pruned && n > 0 && len(*h) >= n {
+		top, tok := threshold()
+		if info.Pruned && n > 0 && tok {
 			essUB := prefix[firstEss]
 			cnt := firstEss
 			atD := 0
@@ -786,7 +864,7 @@ func (ix *Index) SearchTermsStats(terms []string, n int, opts SearchOptions) ([]
 			}
 			if !canEnter(Hit{ID: dID, Score: boundFinal(essUB, cnt)}) {
 				info.DocsPruned++
-				if !opts.DisableBlockMax && shallow > d && boundFinal(essUB, cnt) < (*h)[0].Score {
+				if !opts.DisableBlockMax && shallow > d && boundFinal(essUB, cnt) < top {
 					for _, oi := range order[firstEss:] {
 						if cursors[oi].cur() == d {
 							cursors[oi].seek(shallow+1, &info)
@@ -816,7 +894,7 @@ func (ix *Index) SearchTermsStats(terms []string, n int, opts SearchOptions) ([]
 		// enter the heap. Seeks bypass whole undecoded blocks; a list whose
 		// current block does not span d is never decoded at all.
 		abandoned := false
-		if firstEss > 0 && n > 0 && len(*h) >= n {
+		if firstEss > 0 && n > 0 && tok {
 			if !canEnter(Hit{ID: dID, Score: boundFinal(boundBase+prefix[firstEss], m+firstEss)}) {
 				abandoned = true
 			} else {
@@ -945,7 +1023,7 @@ func (ix *Index) avgFieldLens(sn *snapshot, headOn bool, sc *searchScratch) []fl
 		if headOn && f < len(hd.norms) {
 			for local, norm := range hd.norms[f] {
 				if norm > 0 && !hd.deleted[local] {
-					total += 1 / float64(norm) / float64(norm)
+					total += lenFromNorm(norm)
 					cnt++
 				}
 			}
@@ -954,6 +1032,18 @@ func (ix *Index) avgFieldLens(sn *snapshot, headOn bool, sc *searchScratch) []fl
 			avgLen[f] = total / float64(cnt)
 		}
 	}
+	return avgLen
+}
+
+// globalFieldLens materializes coordinator-provided per-field-name average
+// lengths into the per-field-id layout the scorer consumes, using the
+// snapshot's field table. The result lives in the search's scratch buffer.
+func globalFieldLens(sn *snapshot, byName map[string]float64, sc *searchScratch) []float64 {
+	avgLen := growFloats(sc.avgLen, len(sn.fieldNames))
+	for fid, name := range sn.fieldNames {
+		avgLen[fid] = byName[name]
+	}
+	sc.avgLen = avgLen
 	return avgLen
 }
 
@@ -1094,11 +1184,8 @@ func (ix *Index) Terms() []TermStats {
 	dfs := make(map[string]int32)
 	for _, sg := range sn.segs {
 		for t, st := range sg.terms {
-			dfs[t] += st.df
+			dfs[t] += st.liveDF()
 		}
-	}
-	for t, n := range sn.dfDel {
-		dfs[t] -= n
 	}
 	hd := sn.hd
 	hd.mu.RLock()
@@ -1196,21 +1283,35 @@ func (ix *Index) Explain(query string, id string, opts SearchOptions) *Explanati
 		}
 	}
 
+	// Sharded explain: the same corpus-wide overrides SearchTermsStats
+	// honors, so a sharded coordinator's Explain matches its Search.
+	glive := float64(live)
+	var gdf map[string]int32
+	if g := opts.Global; g != nil {
+		glive = float64(g.Live)
+		gdf = g.DocFreq
+	}
+
 	k1, b := opts.bm25Params()
 	var avgLen []float64
 	if opts.BM25 {
 		sc := scratchPool.Get().(*searchScratch)
-		src := ix.avgFieldLens(sn, headOn, sc)
+		var src []float64
+		if g := opts.Global; g != nil && g.AvgFieldLen != nil {
+			src = globalFieldLens(sn, g.AvgFieldLen, sc)
+		} else {
+			src = ix.avgFieldLens(sn, headOn, sc)
+		}
 		avgLen = append([]float64(nil), src...)
 		sc.release()
 	}
 	ex := &Explanation{ID: id, PerTerm: make(map[string]float64), TermsInNeed: len(uniq)}
 	var positions [][]int32 // per matched term, this doc's positions
 	for _, term := range uniq {
-		df := -sn.dfDel[term]
+		df := int32(0)
 		for _, s := range sn.segs {
 			if st, ok := s.terms[term]; ok {
-				df += st.df
+				df += st.liveDF()
 			}
 		}
 		if headOn {
@@ -1218,10 +1319,13 @@ func (ix *Index) Explain(query string, id string, opts SearchOptions) *Explanati
 				df += e.df
 			}
 		}
+		if gdf != nil {
+			df = gdf[term]
+		}
 		if df <= 0 {
 			continue
 		}
-		idf := idfValue(float64(live), df, opts.BM25)
+		idf := idfValue(glive, df, opts.BM25)
 		var ps []posting
 		if inHead {
 			if e, ok := hd.terms[term]; ok {

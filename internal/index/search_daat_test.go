@@ -485,7 +485,7 @@ func TestBoundsSoundness(t *testing.T) {
 				if st.maxFreq <= 0 {
 					t.Fatalf("%s: segment %d term %q: no bounds on a built segment", stage, si, term)
 				}
-				df := st.df - sn.dfDel[term]
+				df := st.liveDF()
 				if df <= 0 {
 					df = 1
 				}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // blockDocs is the number of distinct documents carved into one postings
@@ -44,9 +45,29 @@ type segTerm struct {
 	raw    []posting
 	blocks []blockMeta
 
+	// delDF counts build-time documents of this term that have since been
+	// tombstoned — the per-term document-frequency correction. It is the
+	// only mutable cell in a segment: deletes increment it atomically in
+	// place (O(terms-in-doc) per delete), searches read it once when
+	// computing IDF, and merges discard it along with the tombstones.
+	delDF atomic.Int32
+
 	maxClassic  float64
 	maxBoostSum float64
 	maxFreq     int32
+}
+
+// liveDF is the term's live document frequency within this segment.
+func (st *segTerm) liveDF() int32 { return st.df - st.delDF.Load() }
+
+// lenFromNorm recovers a field's token length from its stored norm
+// (norm = float32(1/sqrt(len))), rounded back to the integer the norm was
+// built from. Rounding makes every length-sum aggregate an exact integer
+// (up to 2^53), so summation order can never change a BM25 average length
+// by an ulp — the property a sharded coordinator relies on when it merges
+// per-shard sums and must reproduce the single-index average bit-for-bit.
+func lenFromNorm(n float32) float64 {
+	return math.Round(1 / float64(n) / float64(n))
 }
 
 // queryUpperBound mirrors termEntry.queryUpperBound for a segment term.
@@ -83,7 +104,7 @@ func boundsUpperBound(idf float64, bm25 bool, k1, b float64, maxClassic, maxBoos
 // distinct segments never overlap) with per-term blocked postings.
 // Nothing in a segment is ever mutated after newSegment returns; deletes
 // are tracked outside it (the snapshot's global tombstone bitmap and
-// per-term dfDel adjustments) until a merge drops the dead documents.
+// per-term delDF counters) until a merge drops the dead documents.
 type segment struct {
 	docIDs   []string
 	docOrds  []int32 // local → global ordinal, strictly ascending
@@ -143,7 +164,7 @@ func newSegment(docIDs []string, docOrds []int32, docTerms [][]string, norms [][
 	for f, col := range norms {
 		for _, n := range col {
 			if n > 0 {
-				s.lenSum[f] += 1 / float64(n) / float64(n)
+				s.lenSum[f] += lenFromNorm(n)
 				s.lenCnt[f]++
 			}
 		}

@@ -85,6 +85,11 @@ type Metrics struct {
 	// them (serialization + fsync + rename + dir fsync).
 	Snapshots       *obs.Counter
 	SnapshotSeconds *obs.Histogram
+	// ReplicaApplied counts records applied from a replication primary;
+	// ReplicaLag is the last observed primary LSN minus the local LSN
+	// (0 when caught up, and always 0 on a primary).
+	ReplicaApplied *obs.Counter
+	ReplicaLag     *obs.Gauge
 }
 
 // NewMetrics registers the durability metric families on reg and returns
@@ -100,6 +105,8 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		RecoveriesTornTail: reg.Counter("schemr_recovery_total", "Repository recoveries by outcome.", obs.Labels{"outcome": "torn_tail"}),
 		Snapshots:          reg.Counter("schemr_snapshots_total", "Successful repository snapshots.", nil),
 		SnapshotSeconds:    reg.Histogram("schemr_snapshot_seconds", "Repository snapshot duration (serialize + fsync + rename).", nil, nil),
+		ReplicaApplied:     reg.Counter("schemr_replica_applied_total", "WAL records applied from a replication primary.", nil),
+		ReplicaLag:         reg.Gauge("schemr_replica_lag", "Replication lag in WAL records (primary LSN minus local LSN).", nil),
 	}
 }
 
@@ -264,6 +271,7 @@ func (r *Repository) logRecord(rec *walRecord) error {
 		return err
 	}
 	r.lsn = rec.Lsn
+	r.retainLocked(rec.Lsn, payload)
 	return nil
 }
 

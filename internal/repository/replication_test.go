@@ -1,0 +1,198 @@
+package repository
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// replPair opens a durable primary and a durable replica in separate
+// directories.
+func replPair(t *testing.T) (primary, replica *Repository) {
+	t.Helper()
+	pd, rd := t.TempDir(), t.TempDir()
+	var err error
+	primary, _, err = Recover(filepath.Join(pd, "repo.json"), filepath.Join(pd, "repo.wal"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica, _, err = Recover(filepath.Join(rd, "repo.json"), filepath.Join(rd, "repo.wal"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { primary.Close(); replica.Close() })
+	return primary, replica
+}
+
+// catchUp streams the primary's retained records into the replica and
+// returns how many were applied. Fails the test on a gap or resync.
+func catchUp(t *testing.T, primary, replica *Repository) int {
+	t.Helper()
+	batch := primary.RecordsSince(replica.LSN())
+	if batch.Resync {
+		t.Fatalf("unexpected resync at lsn %d (primary at %d)", replica.LSN(), batch.LSN)
+	}
+	applied := 0
+	for _, rec := range batch.Records {
+		ok, err := replica.ApplyReplicated(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			applied++
+		}
+	}
+	return applied
+}
+
+func TestReplicationStreamRoundTrip(t *testing.T) {
+	primary, replica := replPair(t)
+
+	var ids []string
+	for i := 0; i < 8; i++ {
+		id, err := primary.Put(sch(fmt.Sprintf("schema-%d", i), "a", "b"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if n := catchUp(t, primary, replica); n != 8 {
+		t.Fatalf("applied %d records, want 8", n)
+	}
+	if replica.LSN() != primary.LSN() {
+		t.Fatalf("replica lsn %d != primary %d", replica.LSN(), primary.LSN())
+	}
+	if replica.Len() != primary.Len() {
+		t.Fatalf("replica holds %d schemas, primary %d", replica.Len(), primary.Len())
+	}
+
+	// A second round with mixed mutations, and an idempotent re-apply.
+	primary.Delete(ids[0])
+	primary.Tag(ids[1], "gold")
+	if _, err := primary.Put(sch("late", "x")); err != nil {
+		t.Fatal(err)
+	}
+	batch := primary.RecordsSince(replica.LSN())
+	catchUp(t, primary, replica)
+	for _, rec := range batch.Records { // duplicates must be skipped, not fail
+		if ok, err := replica.ApplyReplicated(rec); err != nil || ok {
+			t.Fatalf("re-apply: ok=%v err=%v, want skip", ok, err)
+		}
+	}
+	if replica.Get(ids[0]) != nil {
+		t.Fatal("replicated delete not applied")
+	}
+	if e := replica.Entry(ids[1]); e == nil || len(e.Tags) != 1 || e.Tags[0] != "gold" {
+		t.Fatalf("replicated tag not applied: %+v", e)
+	}
+	if replica.Len() != primary.Len() || replica.LSN() != primary.LSN() {
+		t.Fatalf("replica (%d schemas, lsn %d) != primary (%d, %d)",
+			replica.Len(), replica.LSN(), primary.Len(), primary.LSN())
+	}
+}
+
+// TestReplicaSurvivesRestart: applied records are fsynced into the
+// replica's own WAL with the primary's LSNs, so a killed replica recovers
+// its position and keeps streaming.
+func TestReplicaSurvivesRestart(t *testing.T) {
+	primary, replica := replPair(t)
+	rdSnap, rdWal := replica.walPaths(t)
+
+	for i := 0; i < 5; i++ {
+		if _, err := primary.Put(sch(fmt.Sprintf("s%d", i), "a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	catchUp(t, primary, replica)
+	lsn := replica.LSN()
+	replica.Close() // crash stand-in: recovery reads the same files
+
+	reopened, stats, err := Recover(rdSnap, rdWal, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if reopened.LSN() != lsn {
+		t.Fatalf("recovered lsn %d, want %d (stats %+v)", reopened.LSN(), lsn, stats)
+	}
+	if reopened.Len() != 5 {
+		t.Fatalf("recovered %d schemas, want 5", reopened.Len())
+	}
+
+	// The recovered replica continues streaming from its LSN.
+	if _, err := primary.Put(sch("after-restart", "x")); err != nil {
+		t.Fatal(err)
+	}
+	if n := catchUp(t, primary, reopened); n != 1 {
+		t.Fatalf("applied %d after restart, want 1", n)
+	}
+	if reopened.LSN() != primary.LSN() {
+		t.Fatalf("lsn %d != primary %d", reopened.LSN(), primary.LSN())
+	}
+}
+
+// walPaths reconstructs the file paths a test replica was recovered from.
+func (r *Repository) walPaths(t *testing.T) (snap, wal string) {
+	t.Helper()
+	if r.wal == nil {
+		t.Fatal("repository has no WAL attached")
+	}
+	return filepath.Join(filepath.Dir(r.wal.path), "repo.json"), r.wal.path
+}
+
+// TestReplicationResync: a replica below the retention window is told to
+// resync and recovers via ExportState/InstallState.
+func TestReplicationResync(t *testing.T) {
+	primary, replica := replPair(t)
+	primary.retainCap = 4 // shrink the ring so the window ages out fast
+
+	for i := 0; i < 12; i++ {
+		if _, err := primary.Put(sch(fmt.Sprintf("s%d", i), "a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch := primary.RecordsSince(replica.LSN())
+	if !batch.Resync {
+		t.Fatalf("want resync (replica at %d, ring holds last 4 of %d)", replica.LSN(), batch.LSN)
+	}
+
+	state, lsn, err := primary.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := replica.InstallState(state); err != nil {
+		t.Fatal(err)
+	}
+	if replica.LSN() != lsn || replica.Len() != primary.Len() {
+		t.Fatalf("installed lsn %d len %d, want %d/%d", replica.LSN(), replica.Len(), lsn, primary.Len())
+	}
+
+	// Streaming resumes seamlessly after the install.
+	if _, err := primary.Put(sch("post-resync", "x")); err != nil {
+		t.Fatal(err)
+	}
+	if n := catchUp(t, primary, replica); n != 1 {
+		t.Fatalf("applied %d post-resync, want 1", n)
+	}
+}
+
+// TestReplicationGapDetected: a record that skips an LSN is rejected so a
+// replica can never silently diverge.
+func TestReplicationGapDetected(t *testing.T) {
+	primary, replica := replPair(t)
+	for i := 0; i < 3; i++ {
+		if _, err := primary.Put(sch(fmt.Sprintf("s%d", i), "a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch := primary.RecordsSince(0)
+	if len(batch.Records) != 3 {
+		t.Fatalf("%d records, want 3", len(batch.Records))
+	}
+	if _, err := replica.ApplyReplicated(batch.Records[2]); err == nil {
+		t.Fatal("lsn 3 applied onto empty replica; want gap error")
+	}
+	if ok, err := replica.ApplyReplicated(batch.Records[0]); err != nil || !ok {
+		t.Fatalf("lsn 1: ok=%v err=%v", ok, err)
+	}
+}

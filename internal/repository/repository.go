@@ -69,6 +69,12 @@ type Repository struct {
 	pendingUsage  map[string]Usage
 	pendingUsageN int
 	met           *Metrics
+
+	// Replication: the ring of recently acknowledged WAL records a
+	// replica can stream (see replication.go). retainCap 0 means the
+	// default replicationRetention; tests shrink it.
+	recent    []retainedRecord
+	retainCap int
 }
 
 // New returns an empty repository.
@@ -469,8 +475,15 @@ func Open(path string) (*Repository, error) {
 	if err := json.NewDecoder(bufio.NewReader(f)).Decode(&p); err != nil {
 		return nil, fmt.Errorf("repository: open %s: %w", path, err)
 	}
+	return fromPersisted(&p, path)
+}
+
+// fromPersisted materializes a repository from a decoded snapshot,
+// validating every entry. src names the source in errors (a file path or
+// "replication export").
+func fromPersisted(p *persisted, src string) (*Repository, error) {
 	if p.Version != 1 {
-		return nil, fmt.Errorf("repository: open %s: unsupported version %d", path, p.Version)
+		return nil, fmt.Errorf("repository: open %s: unsupported version %d", src, p.Version)
 	}
 	r := New()
 	r.nextID = p.NextID
@@ -482,13 +495,13 @@ func Open(path string) (*Repository, error) {
 	for _, id := range p.Order {
 		e, ok := p.Entries[id]
 		if !ok || e.Schema == nil {
-			return nil, fmt.Errorf("repository: open %s: order lists %q but entry missing", path, id)
+			return nil, fmt.Errorf("repository: open %s: order lists %q but entry missing", src, id)
 		}
 		if err := e.Schema.Validate(); err != nil {
-			return nil, fmt.Errorf("repository: open %s: %w", path, err)
+			return nil, fmt.Errorf("repository: open %s: %w", src, err)
 		}
 		if e.Schema.ID != id {
-			return nil, fmt.Errorf("repository: open %s: entry %q holds schema id %q", path, id, e.Schema.ID)
+			return nil, fmt.Errorf("repository: open %s: entry %q holds schema id %q", src, id, e.Schema.ID)
 		}
 		r.entries[id] = e
 		r.order = append(r.order, id)

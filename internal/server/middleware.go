@@ -46,6 +46,10 @@ type Config struct {
 	// /debug/vars. Off by default: profiling endpoints should be opted into,
 	// not exposed on every deployment.
 	EnablePprof bool
+	// ReadOnly rejects every mutating route (imports, deletes, selection
+	// and usage recording) with 403 — the mode a replication replica runs
+	// in, where local writes would fork the replicated LSN sequence.
+	ReadOnly bool
 	// Checkpoint persists the deployment's durable state (typically
 	// System.Save: index + repository snapshot + WAL truncation). When set,
 	// StartCheckpointer runs it on a schedule and Shutdown runs it one

@@ -100,11 +100,11 @@ func NewWithConfig(engine *core.Engine, cfg Config) *Server {
 	s.handle("GET /api/schema/{id}", s.deadlined(s.handleSchemaGraphML))
 	s.handle("GET /api/schema/{id}/svg", s.deadlined(s.handleSchemaSVG))
 	s.handle("GET /api/schema/{id}/ddl", s.deadlined(s.handleSchemaDDL))
-	s.handle("POST /api/schemas", s.deadlined(s.handleImport))
-	s.handle("DELETE /api/schema/{id}", s.deadlined(s.handleDelete))
+	s.handle("POST /api/schemas", s.readOnly(s.deadlined(s.handleImport), s.writeXMLErr))
+	s.handle("DELETE /api/schema/{id}", s.readOnly(s.deadlined(s.handleDelete), s.writeXMLErr))
 	s.handle("GET /api/stats", s.deadlined(s.handleStats))
 	s.handle("GET /api/codebook", s.deadlined(s.handleCodebook))
-	s.handle("POST /api/schema/{id}/select", s.deadlined(s.handleSelect))
+	s.handle("POST /api/schema/{id}/select", s.readOnly(s.deadlined(s.handleSelect), s.writeXMLErr))
 	s.handle("GET /api/schemas", s.deadlined(s.handleList))
 
 	// Versioned JSON surface (see api_v1.go).
@@ -112,12 +112,17 @@ func NewWithConfig(engine *core.Engine, cfg Config) *Server {
 	s.handle("GET /api/v1/search", v1search)
 	s.handle("POST /api/v1/search", v1search)
 	s.handle("GET /api/v1/schemas", s.deadlined(s.v1List))
-	s.handle("POST /api/v1/schemas", s.deadlined(s.v1Import))
+	s.handle("POST /api/v1/schemas", s.readOnly(s.deadlined(s.v1Import), s.writeJSONErr))
 	s.handle("GET /api/v1/schema/{id}", s.deadlined(s.v1Schema))
-	s.handle("DELETE /api/v1/schema/{id}", s.deadlined(s.v1Delete))
+	s.handle("DELETE /api/v1/schema/{id}", s.readOnly(s.deadlined(s.v1Delete), s.writeJSONErr))
 	s.handle("GET /api/v1/schema/{id}/ddl", s.deadlined(s.v1DDL))
-	s.handle("POST /api/v1/schema/{id}/select", s.deadlined(s.v1Select))
+	s.handle("POST /api/v1/schema/{id}/select", s.readOnly(s.deadlined(s.v1Select), s.writeJSONErr))
 	s.handle("GET /api/v1/stats", s.deadlined(s.v1Stats))
+
+	// Replication surface (see replication.go): read-only state export and
+	// WAL streaming for replicas.
+	s.handle("GET /api/v1/replication/state", s.deadlined(s.v1ReplicationState))
+	s.handle("GET /api/v1/replication/wal", s.deadlined(s.v1ReplicationWAL))
 
 	// Observability endpoints.
 	if !cfg.DisableMetricsEndpoint {
@@ -399,8 +404,12 @@ func (s *Server) runSearch(r *http.Request) (*searchOutcome, *apiErr) {
 		rows = append(rows, row)
 		ids = append(ids, res.ID)
 	}
-	// Usage statistics: every returned result is an impression.
-	s.engine.Repository().RecordImpressions(ids...)
+	// Usage statistics: every returned result is an impression. A read-only
+	// replica records nothing — a locally logged usage record would claim
+	// the LSN the next replicated record needs.
+	if !s.cfg.ReadOnly {
+		s.engine.Repository().RecordImpressions(ids...)
+	}
 	return &searchOutcome{
 		req: req, query: q, rows: rows, stats: stats, total: total,
 		trace: tr.Spans(),

@@ -1,0 +1,243 @@
+// Package shard implements in-process sharded candidate extraction: a
+// Group hash-partitions documents across N index.Index shards and runs
+// phase-1 searches scatter-gather — corpus statistics are gathered up
+// front so every shard scores with globally correct IDF and BM25
+// normalization (dfs_query_then_fetch), the shards search in parallel
+// while exchanging a shared top-n threshold (so shard-local MaxScore and
+// block-max pruning stay globally sound), and the per-shard top-n lists
+// are merged with the engine's score-then-ID tie-break. The merged result
+// is byte-identical to searching one index holding every document: same
+// IDs, same scores, same order.
+package shard
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"schemr/internal/index"
+)
+
+// Partition returns the owning shard of a document ID among n shards —
+// FNV-1a over the ID, so placement is stable across restarts and
+// processes that agree on n.
+func Partition(id string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return int(h.Sum32() % uint32(n))
+}
+
+// Group is a fixed-size set of index shards behind one coordinator. All
+// document routing is by Partition of the external ID, so updates and
+// deletes always land on the shard holding the previous version. Safe for
+// concurrent use to the same degree index.Index is.
+type Group struct {
+	shards []*index.Index
+}
+
+// New builds a group of n shards (n < 1 is treated as 1), constructing
+// each shard with build — typically a closure applying the engine's index
+// options so every shard shares analyzer, boosts and metrics hooks.
+func New(n int, build func() *index.Index) *Group {
+	if n < 1 {
+		n = 1
+	}
+	g := &Group{shards: make([]*index.Index, n)}
+	for i := range g.shards {
+		g.shards[i] = build()
+	}
+	return g
+}
+
+// NumShards returns the number of shards in the group.
+func (g *Group) NumShards() int { return len(g.shards) }
+
+// Shards returns the underlying shard indexes in partition order, for
+// persistence and diagnostics. Callers must not re-slice or reorder.
+func (g *Group) Shards() []*index.Index { return g.shards }
+
+// Owner returns the shard that owns (or would own) the given document ID.
+func (g *Group) Owner(id string) *index.Index {
+	return g.shards[Partition(id, len(g.shards))]
+}
+
+// Add routes the document to its owning shard (replacing any previous
+// version, which the stable partition guarantees lives there).
+func (g *Group) Add(doc index.Document) error {
+	return g.Owner(doc.ID).Add(doc)
+}
+
+// Delete removes the document from its owning shard.
+func (g *Group) Delete(id string) bool {
+	return g.Owner(id).Delete(id)
+}
+
+// Has reports whether any shard holds a live document with the given ID.
+func (g *Group) Has(id string) bool { return g.Owner(id).Has(id) }
+
+// NumDocs returns the number of live documents across all shards.
+func (g *Group) NumDocs() int {
+	n := 0
+	for _, sh := range g.shards {
+		n += sh.NumDocs()
+	}
+	return n
+}
+
+// NumSegments returns the total immutable segment count across shards.
+func (g *Group) NumSegments() int {
+	n := 0
+	for _, sh := range g.shards {
+		n += sh.NumSegments()
+	}
+	return n
+}
+
+// DocFreq returns the live corpus-wide document frequency of a term.
+func (g *Group) DocFreq(term string) int {
+	df := 0
+	for _, sh := range g.shards {
+		df += sh.DocFreq(term)
+	}
+	return df
+}
+
+// Maintain runs the merge policy on every shard.
+func (g *Group) Maintain() {
+	for _, sh := range g.shards {
+		sh.Maintain()
+	}
+}
+
+// AnalyzeQuery tokenizes a query with the shards' analyzer (all shards
+// are built identically, so shard 0 speaks for the group).
+func (g *Group) AnalyzeQuery(query string) []string {
+	return g.shards[0].AnalyzeQuery(query)
+}
+
+// SearchTerms runs a pre-analyzed term list across the group and returns
+// the merged global top n.
+func (g *Group) SearchTerms(terms []string, n int, opts index.SearchOptions) []index.Hit {
+	hits, _ := g.SearchTermsStats(terms, n, opts)
+	return hits
+}
+
+// SearchTermsStats is SearchTerms returning the summed per-shard work
+// counters. A single-shard group delegates directly; a multi-shard group
+// gathers corpus statistics, scatters the search across all shards in
+// parallel with a shared top-n threshold, and merges the per-shard top-n
+// lists under the global result order (HitBefore).
+func (g *Group) SearchTermsStats(terms []string, n int, opts index.SearchOptions) ([]index.Hit, index.SearchInfo) {
+	if len(g.shards) == 1 {
+		return g.shards[0].SearchTermsStats(terms, n, opts)
+	}
+	opts.Global = g.gather(terms, opts, true)
+	if opts.Global == nil {
+		return nil, index.SearchInfo{}
+	}
+
+	type shardOut struct {
+		hits []index.Hit
+		info index.SearchInfo
+	}
+	outs := make([]shardOut, len(g.shards))
+	var wg sync.WaitGroup
+	for i, sh := range g.shards {
+		wg.Add(1)
+		go func(i int, sh *index.Index) {
+			defer wg.Done()
+			outs[i].hits, outs[i].info = sh.SearchTermsStats(terms, n, opts)
+		}(i, sh)
+	}
+	wg.Wait()
+
+	var info index.SearchInfo
+	total := 0
+	for i := range outs {
+		total += len(outs[i].hits)
+		info.TermsScored += outs[i].info.TermsScored
+		info.PostingsTouched += outs[i].info.PostingsTouched
+		info.PostingsSkipped += outs[i].info.PostingsSkipped
+		info.DocsPruned += outs[i].info.DocsPruned
+		info.BlocksSkipped += outs[i].info.BlocksSkipped
+		info.Pruned = info.Pruned || outs[i].info.Pruned
+	}
+
+	// Every global top-n hit survives in its own shard's local top n (a
+	// hit is only suppressed by n provably better documents), so merging
+	// the unions and truncating reproduces the single-index result
+	// exactly — scores included, since every shard scored with global
+	// statistics.
+	merged := make([]index.Hit, 0, total)
+	for i := range outs {
+		merged = append(merged, outs[i].hits...)
+	}
+	sort.Slice(merged, func(a, b int) bool { return index.HitBefore(merged[a], merged[b]) })
+	if n > 0 && len(merged) > n {
+		merged = merged[:n]
+	}
+	return merged, info
+}
+
+// Explain recomputes one document's coarse score on its owning shard,
+// under the same corpus-wide statistics a group search would use, so the
+// explanation total equals the merged search's Hit.Score exactly.
+func (g *Group) Explain(query string, id string, opts index.SearchOptions) *index.Explanation {
+	if len(g.shards) > 1 {
+		opts.Global = g.gather(g.AnalyzeQuery(query), opts, false)
+	}
+	return g.Owner(id).Explain(query, id, opts)
+}
+
+// gather assembles the corpus-wide statistics for one search: the live
+// document count, per-term document frequencies for the deduplicated
+// query terms, BM25 average field lengths (merged from exact per-shard
+// integer length sums), and — for scattered searches — a fresh shared
+// top-n threshold. Returns nil when the corpus is empty.
+func (g *Group) gather(terms []string, opts index.SearchOptions, threshold bool) *index.GlobalStats {
+	live := int64(0)
+	for _, sh := range g.shards {
+		live += int64(sh.NumDocs())
+	}
+	if live == 0 {
+		return nil
+	}
+	gs := &index.GlobalStats{Live: live, DocFreq: make(map[string]int32, len(terms))}
+	for _, t := range terms {
+		if t == "" {
+			continue
+		}
+		if _, ok := gs.DocFreq[t]; ok {
+			continue
+		}
+		df := int32(0)
+		for _, sh := range g.shards {
+			df += int32(sh.DocFreq(t))
+		}
+		gs.DocFreq[t] = df
+	}
+	if opts.BM25 {
+		sums := make(map[string]index.FieldLen)
+		for _, sh := range g.shards {
+			for name, fl := range sh.FieldLens() {
+				cur := sums[name]
+				cur.Sum += fl.Sum
+				cur.Count += fl.Count
+				sums[name] = cur
+			}
+		}
+		gs.AvgFieldLen = make(map[string]float64, len(sums))
+		for name, fl := range sums {
+			if fl.Count > 0 {
+				gs.AvgFieldLen[name] = fl.Sum / float64(fl.Count)
+			}
+		}
+	}
+	if threshold {
+		gs.Threshold = new(index.TopNThreshold)
+	}
+	return gs
+}
