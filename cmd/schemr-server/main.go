@@ -19,13 +19,26 @@
 // -shards hash-partitions the document index into N in-process shards
 // searched in parallel (results byte-identical to one shard), and
 // -replica-of turns the server into a read-only replica that streams the
-// named primary's WAL (mutating routes answer 403).
+// named primary's WAL (mutating routes answer 403). When the primary runs
+// with -auth, give the replica the primary's credential with -replica-key
+// (or open the primary's replication endpoints with -replication-open).
+//
+// -auth turns on multi-tenant serving: every /api request must present an
+// API key (Authorization: Bearer or X-API-Key), keys are minted and revoked
+// through POST/DELETE /api/v1/tenants/{id}/keys under the -admin-key
+// bootstrap credential, each tenant operates in its own namespace, and
+// per-tenant admission (-tenant-qps, -tenant-burst, -tenant-inflight)
+// answers 429 + Retry-After before one tenant can starve the shared
+// in-flight gate.
 //
 // Usage:
 //
 //	schemr-server -data DIR [-addr :8080] [-sync 30s]
 //	              [-wal=true] [-snapshot-interval 5m]
 //	              [-shards 1] [-replica-of URL] [-replica-poll 1s]
+//	              [-replica-key KEY] [-replication-open]
+//	              [-auth -admin-key KEY] [-tenant-qps 25]
+//	              [-tenant-burst 50] [-tenant-inflight 8]
 //	              [-timeout 10s] [-max-inflight 64] [-slow 1s]
 //	              [-metrics=true] [-pprof]
 package main
@@ -65,7 +78,17 @@ func main() {
 	shards := flag.Int("shards", 1, "hash-partition the document index into this many shards searched in parallel (results identical to 1)")
 	replicaOf := flag.String("replica-of", "", "primary base URL to replicate from (e.g. http://primary:8080); serves read-only and streams the primary's WAL")
 	replicaPoll := flag.Duration("replica-poll", time.Second, "replication poll interval (with -replica-of)")
+	replicaKey := flag.String("replica-key", "", "API key the replica presents to an authenticated primary (with -replica-of)")
+	replicationOpen := flag.Bool("replication-open", false, "with -auth, leave the replication endpoints open to unauthenticated callers (trusted networks only)")
+	auth := flag.Bool("auth", false, "require an API key on every /api request and serve each tenant in its own namespace")
+	adminKey := flag.String("admin-key", "", "bootstrap admin credential for key management and global views (required with -auth)")
+	tenantQPS := flag.Float64("tenant-qps", 25, "per-tenant sustained request rate before 429 (with -auth; non-positive disables)")
+	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant burst headroom above -tenant-qps (0 = 2x qps)")
+	tenantInflight := flag.Int("tenant-inflight", 8, "per-tenant concurrent request cap before 429 (with -auth; negative disables)")
 	flag.Parse()
+	if *auth && *adminKey == "" {
+		log.Fatalf("schemr-server: -auth requires -admin-key (the bootstrap credential that mints tenant keys)")
+	}
 
 	var opts schemr.EngineOptions
 	opts.Index.DisablePruning = !*pruning
@@ -108,6 +131,12 @@ func main() {
 		DisableMetricsEndpoint: !*metrics,
 		EnablePprof:            *pprofFlag,
 		ReadOnly:               *replicaOf != "",
+		AuthEnabled:            *auth,
+		AdminKey:               *adminKey,
+		TenantQPS:              *tenantQPS,
+		TenantBurst:            *tenantBurst,
+		TenantInFlight:         *tenantInflight,
+		ReplicationOpen:        *replicationOpen,
 		Checkpoint: func() error {
 			if err := sys.Repo.FlushUsage(); err != nil {
 				log.Printf("schemr-server: usage flush: %v", err)
@@ -138,7 +167,7 @@ func main() {
 		log.Printf("replicating from %s every %v (read-only)", *replicaOf, *replicaPoll)
 		go func() {
 			defer close(replicaDone)
-			runReplica(ctx, sys, *replicaOf, *replicaPoll, *data)
+			runReplica(ctx, sys, *replicaOf, *replicaKey, *replicaPoll, *data)
 		}()
 	} else {
 		close(replicaDone)
@@ -180,8 +209,8 @@ func main() {
 // primary's full state export, rebuilds the index and snapshots, then
 // resumes streaming. The schemr_replica_lag gauge tracks primary LSN minus
 // local LSN after every poll.
-func runReplica(ctx context.Context, sys *schemr.System, primary string, poll time.Duration, dataDir string) {
-	client := &http.Client{Timeout: 30 * time.Second}
+func runReplica(ctx context.Context, sys *schemr.System, primary, key string, poll time.Duration, dataDir string) {
+	client := &replicaClient{http: &http.Client{Timeout: 30 * time.Second}, key: key}
 	lag := sys.Engine.Metrics().Gauge("schemr_replica_lag",
 		"Replication lag in WAL records (primary LSN minus local LSN).", nil)
 	primary = strings.TrimRight(primary, "/")
@@ -201,7 +230,7 @@ func runReplica(ctx context.Context, sys *schemr.System, primary string, poll ti
 
 // replicateOnce runs one poll: stream-and-apply, or full resync when the
 // primary (or a detected gap) demands it.
-func replicateOnce(ctx context.Context, client *http.Client, sys *schemr.System, primary, dataDir string, lag interface{ Set(int64) }) error {
+func replicateOnce(ctx context.Context, client *replicaClient, sys *schemr.System, primary, dataDir string, lag interface{ Set(int64) }) error {
 	var env struct {
 		Data struct {
 			LSN     uint64            `json:"lsn"`
@@ -214,7 +243,7 @@ func replicateOnce(ctx context.Context, client *http.Client, sys *schemr.System,
 		} `json:"error"`
 	}
 	from := sys.Repo.LSN()
-	body, err := replicaGet(ctx, client, fmt.Sprintf("%s/api/v1/replication/wal?from=%d", primary, from))
+	body, err := client.get(ctx, fmt.Sprintf("%s/api/v1/replication/wal?from=%d", primary, from))
 	if err != nil {
 		return err
 	}
@@ -254,8 +283,8 @@ func replicateOnce(ctx context.Context, client *http.Client, sys *schemr.System,
 // replicaResync reinstalls the primary's full state: download, install,
 // rebuild the index, snapshot (truncating the local WAL to the installed
 // LSN) and zero the lag against the installed position.
-func replicaResync(ctx context.Context, client *http.Client, sys *schemr.System, primary, dataDir string, lag interface{ Set(int64) }) error {
-	state, err := replicaGet(ctx, client, primary+"/api/v1/replication/state")
+func replicaResync(ctx context.Context, client *replicaClient, sys *schemr.System, primary, dataDir string, lag interface{ Set(int64) }) error {
+	state, err := client.get(ctx, primary+"/api/v1/replication/state")
 	if err != nil {
 		return err
 	}
@@ -273,13 +302,24 @@ func replicaResync(ctx context.Context, client *http.Client, sys *schemr.System,
 	return nil
 }
 
-// replicaGet issues one GET against the primary and returns the body.
-func replicaGet(ctx context.Context, client *http.Client, url string) ([]byte, error) {
+// replicaClient issues the replica's GETs against the primary, forwarding
+// the replica credential on every request — an authenticated primary
+// rejects the poll loop with 403 otherwise, and the earlier code dropped
+// the credential entirely, so replication silently stalled under -auth.
+type replicaClient struct {
+	http *http.Client
+	key  string
+}
+
+func (c *replicaClient) get(ctx context.Context, url string) ([]byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := client.Do(req)
+	if c.key != "" {
+		req.Header.Set("Authorization", "Bearer "+c.key)
+	}
+	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, err
 	}

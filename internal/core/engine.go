@@ -33,6 +33,7 @@ import (
 	"schemr/internal/query"
 	"schemr/internal/repository"
 	"schemr/internal/shard"
+	"schemr/internal/tenant"
 	"schemr/internal/text"
 	"schemr/internal/tightness"
 )
@@ -191,10 +192,19 @@ func (s SearchStats) Total() time.Duration {
 // index maintenance and weight updates serialize internally.
 type Engine struct {
 	repo *repository.Repository
-	idx  *shard.Group
 	opts Options
 
-	mu       sync.RWMutex // guards ensemble (weights) and cursor
+	// idx is the default namespace's shard group — the whole index in a
+	// single-tenant deployment. groups holds every namespace's group,
+	// keyed by tenant ID, with groups[""] always the same object as idx;
+	// named tenants get their own group (and so their own shards, segment
+	// files and statistics), which is what makes cross-tenant result
+	// leakage structurally impossible rather than filtered after the fact.
+	// Both are guarded by mu.
+	idx    *shard.Group
+	groups map[string]*shard.Group
+
+	mu       sync.RWMutex // guards ensemble (weights), cursor, idx and groups
 	ensemble *match.Ensemble
 	cursor   uint64 // repository change-feed position already indexed
 
@@ -233,6 +243,7 @@ func NewEngine(repo *repository.Repository, opts Options) *Engine {
 		e.profiles.instrument(e.reg)
 	}
 	e.idx = e.newGroup()
+	e.groups = map[string]*shard.Group{"": e.idx}
 	if e.metrics != nil {
 		e.metrics.shards.Set(int64(e.idx.NumShards()))
 	}
@@ -353,23 +364,45 @@ func (e *Engine) newGroup() *shard.Group {
 	return shard.New(e.opts.Shards, e.newIndex)
 }
 
+// groupLocked returns the tenant's shard group, creating an empty one on
+// first use. Caller holds the write lock.
+func (e *Engine) groupLocked(tn string) *shard.Group {
+	g, ok := e.groups[tn]
+	if !ok {
+		g = e.newGroup()
+		e.groups[tn] = g
+		if tn == "" {
+			e.idx = g
+		}
+	}
+	return g
+}
+
 // Reindex rebuilds the document index from the full repository contents and
-// fast-forwards the change cursor.
+// fast-forwards the change cursor. Documents are routed to their owning
+// tenant's shard group by ID prefix.
 func (e *Engine) Reindex() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	fresh := e.newGroup()
+	fresh := map[string]*shard.Group{"": e.newGroup()}
 	seq := e.repo.Seq()
 	e.profiles.reset()
 	for _, s := range e.repo.All() {
-		if err := fresh.Add(e.document(s)); err != nil {
+		tn := tenant.Owner(s.ID)
+		g, ok := fresh[tn]
+		if !ok {
+			g = e.newGroup()
+			fresh[tn] = g
+		}
+		if err := g.Add(e.document(s)); err != nil {
 			return fmt.Errorf("core: reindex: %w", err)
 		}
 		if e.opts.EagerProfiles && !e.opts.DisableProfileCache {
 			e.profiles.put(s.ID, match.NewProfile(s))
 		}
 	}
-	e.idx = fresh
+	e.groups = fresh
+	e.idx = fresh[""]
 	e.cursor = seq
 	return nil
 }
@@ -383,7 +416,7 @@ func (e *Engine) Sync() (updated, deleted int, err error) {
 	ch := e.repo.ChangedSince(e.cursor)
 	e.profiles.drop(ch.Deleted...)
 	for _, id := range ch.Deleted {
-		if e.idx.Delete(id) {
+		if g := e.groups[tenant.Owner(id)]; g != nil && g.Delete(id) {
 			deleted++
 		}
 	}
@@ -393,7 +426,7 @@ func (e *Engine) Sync() (updated, deleted int, err error) {
 			e.profiles.drop(id)
 			continue // deleted after the snapshot; the next Sync's feed handles it
 		}
-		if err := e.idx.Add(e.document(s)); err != nil {
+		if err := e.groupLocked(tenant.Owner(id)).Add(e.document(s)); err != nil {
 			return updated, deleted, fmt.Errorf("core: sync: %w", err)
 		}
 		// Invalidate through the change feed: replace the superseded
@@ -415,18 +448,44 @@ func (e *Engine) Sync() (updated, deleted int, err error) {
 // table; see DESIGN.md "Match profile cache").
 func (e *Engine) CachedProfiles() int { return e.profiles.count() }
 
-// IndexedDocs returns the number of live documents in the index.
-func (e *Engine) IndexedDocs() int { return e.idx.NumDocs() }
+// IndexedDocs returns the number of live documents across every tenant's
+// index.
+func (e *Engine) IndexedDocs() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	n := 0
+	for _, g := range e.groups {
+		n += g.NumDocs()
+	}
+	return n
+}
+
+// IndexedDocsTenant returns the number of live documents in one tenant's
+// index (0 for a tenant that has never indexed a document).
+func (e *Engine) IndexedDocsTenant(tn string) int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if g := e.groups[tn]; g != nil {
+		return g.NumDocs()
+	}
+	return 0
+}
 
 // indexMagic versions the engine's index envelope (change-feed cursor +
 // document index). V1 is the unsharded layout: cursor followed by one index
 // stream. V2 is the sharded layout: cursor, a little-endian uint32 shard
 // count, then each shard's stream preceded by its little-endian uint64 byte
 // length — the length prefixes are required because the index decoder reads
-// through a buffer and would otherwise consume bytes of the next shard.
+// through a buffer and would otherwise consume bytes of the next shard. V3
+// is the multi-tenant layout: cursor, a uint32 tenant count, then per
+// tenant (sorted by ID, default first) a uint32 name length + name, a
+// uint32 shard count and the V2-style length-prefixed shard streams. A
+// deployment whose only namespace is the default keeps writing V1/V2, so
+// single-tenant index files stay byte-identical to pre-tenancy builds.
 const (
 	indexEnvelopeMagic   = "SCHEMR-ENGINE-IDX-1\n"
 	indexEnvelopeMagicV2 = "SCHEMR-ENGINE-IDX-2\n"
+	indexEnvelopeMagicV3 = "SCHEMR-ENGINE-IDX-3\n"
 )
 
 // SaveIndex persists the document index together with the repository
@@ -441,19 +500,70 @@ const (
 // compact (compaction forced every periodic checkpoint to rewrite the whole
 // index into one segment, stalling writers and defeating the merge policy).
 func (e *Engine) SaveIndex(path string) error {
+	type tenantStreams struct {
+		name    string
+		streams []bytes.Buffer
+	}
 	e.mu.RLock()
-	shards := e.idx.Shards()
 	cursor := e.cursor
-	streams := make([]bytes.Buffer, len(shards))
-	for i, sh := range shards {
-		if _, err := sh.WriteTo(&streams[i]); err != nil {
-			e.mu.RUnlock()
-			return fmt.Errorf("core: save index: %w", err)
+	names := make([]string, 0, len(e.groups))
+	for tn := range e.groups {
+		names = append(names, tn)
+	}
+	sort.Strings(names) // "" sorts first: default tenant leads
+	all := make([]tenantStreams, 0, len(names))
+	for _, tn := range names {
+		shards := e.groups[tn].Shards()
+		ts := tenantStreams{name: tn, streams: make([]bytes.Buffer, len(shards))}
+		for i, sh := range shards {
+			if _, err := sh.WriteTo(&ts.streams[i]); err != nil {
+				e.mu.RUnlock()
+				return fmt.Errorf("core: save index: %w", err)
+			}
 		}
+		all = append(all, ts)
 	}
 	e.mu.RUnlock()
 
+	writeShards := func(w io.Writer, streams []bytes.Buffer) error {
+		for i := range streams {
+			if err := binary.Write(w, binary.LittleEndian, uint64(streams[i].Len())); err != nil {
+				return err
+			}
+			if _, err := w.Write(streams[i].Bytes()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	if err := fsutil.WriteFileAtomic(path, func(w io.Writer) error {
+		if len(all) > 1 { // named tenants exist: V3 layout
+			if _, err := io.WriteString(w, indexEnvelopeMagicV3); err != nil {
+				return err
+			}
+			if err := binary.Write(w, binary.LittleEndian, cursor); err != nil {
+				return err
+			}
+			if err := binary.Write(w, binary.LittleEndian, uint32(len(all))); err != nil {
+				return err
+			}
+			for _, ts := range all {
+				if err := binary.Write(w, binary.LittleEndian, uint32(len(ts.name))); err != nil {
+					return err
+				}
+				if _, err := io.WriteString(w, ts.name); err != nil {
+					return err
+				}
+				if err := binary.Write(w, binary.LittleEndian, uint32(len(ts.streams))); err != nil {
+					return err
+				}
+				if err := writeShards(w, ts.streams); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		streams := all[0].streams
 		magic := indexEnvelopeMagic
 		if len(streams) > 1 {
 			magic = indexEnvelopeMagicV2
@@ -471,15 +581,7 @@ func (e *Engine) SaveIndex(path string) error {
 		if err := binary.Write(w, binary.LittleEndian, uint32(len(streams))); err != nil {
 			return err
 		}
-		for i := range streams {
-			if err := binary.Write(w, binary.LittleEndian, uint64(streams[i].Len())); err != nil {
-				return err
-			}
-			if _, err := w.Write(streams[i].Bytes()); err != nil {
-				return err
-			}
-		}
-		return nil
+		return writeShards(w, streams)
 	}); err != nil {
 		return fmt.Errorf("core: save index: %w", err)
 	}
@@ -514,7 +616,7 @@ func (e *Engine) LoadIndex(path string) error {
 	switch string(magic) {
 	case indexEnvelopeMagic:
 		savedShards = 1
-	case indexEnvelopeMagicV2:
+	case indexEnvelopeMagicV2, indexEnvelopeMagicV3:
 	default:
 		return fmt.Errorf("core: load index: bad magic %q", string(magic))
 	}
@@ -522,40 +624,86 @@ func (e *Engine) LoadIndex(path string) error {
 	if err := binary.Read(br, binary.LittleEndian, &cursor); err != nil {
 		return fmt.Errorf("core: load index: %w", err)
 	}
-	if savedShards == 0 { // V2 carries an explicit shard count
-		if err := binary.Read(br, binary.LittleEndian, &savedShards); err != nil {
+
+	// readGroup fills a fresh group from shardCount length-prefixed
+	// streams (prefixed=false for the V1 single unframed stream).
+	readGroup := func(shardCount uint32, prefixed bool) (*shard.Group, error) {
+		fresh := e.newGroup()
+		if int(shardCount) != fresh.NumShards() {
+			// A resharded deployment cannot reuse the old partition layout;
+			// the caller falls back to Reindex as for any other load error.
+			return nil, fmt.Errorf("saved with %d shards, engine configured for %d",
+				shardCount, fresh.NumShards())
+		}
+		for i, sh := range fresh.Shards() {
+			var r io.Reader = br
+			if prefixed {
+				var n uint64
+				if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+					return nil, fmt.Errorf("shard %d: %w", i, err)
+				}
+				r = io.LimitReader(br, int64(n))
+			}
+			if _, err := sh.ReadFrom(r); err != nil {
+				return nil, fmt.Errorf("shard %d: %w", i, err)
+			}
+			// Drain to the length prefix's boundary: the decoder buffers and
+			// may leave a tail of its shard's bytes unconsumed.
+			if r != br {
+				if _, err := io.Copy(io.Discard, r); err != nil {
+					return nil, fmt.Errorf("shard %d: %w", i, err)
+				}
+			}
+		}
+		return fresh, nil
+	}
+
+	groups := make(map[string]*shard.Group)
+	if string(magic) == indexEnvelopeMagicV3 {
+		var tenants uint32
+		if err := binary.Read(br, binary.LittleEndian, &tenants); err != nil {
 			return fmt.Errorf("core: load index: %w", err)
 		}
-	}
-	fresh := e.newGroup()
-	if int(savedShards) != fresh.NumShards() {
-		// A resharded deployment cannot reuse the old partition layout;
-		// the caller falls back to Reindex as for any other load error.
-		return fmt.Errorf("core: load index: saved with %d shards, engine configured for %d",
-			savedShards, fresh.NumShards())
-	}
-	for i, sh := range fresh.Shards() {
-		var r io.Reader = br
-		if string(magic) == indexEnvelopeMagicV2 {
-			var n uint64
-			if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
-				return fmt.Errorf("core: load index: shard %d: %w", i, err)
+		for t := uint32(0); t < tenants; t++ {
+			var nameLen uint32
+			if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+				return fmt.Errorf("core: load index: %w", err)
 			}
-			r = io.LimitReader(br, int64(n))
+			if nameLen > 256 {
+				return fmt.Errorf("core: load index: implausible tenant name length %d", nameLen)
+			}
+			name := make([]byte, nameLen)
+			if _, err := io.ReadFull(br, name); err != nil {
+				return fmt.Errorf("core: load index: %w", err)
+			}
+			var shardCount uint32
+			if err := binary.Read(br, binary.LittleEndian, &shardCount); err != nil {
+				return fmt.Errorf("core: load index: %w", err)
+			}
+			g, err := readGroup(shardCount, true)
+			if err != nil {
+				return fmt.Errorf("core: load index: tenant %q: %w", string(name), err)
+			}
+			groups[string(name)] = g
 		}
-		if _, err := sh.ReadFrom(r); err != nil {
-			return fmt.Errorf("core: load index: shard %d: %w", i, err)
-		}
-		// Drain to the length prefix's boundary: the decoder buffers and
-		// may leave a tail of its shard's bytes unconsumed.
-		if r != br {
-			if _, err := io.Copy(io.Discard, r); err != nil {
-				return fmt.Errorf("core: load index: shard %d: %w", i, err)
+	} else {
+		if savedShards == 0 { // V2 carries an explicit shard count
+			if err := binary.Read(br, binary.LittleEndian, &savedShards); err != nil {
+				return fmt.Errorf("core: load index: %w", err)
 			}
 		}
+		g, err := readGroup(savedShards, string(magic) == indexEnvelopeMagicV2)
+		if err != nil {
+			return fmt.Errorf("core: load index: %w", err)
+		}
+		groups[""] = g
+	}
+	if groups[""] == nil {
+		groups[""] = e.newGroup()
 	}
 	e.mu.Lock()
-	e.idx = fresh
+	e.groups = groups
+	e.idx = groups[""]
 	e.cursor = cursor
 	e.mu.Unlock()
 	_, _, err = e.Sync()
@@ -587,13 +735,18 @@ func (e *Engine) SearchWithStats(q *query.Query, limit int) ([]Result, SearchSta
 // the tightness phase stops scoring. A cancelled search returns ctx.Err()
 // with the stats accumulated so far.
 func (e *Engine) SearchWithStatsContext(ctx context.Context, q *query.Query, limit int) (_ []Result, stats SearchStats, err error) {
+	// The request context selects the namespace to search: the tenant's
+	// own shard group, or the default group for unauthenticated and admin
+	// callers. A tenant with no indexed documents yet has no group and
+	// gets an empty result, same as an empty corpus.
+	who := tenant.From(ctx)
 	// Observability: metrics always (unless disabled), spans only when the
 	// request context carries a trace (debug=1 searches).
 	tr := obs.TraceFrom(ctx)
 	if e.metrics != nil || tr != nil {
 		began := time.Now()
 		defer func() {
-			e.metrics.record(stats, err)
+			e.metrics.record(who.MetricLabel(), stats, err)
 			traceSearch(tr, began, stats)
 		}()
 	}
@@ -607,9 +760,12 @@ func (e *Engine) SearchWithStatsContext(ctx context.Context, q *query.Query, lim
 		limit = 10
 	}
 	e.mu.RLock()
-	idx := e.idx
+	idx := e.groups[who.ID]
 	ensemble := e.ensemble
 	e.mu.RUnlock()
+	if idx == nil {
+		return nil, SearchStats{}, nil
+	}
 
 	stats = SearchStats{CorpusSize: idx.NumDocs()}
 

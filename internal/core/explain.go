@@ -8,6 +8,7 @@ import (
 	"schemr/internal/index"
 	"schemr/internal/match"
 	"schemr/internal/query"
+	"schemr/internal/tenant"
 	"schemr/internal/tightness"
 )
 
@@ -54,10 +55,16 @@ func (e *Engine) ExplainContext(ctx context.Context, q *query.Query, id string) 
 	if s == nil {
 		return nil, fmt.Errorf("core: no schema %q", id)
 	}
+	// The coarse phase must consult the group the document lives in — its
+	// owning tenant's — or a namespaced schema would be "explained" as
+	// never extracted.
 	e.mu.RLock()
-	idx := e.idx
+	idx := e.groups[tenant.Owner(id)]
 	ensemble := e.ensemble
 	e.mu.RUnlock()
+	if idx == nil {
+		return nil, fmt.Errorf("core: no schema %q", id)
+	}
 
 	ex := &Explanation{ID: id}
 	terms := q.Flatten()

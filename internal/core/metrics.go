@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"time"
 
 	"schemr/internal/obs"
@@ -9,21 +10,33 @@ import (
 // engineMetrics holds the engine's observability instruments: the Figure 3
 // phase breakdown as live telemetry (per-phase latency histograms), the
 // candidate funnel as counters, and the profile cache's hit economics.
-// A nil *engineMetrics disables engine instrumentation (Options.
-// DisableMetrics), which is the baseline the overhead budget in
+// Every search-shaped family carries a tenant label, so per-tenant search
+// volume, error rate and latency are separable on one scrape — the
+// observability half of the fairness story. Instruments are created
+// lazily per tenant (the registry is idempotent, so races are benign)
+// with the default tenant registered eagerly so the families render on a
+// fresh process. A nil *engineMetrics disables engine instrumentation
+// (Options.DisableMetrics), which is the baseline the overhead budget in
 // BENCH_obs_overhead.json is measured against.
 type engineMetrics struct {
+	reg *obs.Registry
+
+	// shards is the configured index shard count; shardSearches counts
+	// per-shard phase-1 sub-searches. Both stay global: the shard layout
+	// is a deployment property, not a tenant one.
+	shards        *obs.Gauge
+	shardSearches *obs.Counter
+
+	// tenants maps tenant metric label -> *tenantSearchMetrics.
+	tenants sync.Map
+}
+
+// tenantSearchMetrics is one tenant's slice of the search families.
+type tenantSearchMetrics struct {
 	searches       *obs.Counter
 	searchErrors   *obs.Counter
 	candidates     *obs.Counter
 	elementsScored *obs.Counter
-
-	// shards is the configured index shard count; shardSearches counts
-	// per-shard phase-1 sub-searches (shards × searches, so it equals
-	// schemr_search_total when unsharded and measures scatter fan-out
-	// otherwise).
-	shards        *obs.Gauge
-	shardSearches *obs.Counter
 
 	phaseExtract   *obs.Histogram
 	phaseMatch     *obs.Histogram
@@ -32,38 +45,56 @@ type engineMetrics struct {
 
 // newEngineMetrics registers the engine metric families on reg.
 func newEngineMetrics(reg *obs.Registry) *engineMetrics {
-	phase := func(name string) *obs.Histogram {
-		return reg.Histogram("schemr_search_phase_seconds",
-			"Latency of the three search phases (Figure 3 breakdown).",
-			nil, obs.Labels{"phase": name})
+	m := &engineMetrics{
+		reg:           reg,
+		shards:        reg.Gauge("schemr_shards", "Configured document-index shard count.", nil),
+		shardSearches: reg.Counter("schemr_shard_searches_total", "Per-shard phase-1 sub-searches scattered by candidate extraction.", nil),
 	}
-	return &engineMetrics{
-		searches:       reg.Counter("schemr_search_total", "Searches executed (including failed ones).", nil),
-		searchErrors:   reg.Counter("schemr_search_errors_total", "Searches that returned an error (cancellations, deadlines, bad queries).", nil),
-		candidates:     reg.Counter("schemr_search_candidates_total", "Candidate schemas extracted by phase 1 across searches.", nil),
-		elementsScored: reg.Counter("schemr_search_elements_scored_total", "Schema elements scored by the match phase across searches.", nil),
-		shards:         reg.Gauge("schemr_shards", "Configured document-index shard count.", nil),
-		shardSearches:  reg.Counter("schemr_shard_searches_total", "Per-shard phase-1 sub-searches scattered by candidate extraction.", nil),
+	m.tenant("default") // eager: families render before the first search
+	return m
+}
+
+// tenant returns (creating on first use) the instruments for one tenant
+// metric label.
+func (m *engineMetrics) tenant(label string) *tenantSearchMetrics {
+	if v, ok := m.tenants.Load(label); ok {
+		return v.(*tenantSearchMetrics)
+	}
+	lbl := obs.Labels{"tenant": label}
+	phase := func(name string) *obs.Histogram {
+		return m.reg.Histogram("schemr_search_phase_seconds",
+			"Latency of the three search phases (Figure 3 breakdown).",
+			nil, obs.Labels{"phase": name, "tenant": label})
+	}
+	t := &tenantSearchMetrics{
+		searches:       m.reg.Counter("schemr_search_total", "Searches executed (including failed ones).", lbl),
+		searchErrors:   m.reg.Counter("schemr_search_errors_total", "Searches that returned an error (cancellations, deadlines, bad queries).", lbl),
+		candidates:     m.reg.Counter("schemr_search_candidates_total", "Candidate schemas extracted by phase 1 across searches.", lbl),
+		elementsScored: m.reg.Counter("schemr_search_elements_scored_total", "Schema elements scored by the match phase across searches.", lbl),
 		phaseExtract:   phase("extract"),
 		phaseMatch:     phase("match"),
 		phaseTightness: phase("tightness"),
 	}
+	actual, _ := m.tenants.LoadOrStore(label, t)
+	return actual.(*tenantSearchMetrics)
 }
 
-// record publishes one finished (or failed) search's stats.
-func (m *engineMetrics) record(stats SearchStats, err error) {
+// record publishes one finished (or failed) search's stats under the
+// searching tenant's label.
+func (m *engineMetrics) record(label string, stats SearchStats, err error) {
 	if m == nil {
 		return
 	}
-	m.searches.Inc()
+	t := m.tenant(label)
+	t.searches.Inc()
 	if err != nil {
-		m.searchErrors.Inc()
+		t.searchErrors.Inc()
 	}
-	m.phaseExtract.ObserveDuration(stats.PhaseExtract)
-	m.phaseMatch.ObserveDuration(stats.PhaseMatch)
-	m.phaseTightness.ObserveDuration(stats.PhaseTightness)
-	m.candidates.Add(uint64(stats.Candidates))
-	m.elementsScored.Add(uint64(stats.ElementsScored))
+	t.phaseExtract.ObserveDuration(stats.PhaseExtract)
+	t.phaseMatch.ObserveDuration(stats.PhaseMatch)
+	t.phaseTightness.ObserveDuration(stats.PhaseTightness)
+	t.candidates.Add(uint64(stats.Candidates))
+	t.elementsScored.Add(uint64(stats.ElementsScored))
 }
 
 // traceSearch mirrors one search's phase stats into a request trace as

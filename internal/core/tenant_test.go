@@ -1,0 +1,172 @@
+package core
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"schemr/internal/model"
+	"schemr/internal/query"
+	"schemr/internal/repository"
+	"schemr/internal/tenant"
+)
+
+func tenantSchema(name string, attrs ...string) *model.Schema {
+	e := &model.Entity{Name: name}
+	for _, a := range attrs {
+		e.Attributes = append(e.Attributes, &model.Attribute{Name: a})
+	}
+	return &model.Schema{Name: name, Entities: []*model.Entity{e}}
+}
+
+// seedTenants puts a patient schema under two named tenants plus one in
+// the default namespace, and a globex-only schema, then reindexes.
+func seedTenants(t *testing.T) (*Engine, *repository.Repository) {
+	t.Helper()
+	repo := repository.New()
+	for _, tn := range []string{"acme", "globex"} {
+		if _, err := repo.PutTenant(tn, tenantSchema("patients", "patient", "height", "gender")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := repo.Put(tenantSchema("patients", "patient", "height", "gender")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repo.PutTenant("globex", tenantSchema("orders", "sku", "quantity")); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(repo, Options{})
+	if err := e.Reindex(); err != nil {
+		t.Fatal(err)
+	}
+	return e, repo
+}
+
+func searchAs(t *testing.T, e *Engine, tn, keywords string) []Result {
+	t.Helper()
+	q, err := query.Parse(query.Input{Keywords: keywords})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if tn != "" {
+		ctx = tenant.With(ctx, tenant.Info{ID: tn})
+	}
+	res, err := e.SearchContext(ctx, q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// A search carries its tenant in the context and sees only that tenant's
+// documents; result IDs stay namespace-qualified so the caller can strip
+// them knowing the owner.
+func TestSearchTenantIsolation(t *testing.T) {
+	e, _ := seedTenants(t)
+	if n := e.IndexedDocs(); n != 4 {
+		t.Fatalf("IndexedDocs = %d, want 4", n)
+	}
+	if n := e.IndexedDocsTenant("globex"); n != 2 {
+		t.Fatalf("IndexedDocsTenant(globex) = %d, want 2", n)
+	}
+
+	for _, tc := range []struct {
+		tn   string
+		want string
+	}{
+		{"", "s000001"},
+		{"acme", "acme/s000001"},
+		{"globex", "globex/s000001"},
+	} {
+		res := searchAs(t, e, tc.tn, "patient height")
+		if len(res) != 1 || res[0].ID != tc.want {
+			t.Fatalf("tenant %q: results = %+v, want single %q", tc.tn, res, tc.want)
+		}
+	}
+	// A tenant with no documents searches an empty namespace, not the
+	// shared corpus.
+	if res := searchAs(t, e, "newcomer", "patient height"); len(res) != 0 {
+		t.Fatalf("empty tenant saw %d results", len(res))
+	}
+	// globex-only content is invisible to acme.
+	if res := searchAs(t, e, "acme", "sku quantity"); len(res) != 0 {
+		t.Fatalf("acme saw globex documents: %+v", res)
+	}
+}
+
+// Incremental Sync routes new and deleted documents to the owning
+// tenant's group.
+func TestSyncRoutesTenants(t *testing.T) {
+	e, repo := seedTenants(t)
+	id, err := repo.PutTenant("acme", tenantSchema("labs", "assay", "result"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if res := searchAs(t, e, "acme", "assay result"); len(res) != 1 || res[0].ID != id {
+		t.Fatalf("acme sync results = %+v", res)
+	}
+	if res := searchAs(t, e, "globex", "assay result"); len(res) != 0 {
+		t.Fatalf("globex saw acme's synced doc: %+v", res)
+	}
+	repo.Delete(id)
+	if _, _, err := e.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if res := searchAs(t, e, "acme", "assay result"); len(res) != 0 {
+		t.Fatalf("deleted doc still searchable: %+v", res)
+	}
+}
+
+// SaveIndex with named tenants writes the V3 envelope; LoadIndex restores
+// every namespace with isolation intact.
+func TestIndexV3RoundTrip(t *testing.T) {
+	e, repo := seedTenants(t)
+	path := filepath.Join(t.TempDir(), "engine.idx")
+	if err := e.SaveIndex(path); err != nil {
+		t.Fatal(err)
+	}
+	e2 := NewEngine(repo, Options{})
+	if err := e2.LoadIndex(path); err != nil {
+		t.Fatal(err)
+	}
+	if n := e2.IndexedDocs(); n != 4 {
+		t.Fatalf("restored IndexedDocs = %d, want 4", n)
+	}
+	for _, tn := range []string{"", "acme", "globex"} {
+		want := tenant.Qualify(tn, "s000001")
+		if res := searchAs(t, e2, tn, "patient height"); len(res) != 1 || res[0].ID != want {
+			t.Fatalf("restored tenant %q: results = %+v, want %q", tn, res, want)
+		}
+	}
+	if res := searchAs(t, e2, "acme", "sku quantity"); len(res) != 0 {
+		t.Fatalf("restored acme saw globex docs: %+v", res)
+	}
+}
+
+// A default-only deployment keeps the V1/V2 envelope: files written by a
+// pre-tenancy build load, and files written now load into one.
+func TestIndexDefaultOnlyStaysLegacy(t *testing.T) {
+	repo := repository.New()
+	if _, err := repo.Put(tenantSchema("patients", "patient", "height")); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(repo, Options{})
+	if err := e.Reindex(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "engine.idx")
+	if err := e.SaveIndex(path); err != nil {
+		t.Fatal(err)
+	}
+	e2 := NewEngine(repo, Options{})
+	if err := e2.LoadIndex(path); err != nil {
+		t.Fatal(err)
+	}
+	if res := searchAs(t, e2, "", "patient height"); len(res) != 1 {
+		t.Fatalf("legacy envelope results = %+v", res)
+	}
+}

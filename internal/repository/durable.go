@@ -31,12 +31,16 @@ type walRecord struct {
 	Lsn uint64 `json:"lsn"`
 	Seq uint64 `json:"seq,omitempty"`
 
-	// opPut: the full entry as stored, plus the ID counter after
-	// assignment so recovered repositories never reissue an ID.
+	// opPut: the full entry as stored, plus the owning tenant's ID counter
+	// after assignment so recovered repositories never reissue an ID.
+	// Tenant is absent for the default namespace, keeping pre-tenancy
+	// records byte-identical.
 	Entry  *Entry `json:"entry,omitempty"`
 	NextID int    `json:"nextId,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
 
-	// opDelete / opTag / opComment target.
+	// opDelete / opTag / opComment target; opKeyCreate / opKeyRevoke key
+	// hash.
 	ID string `json:"id,omitempty"`
 
 	// opTag: the entry's complete tag set after the call.
@@ -47,14 +51,20 @@ type walRecord struct {
 
 	// opUsage: coalesced counter deltas since the last usage record.
 	Usage map[string]Usage `json:"usage,omitempty"`
+
+	// opKeyCreate: the stored key binding (the hash is in ID; plaintext
+	// never touches the log).
+	Key *KeyEntry `json:"key,omitempty"`
 }
 
 const (
-	opPut     = "put"
-	opDelete  = "delete"
-	opTag     = "tag"
-	opComment = "comment"
-	opUsage   = "usage"
+	opPut       = "put"
+	opDelete    = "delete"
+	opTag       = "tag"
+	opComment   = "comment"
+	opUsage     = "usage"
+	opKeyCreate = "key_create"
+	opKeyRevoke = "key_revoke"
 )
 
 // usageFlushEvery bounds how many usage counter updates may sit in memory
@@ -195,22 +205,22 @@ func (r *Repository) applyRecord(rec *walRecord) error {
 		}
 		id := e.Schema.ID
 		if old, replacing := r.entries[id]; replacing {
-			delete(r.byPrint, old.Schema.Fingerprint())
+			delete(r.byPrint, printKey(id, old.Schema.Fingerprint()))
 		} else {
 			r.order = append(r.order, id)
 		}
 		r.entries[id] = e
-		r.byPrint[e.Schema.Fingerprint()] = id
+		r.byPrint[printKey(id, e.Schema.Fingerprint())] = id
 		delete(r.deleted, id)
 		r.seq = rec.Seq
-		r.nextID = rec.NextID
+		r.nextIDs[rec.Tenant] = rec.NextID
 	case opDelete:
 		e, ok := r.entries[rec.ID]
 		if !ok {
 			return fmt.Errorf("repository: wal delete of unknown %q", rec.ID)
 		}
 		delete(r.entries, rec.ID)
-		delete(r.byPrint, e.Schema.Fingerprint())
+		delete(r.byPrint, printKey(rec.ID, e.Schema.Fingerprint()))
 		for i, oid := range r.order {
 			if oid == rec.ID {
 				r.order = append(r.order[:i], r.order[i+1:]...)
@@ -248,6 +258,13 @@ func (r *Repository) applyRecord(rec *walRecord) error {
 				e.Usage.Selections += d.Selections
 			}
 		}
+	case opKeyCreate:
+		if rec.Key == nil {
+			return fmt.Errorf("repository: wal key record without key")
+		}
+		r.keys[rec.ID] = rec.Key
+	case opKeyRevoke:
+		delete(r.keys, rec.ID)
 	default:
 		return fmt.Errorf("repository: wal record with unknown op %q", rec.Op)
 	}

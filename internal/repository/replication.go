@@ -89,20 +89,14 @@ func (r *Repository) RecordsSince(from uint64) ReplicationBatch {
 	return b
 }
 
-// ExportState serializes the full repository state (the snapshot shape,
-// LSN included) for a resyncing replica, and returns the LSN it covers.
+// ExportState serializes the full repository state (the snapshot shape —
+// LSN, per-tenant ID counters and API keys included, so a replica can
+// authenticate the same tenants as its primary) for a resyncing replica,
+// and returns the LSN it covers.
 func (r *Repository) ExportState() ([]byte, uint64, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	p := persisted{
-		Version: 1,
-		NextID:  r.nextID,
-		Seq:     r.seq,
-		Lsn:     r.lsn,
-		Order:   r.order,
-		Entries: r.entries,
-		Deleted: r.deleted,
-	}
+	p := r.persistedLocked()
 	data, err := json.Marshal(&p)
 	if err != nil {
 		return nil, 0, fmt.Errorf("repository: export state: %w", err)
@@ -130,9 +124,10 @@ func (r *Repository) InstallState(data []byte) error {
 	r.entries = fresh.entries
 	r.order = fresh.order
 	r.byPrint = fresh.byPrint
-	r.nextID = fresh.nextID
+	r.nextIDs = fresh.nextIDs
 	r.seq = fresh.seq
 	r.deleted = fresh.deleted
+	r.keys = fresh.keys
 	r.lsn = fresh.lsn
 	r.pendingUsage = nil
 	r.pendingUsageN = 0

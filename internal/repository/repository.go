@@ -19,6 +19,7 @@ import (
 
 	"schemr/internal/fsutil"
 	"schemr/internal/model"
+	"schemr/internal/tenant"
 )
 
 // Comment is community feedback attached to a schema: the paper's planned
@@ -56,10 +57,11 @@ type Repository struct {
 	mu      sync.RWMutex
 	entries map[string]*Entry
 	order   []string          // insertion order of live ids
-	byPrint map[string]string // fingerprint → id, for dedupe
-	nextID  int
+	byPrint map[string]string // tenant-scoped fingerprint → id, for dedupe
+	nextIDs map[string]int    // per-tenant ID counter ("" = default tenant)
 	seq     uint64
 	deleted map[string]uint64 // id → seq of deletion
+	keys    map[string]*KeyEntry // API-key hash → tenant binding (see keys.go)
 
 	// Durability (nil/zero without Recover): the attached WAL, the log
 	// sequence number of the last record written or replayed, coalesced
@@ -82,15 +84,36 @@ func New() *Repository {
 	return &Repository{
 		entries: make(map[string]*Entry),
 		byPrint: make(map[string]string),
+		nextIDs: make(map[string]int),
 		deleted: make(map[string]uint64),
+		keys:    make(map[string]*KeyEntry),
 	}
 }
 
-// Len returns the number of stored schemas.
+// printKey scopes a schema fingerprint to the tenant owning id, so
+// structurally identical schemas under two tenants dedupe independently.
+func printKey(id, fingerprint string) string {
+	return tenant.Owner(id) + "\x00" + fingerprint
+}
+
+// Len returns the number of stored schemas across all tenants.
 func (r *Repository) Len() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return len(r.entries)
+}
+
+// LenTenant returns the number of schemas in one tenant's namespace.
+func (r *Repository) LenTenant(tn string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for id := range r.entries {
+		if tenant.Owner(id) == tn {
+			n++
+		}
+	}
+	return n
 }
 
 // Seq returns the current change-feed sequence number. It increases on
@@ -102,33 +125,45 @@ func (r *Repository) Seq() uint64 {
 	return r.seq
 }
 
-// Put stores a schema and returns its ID. A schema with an empty ID is
-// assigned one; putting an existing ID replaces that schema. The schema
-// must validate. The repository takes ownership of the value (callers that
-// keep mutating the schema should Put a Clone).
+// Put stores a schema in the default tenant's namespace and returns its
+// ID. A schema with an empty ID is assigned one; putting an existing ID
+// replaces that schema. The schema must validate. The repository takes
+// ownership of the value (callers that keep mutating the schema should Put
+// a Clone).
 func (r *Repository) Put(s *model.Schema) (string, error) {
+	return r.PutTenant("", s)
+}
+
+// PutTenant is Put within a tenant namespace: a fresh schema is assigned
+// the tenant's next qualified ID ("acme/s000001"; tenants count
+// independently, so the same bare ID under two tenants never collides),
+// and an explicit ID must already belong to the tenant.
+func (r *Repository) PutTenant(tn string, s *model.Schema) (string, error) {
 	if s == nil {
 		return "", fmt.Errorf("repository: nil schema")
 	}
 	if err := s.Validate(); err != nil {
 		return "", fmt.Errorf("repository: %w", err)
 	}
+	if s.ID != "" && tenant.Owner(s.ID) != tn {
+		return "", fmt.Errorf("repository: schema id %q is outside tenant %q", s.ID, tn)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.putLocked(s)
+	return r.putLocked(tn, s)
 }
 
-// putLocked is Put under an already-held write lock. The WAL record is
-// written (and fsynced) before any in-memory state changes: a put that
+// putLocked is PutTenant under an already-held write lock. The WAL record
+// is written (and fsynced) before any in-memory state changes: a put that
 // fails to log is not applied and not acknowledged.
-func (r *Repository) putLocked(s *model.Schema) (string, error) {
-	nextID := r.nextID
+func (r *Repository) putLocked(tn string, s *model.Schema) (string, error) {
+	nextID := r.nextIDs[tn]
 	if s.ID == "" {
 		nextID++
-		s.ID = fmt.Sprintf("s%06d", nextID)
+		s.ID = tenant.Qualify(tn, fmt.Sprintf("s%06d", nextID))
 		for r.entries[s.ID] != nil { // survive collisions with loaded data
 			nextID++
-			s.ID = fmt.Sprintf("s%06d", nextID)
+			s.ID = tenant.Qualify(tn, fmt.Sprintf("s%06d", nextID))
 		}
 	}
 	seq := r.seq + 1
@@ -140,41 +175,49 @@ func (r *Repository) putLocked(s *model.Schema) (string, error) {
 		e.Usage = old.Usage
 		e.AddedAt = old.AddedAt
 	}
-	if err := r.logMutation(&walRecord{Op: opPut, Seq: seq, Entry: e, NextID: nextID}); err != nil {
+	if err := r.logMutation(&walRecord{Op: opPut, Seq: seq, Entry: e, NextID: nextID, Tenant: tn}); err != nil {
 		return "", err
 	}
-	r.nextID = nextID
+	r.nextIDs[tn] = nextID
 	r.seq = seq
 	if replacing {
-		delete(r.byPrint, old.Schema.Fingerprint())
+		delete(r.byPrint, printKey(s.ID, old.Schema.Fingerprint()))
 	} else {
 		r.order = append(r.order, s.ID)
 	}
 	r.entries[s.ID] = e
-	r.byPrint[s.Fingerprint()] = s.ID
+	r.byPrint[printKey(s.ID, s.Fingerprint())] = s.ID
 	delete(r.deleted, s.ID)
 	return s.ID, nil
 }
 
-// PutDedup stores a schema unless a structurally identical one (same
-// fingerprint) already exists, in which case it returns the existing ID and
-// dup=true. The corpus import pipeline uses this to drop duplicates.
-// Check and insert happen under one write lock, so concurrent PutDedup
-// calls with equal fingerprints yield exactly one stored schema.
+// PutDedup stores a schema in the default namespace unless a structurally
+// identical one (same fingerprint) already exists there, in which case it
+// returns the existing ID and dup=true. The corpus import pipeline uses
+// this to drop duplicates. Check and insert happen under one write lock,
+// so concurrent PutDedup calls with equal fingerprints yield exactly one
+// stored schema.
 func (r *Repository) PutDedup(s *model.Schema) (id string, dup bool, err error) {
+	return r.PutDedupTenant("", s)
+}
+
+// PutDedupTenant is PutDedup scoped to one tenant's namespace:
+// fingerprints dedupe per tenant, so two tenants may each store the same
+// schema.
+func (r *Repository) PutDedupTenant(tn string, s *model.Schema) (id string, dup bool, err error) {
 	if s == nil {
 		return "", false, fmt.Errorf("repository: nil schema")
 	}
 	if err := s.Validate(); err != nil {
 		return "", false, fmt.Errorf("repository: %w", err)
 	}
-	fp := s.Fingerprint()
+	fp := tn + "\x00" + s.Fingerprint()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if existing, ok := r.byPrint[fp]; ok {
 		return existing, true, nil
 	}
-	id, err = r.putLocked(s)
+	id, err = r.putLocked(tn, s)
 	return id, false, err
 }
 
@@ -211,7 +254,7 @@ func (r *Repository) Delete(id string) bool {
 		return false
 	}
 	delete(r.entries, id)
-	delete(r.byPrint, e.Schema.Fingerprint())
+	delete(r.byPrint, printKey(id, e.Schema.Fingerprint()))
 	for i, oid := range r.order {
 		if oid == id {
 			r.order = append(r.order[:i], r.order[i+1:]...)
@@ -223,21 +266,49 @@ func (r *Repository) Delete(id string) bool {
 	return true
 }
 
-// IDs returns all schema IDs in insertion order.
+// IDs returns all schema IDs (every tenant) in insertion order.
 func (r *Repository) IDs() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return append([]string(nil), r.order...)
 }
 
-// All returns all schemas in insertion order. The schemas are shared, not
-// copies.
+// IDsTenant returns one tenant's schema IDs (qualified) in insertion
+// order.
+func (r *Repository) IDsTenant(tn string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []string
+	for _, id := range r.order {
+		if tenant.Owner(id) == tn {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// All returns all schemas (every tenant) in insertion order. The schemas
+// are shared, not copies.
 func (r *Repository) All() []*model.Schema {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	out := make([]*model.Schema, len(r.order))
 	for i, id := range r.order {
 		out[i] = r.entries[id].Schema
+	}
+	return out
+}
+
+// AllTenant returns one tenant's schemas in insertion order (shared, not
+// copies).
+func (r *Repository) AllTenant(tn string) []*model.Schema {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*model.Schema
+	for _, id := range r.order {
+		if tenant.Owner(id) == tn {
+			out = append(out, r.entries[id].Schema)
+		}
 	}
 	return out
 }
@@ -275,12 +346,32 @@ func (r *Repository) Tag(id string, tags ...string) bool {
 	return true
 }
 
-// ByTag returns the IDs of schemas carrying the tag, in insertion order.
+// ByTag returns the IDs of schemas carrying the tag (every tenant), in
+// insertion order.
 func (r *Repository) ByTag(tag string) []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	var out []string
 	for _, id := range r.order {
+		for _, t := range r.entries[id].Tags {
+			if t == tag {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ByTagTenant is ByTag within one tenant's namespace.
+func (r *Repository) ByTagTenant(tn, tag string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []string
+	for _, id := range r.order {
+		if tenant.Owner(id) != tn {
+			continue
+		}
 		for _, t := range r.entries[id].Tags {
 			if t == tag {
 				out = append(out, id)
@@ -423,14 +514,19 @@ func (r *Repository) ChangedSince(seq uint64) Changes {
 // persisted is the on-disk JSON shape. Lsn records the WAL position the
 // snapshot covers; recovery skips replaying records at or below it (the
 // field is absent/zero for snapshots from non-durable repositories).
+// NextID is the default tenant's ID counter (the only counter before
+// multi-tenancy); NextIDs carries the named tenants' counters and Keys the
+// API-key store — both absent from (and ignored in) pre-tenancy snapshots.
 type persisted struct {
-	Version int               `json:"version"`
-	NextID  int               `json:"nextId"`
-	Seq     uint64            `json:"seq"`
-	Lsn     uint64            `json:"lsn,omitempty"`
-	Order   []string          `json:"order"`
-	Entries map[string]*Entry `json:"entries"`
-	Deleted map[string]uint64 `json:"deleted,omitempty"`
+	Version int                  `json:"version"`
+	NextID  int                  `json:"nextId"`
+	NextIDs map[string]int       `json:"nextIds,omitempty"`
+	Seq     uint64               `json:"seq"`
+	Lsn     uint64               `json:"lsn,omitempty"`
+	Order   []string             `json:"order"`
+	Entries map[string]*Entry    `json:"entries"`
+	Deleted map[string]uint64    `json:"deleted,omitempty"`
+	Keys    map[string]*KeyEntry `json:"keys,omitempty"`
 }
 
 // Save durably writes the repository to path: temp file, fsync, rename,
@@ -447,21 +543,41 @@ func (r *Repository) Save(path string) error {
 // full duration — entries are mutated in place, so serialization cannot
 // overlap writers.
 func (r *Repository) saveLocked(path string) error {
-	p := persisted{
-		Version: 1,
-		NextID:  r.nextID,
-		Seq:     r.seq,
-		Lsn:     r.lsn,
-		Order:   r.order,
-		Entries: r.entries,
-		Deleted: r.deleted,
-	}
+	p := r.persistedLocked()
 	if err := fsutil.WriteFileAtomic(path, func(w io.Writer) error {
 		return json.NewEncoder(w).Encode(&p)
 	}); err != nil {
 		return fmt.Errorf("repository: save: %w", err)
 	}
 	return nil
+}
+
+// persistedLocked builds the snapshot shape under at least a read lock.
+// The default tenant's counter stays in the legacy NextID field so
+// pre-tenancy readers still open single-tenant snapshots.
+func (r *Repository) persistedLocked() persisted {
+	p := persisted{
+		Version: 1,
+		NextID:  r.nextIDs[""],
+		Seq:     r.seq,
+		Lsn:     r.lsn,
+		Order:   r.order,
+		Entries: r.entries,
+		Deleted: r.deleted,
+	}
+	for tn, n := range r.nextIDs {
+		if tn == "" {
+			continue
+		}
+		if p.NextIDs == nil {
+			p.NextIDs = make(map[string]int)
+		}
+		p.NextIDs[tn] = n
+	}
+	if len(r.keys) > 0 {
+		p.Keys = r.keys
+	}
+	return p
 }
 
 // Open loads a repository saved by Save.
@@ -486,11 +602,17 @@ func fromPersisted(p *persisted, src string) (*Repository, error) {
 		return nil, fmt.Errorf("repository: open %s: unsupported version %d", src, p.Version)
 	}
 	r := New()
-	r.nextID = p.NextID
+	r.nextIDs[""] = p.NextID
+	for tn, n := range p.NextIDs {
+		r.nextIDs[tn] = n
+	}
 	r.seq = p.Seq
 	r.lsn = p.Lsn
 	if p.Deleted != nil {
 		r.deleted = p.Deleted
+	}
+	if p.Keys != nil {
+		r.keys = p.Keys
 	}
 	for _, id := range p.Order {
 		e, ok := p.Entries[id]
@@ -505,7 +627,7 @@ func fromPersisted(p *persisted, src string) (*Repository, error) {
 		}
 		r.entries[id] = e
 		r.order = append(r.order, id)
-		r.byPrint[e.Schema.Fingerprint()] = id
+		r.byPrint[printKey(id, e.Schema.Fingerprint())] = id
 	}
 	return r, nil
 }

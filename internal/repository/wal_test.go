@@ -16,15 +16,8 @@ func dump(t *testing.T, r *Repository) string {
 	t.Helper()
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	b, err := json.Marshal(persisted{
-		Version: 1,
-		NextID:  r.nextID,
-		Seq:     r.seq,
-		Lsn:     r.lsn,
-		Order:   r.order,
-		Entries: r.entries,
-		Deleted: r.deleted,
-	})
+	p := r.persistedLocked()
+	b, err := json.Marshal(&p)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 	"net/http"
 
 	"schemr/internal/ddl"
+	"schemr/internal/tenant"
 )
 
 // The /api/v1 surface is the versioned JSON API: every response — success
@@ -149,9 +150,10 @@ func (s *Server) v1Search(w http.ResponseWriter, r *http.Request) {
 		TookMS:  float64(out.stats.Total().Microseconds()) / 1000,
 		Results: make([]ResultJSON, 0, len(out.rows)),
 	}
+	who := tenant.From(r.Context())
 	for _, row := range out.rows {
 		rj := ResultJSON{
-			ID: row.res.ID, Score: row.res.Score, Name: row.res.Name,
+			ID: displayID(who, row.res.ID), Score: row.res.Score, Name: row.res.Name,
 			Description: row.res.Description, Matches: row.res.NumMatches(),
 			Entities: row.res.Entities, Attributes: row.res.Attributes,
 			Anchor: row.res.Anchor,
@@ -180,11 +182,12 @@ func (s *Server) v1List(w http.ResponseWriter, r *http.Request) {
 		s.writeJSONErr(w, r, aerr)
 		return
 	}
-	page := s.listSchemas(req)
+	who := tenant.From(r.Context())
+	page := s.listSchemas(who, req)
 	data := SchemaListJSON{Total: page.total, Offset: req.Offset, Schemas: []SchemaRowJSON{}}
 	for _, row := range page.rows {
 		data.Schemas = append(data.Schemas, SchemaRowJSON{
-			ID: row.id, Name: row.schema.Name, Description: row.schema.Description,
+			ID: displayID(who, row.id), Name: row.schema.Name, Description: row.schema.Description,
 			Entities: row.schema.NumEntities(), Attributes: row.schema.NumAttributes(),
 			Format: row.schema.Format, Tags: row.tags, Rating: row.rating,
 			Selections: row.selections,
@@ -194,17 +197,17 @@ func (s *Server) v1List(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) v1Schema(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
+	id := qualifiedID(r)
 	repo := s.engine.Repository()
 	entry := repo.Entry(id)
 	if entry == nil {
-		s.writeJSONErr(w, r, notFound("no schema %q", id))
+		s.writeJSONErr(w, r, notFound("no schema %q", r.PathValue("id")))
 		return
 	}
 	rating, _ := repo.Rating(id)
 	sc := entry.Schema
 	s.writeJSON(w, r, http.StatusOK, SchemaRowJSON{
-		ID: id, Name: sc.Name, Description: sc.Description,
+		ID: r.PathValue("id"), Name: sc.Name, Description: sc.Description,
 		Entities: sc.NumEntities(), Attributes: sc.NumAttributes(),
 		Format: sc.Format, Tags: entry.Tags, Rating: rating,
 		Selections: entry.Usage.Selections,
@@ -212,13 +215,12 @@ func (s *Server) v1Schema(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) v1DDL(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	schema := s.engine.Repository().Get(id)
+	schema := s.engine.Repository().Get(qualifiedID(r))
 	if schema == nil {
-		s.writeJSONErr(w, r, notFound("no schema %q", id))
+		s.writeJSONErr(w, r, notFound("no schema %q", r.PathValue("id")))
 		return
 	}
-	s.writeJSON(w, r, http.StatusOK, DDLJSON{ID: id, DDL: ddl.Print(schema)})
+	s.writeJSON(w, r, http.StatusOK, DDLJSON{ID: r.PathValue("id"), DDL: ddl.Print(schema)})
 }
 
 func (s *Server) v1Import(w http.ResponseWriter, r *http.Request) {
@@ -231,27 +233,26 @@ func (s *Server) v1Import(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) v1Delete(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	if !s.engine.Repository().Delete(id) {
-		s.writeJSONErr(w, r, notFound("no schema %q", id))
+	if !s.engine.Repository().Delete(qualifiedID(r)) {
+		s.writeJSONErr(w, r, notFound("no schema %q", r.PathValue("id")))
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) v1Select(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	if !s.engine.Repository().RecordSelection(id) {
-		s.writeJSONErr(w, r, notFound("no schema %q", id))
+	if !s.engine.Repository().RecordSelection(qualifiedID(r)) {
+		s.writeJSONErr(w, r, notFound("no schema %q", r.PathValue("id")))
 		return
 	}
-	s.writeJSON(w, r, http.StatusOK, SelectedJSON{ID: id, Selected: true})
+	s.writeJSON(w, r, http.StatusOK, SelectedJSON{ID: r.PathValue("id"), Selected: true})
 }
 
 func (s *Server) v1Stats(w http.ResponseWriter, r *http.Request) {
+	schemas, indexed := s.tenantStats(r)
 	s.writeJSON(w, r, http.StatusOK, StatsJSON{
-		Schemas:          s.engine.Repository().Len(),
-		Indexed:          s.engine.IndexedDocs(),
+		Schemas:          schemas,
+		Indexed:          indexed,
 		CachedProfiles:   s.engine.CachedProfiles(),
 		InFlightSearches: s.InFlight(),
 	})

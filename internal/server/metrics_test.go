@@ -105,7 +105,7 @@ func TestMetricsScrape(t *testing.T) {
 	}
 
 	total := workers * perWorker
-	if got := first.samples[`schemr_search_total`]; got != float64(total) {
+	if got := first.samples[`schemr_search_total{tenant="default"}`]; got != float64(total) {
 		t.Errorf("schemr_search_total = %v, want %d", got, total)
 	}
 	if got := first.samples[`schemr_index_searches_total`]; got != float64(total) {
@@ -126,11 +126,11 @@ func TestMetricsScrape(t *testing.T) {
 	// Histogram internal consistency: buckets are cumulative and the +Inf
 	// bucket equals _count, for every phase histogram series.
 	for _, phase := range []string{"extract", "match", "tightness"} {
-		assertHistogram(t, first, "schemr_search_phase_seconds", fmt.Sprintf(`phase="%s"`, phase), float64(total))
+		assertHistogram(t, first, "schemr_search_phase_seconds", fmt.Sprintf(`phase="%s",tenant="default"`, phase), float64(total))
 	}
-	assertHistogram(t, first, "schemr_http_request_seconds", `method="GET",route="/api/search"`, float64(total))
+	assertHistogram(t, first, "schemr_http_request_seconds", `method="GET",route="/api/search",tenant="default"`, float64(total))
 
-	reqSeries := `schemr_http_requests_total{class="2xx",method="GET",route="/api/search"}`
+	reqSeries := `schemr_http_requests_total{class="2xx",method="GET",route="/api/search",tenant="default"}`
 	if got := first.samples[reqSeries]; got != float64(total) {
 		t.Errorf("%s = %v, want %d", reqSeries, got, total)
 	}
@@ -148,7 +148,7 @@ func TestMetricsScrape(t *testing.T) {
 			}
 		}
 	}
-	if got, want := second.samples["schemr_search_total"], float64(total+1); got != want {
+	if got, want := second.samples[`schemr_search_total{tenant="default"}`], float64(total+1); got != want {
 		t.Errorf("schemr_search_total after follow-up = %v, want %v", got, want)
 	}
 }
@@ -235,7 +235,7 @@ func TestShedAndTimeoutCounters(t *testing.T) {
 	if got := sr.samples["schemr_http_timeouts_total"]; got < 1 {
 		t.Errorf("schemr_http_timeouts_total = %v, want >= 1", got)
 	}
-	series := `schemr_http_requests_total{class="5xx",method="GET",route="/api/search"}`
+	series := `schemr_http_requests_total{class="5xx",method="GET",route="/api/search",tenant="default"}`
 	if got := sr.samples[series]; got < 1 {
 		t.Errorf("%s = %v, want >= 1", series, got)
 	}

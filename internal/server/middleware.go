@@ -56,6 +56,35 @@ type Config struct {
 	// final time after the background indexers stop, so a graceful
 	// shutdown always leaves a fresh snapshot behind. Nil disables both.
 	Checkpoint func() error
+
+	// AuthEnabled turns on multi-tenant authentication: every /api request
+	// must present an API key (Authorization: Bearer or X-API-Key) that
+	// resolves to a tenant through the repository's durable key store, and
+	// runs namespaced to that tenant. Off by default, which preserves the
+	// single-tenant behavior exactly (every request operates in the
+	// default namespace, no admission control).
+	AuthEnabled bool
+	// AdminKey is the bootstrap administrator credential: requests
+	// presenting it (constant-time compared) bypass tenant quotas, operate
+	// in the default namespace with a global view, and may call the
+	// key-management and replication routes. Required when AuthEnabled.
+	AdminKey string
+	// TenantQPS is each tenant's sustained request rate; requests beyond
+	// it (plus TenantBurst headroom) are answered 429 quota_exceeded with
+	// Retry-After. Default 25; negative disables the rate check.
+	TenantQPS float64
+	// TenantBurst is the token-bucket depth over the sustained rate.
+	// Default 2×TenantQPS (at least 1).
+	TenantBurst int
+	// TenantInFlight bounds one tenant's concurrently executing requests.
+	// Set it below MaxInFlight so no single tenant can fill the shared
+	// shed gate — that headroom is the fairness guarantee. Default 8;
+	// negative disables.
+	TenantInFlight int
+	// ReplicationOpen serves the replication endpoints without
+	// authentication even when AuthEnabled — for trusted-network replicas
+	// that do not present the admin key.
+	ReplicationOpen bool
 }
 
 func (c *Config) defaults() {
@@ -73,6 +102,12 @@ func (c *Config) defaults() {
 	}
 	if c.Logger == nil {
 		c.Logger = log.Default()
+	}
+	if c.TenantQPS == 0 {
+		c.TenantQPS = 25
+	}
+	if c.TenantInFlight == 0 {
+		c.TenantInFlight = 8
 	}
 }
 

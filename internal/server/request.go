@@ -150,6 +150,14 @@ func decodeListRequest(r *http.Request) (*ListRequest, *apiErr) {
 	return req, nil
 }
 
+// decodeOptionalJSON best-effort decodes a JSON body into v; an absent or
+// malformed body leaves v untouched (for routes where the body only
+// supplies optional fields).
+func decodeOptionalJSON(r *http.Request, v any) {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	_ = dec.Decode(v)
+}
+
 // isJSONRequest reports whether the request body is declared as JSON.
 func isJSONRequest(r *http.Request) bool {
 	ct := r.Header.Get("Content-Type")

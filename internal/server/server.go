@@ -44,6 +44,7 @@ import (
 	"schemr/internal/obs"
 	"schemr/internal/summary"
 	"schemr/internal/svg"
+	"schemr/internal/tenant"
 	"schemr/internal/xsd"
 )
 
@@ -58,7 +59,8 @@ type Server struct {
 	cfg     Config
 	met     *httpMetrics
 
-	inflight chan struct{} // in-flight search gate (nil = unbounded)
+	inflight chan struct{}   // in-flight search gate (nil = unbounded)
+	limiter  *tenant.Limiter // per-tenant admission (used when AuthEnabled)
 	reqSeq   atomic.Uint64
 
 	// baseCtx is cancelled by Shutdown; indexers and request deadlines hang
@@ -83,6 +85,9 @@ func NewWithConfig(engine *core.Engine, cfg Config) *Server {
 	if cfg.MaxInFlight > 0 {
 		s.inflight = make(chan struct{}, cfg.MaxInFlight)
 	}
+	s.limiter = tenant.NewLimiter(tenant.Limits{
+		QPS: cfg.TenantQPS, Burst: cfg.TenantBurst, MaxInFlight: cfg.TenantInFlight,
+	})
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = engine.Metrics()
@@ -93,19 +98,20 @@ func NewWithConfig(engine *core.Engine, cfg Config) *Server {
 
 	// Legacy XML surface. Every API route runs under the per-request
 	// deadline so no endpoint can hang past Config.SearchTimeout; search
-	// additionally passes the in-flight gate.
+	// additionally passes the in-flight gate. Each legacy route advertises
+	// its /api/v1 successor via Deprecation and Link headers (RFC 9745).
 	search := s.shed(s.deadlined(s.handleSearch), s.writeXMLErr)
-	s.handle("GET /api/search", search)
-	s.handle("POST /api/search", search)
+	s.handle("GET /api/search", deprecated("/api/v1/search", search))
+	s.handle("POST /api/search", deprecated("/api/v1/search", search))
 	s.handle("GET /api/schema/{id}", s.deadlined(s.handleSchemaGraphML))
 	s.handle("GET /api/schema/{id}/svg", s.deadlined(s.handleSchemaSVG))
-	s.handle("GET /api/schema/{id}/ddl", s.deadlined(s.handleSchemaDDL))
-	s.handle("POST /api/schemas", s.readOnly(s.deadlined(s.handleImport), s.writeXMLErr))
-	s.handle("DELETE /api/schema/{id}", s.readOnly(s.deadlined(s.handleDelete), s.writeXMLErr))
-	s.handle("GET /api/stats", s.deadlined(s.handleStats))
+	s.handle("GET /api/schema/{id}/ddl", deprecated("/api/v1/schema/{id}/ddl", s.deadlined(s.handleSchemaDDL)))
+	s.handle("POST /api/schemas", deprecated("/api/v1/schemas", s.readOnly(s.deadlined(s.handleImport), s.writeXMLErr)))
+	s.handle("DELETE /api/schema/{id}", deprecated("/api/v1/schema/{id}", s.readOnly(s.deadlined(s.handleDelete), s.writeXMLErr)))
+	s.handle("GET /api/stats", deprecated("/api/v1/stats", s.deadlined(s.handleStats)))
 	s.handle("GET /api/codebook", s.deadlined(s.handleCodebook))
-	s.handle("POST /api/schema/{id}/select", s.readOnly(s.deadlined(s.handleSelect), s.writeXMLErr))
-	s.handle("GET /api/schemas", s.deadlined(s.handleList))
+	s.handle("POST /api/schema/{id}/select", deprecated("/api/v1/schema/{id}/select", s.readOnly(s.deadlined(s.handleSelect), s.writeXMLErr)))
+	s.handle("GET /api/schemas", deprecated("/api/v1/schemas", s.deadlined(s.handleList)))
 
 	// Versioned JSON surface (see api_v1.go).
 	v1search := s.shed(s.deadlined(s.v1Search), s.writeJSONErr)
@@ -119,10 +125,18 @@ func NewWithConfig(engine *core.Engine, cfg Config) *Server {
 	s.handle("POST /api/v1/schema/{id}/select", s.readOnly(s.deadlined(s.v1Select), s.writeJSONErr))
 	s.handle("GET /api/v1/stats", s.deadlined(s.v1Stats))
 
+	// Tenant key management (see auth.go): bootstrap-admin-only issuance,
+	// listing and revocation of durable tenant API keys.
+	s.handle("POST /api/v1/tenants/{id}/keys", s.readOnly(s.adminOnly(s.deadlined(s.v1CreateKey)), s.writeJSONErr))
+	s.handle("GET /api/v1/tenants/{id}/keys", s.adminOnly(s.deadlined(s.v1ListKeys)))
+	s.handle("DELETE /api/v1/tenants/{id}/keys/{hash}", s.readOnly(s.adminOnly(s.deadlined(s.v1RevokeKey)), s.writeJSONErr))
+
 	// Replication surface (see replication.go): read-only state export and
-	// WAL streaming for replicas.
-	s.handle("GET /api/v1/replication/state", s.deadlined(s.v1ReplicationState))
-	s.handle("GET /api/v1/replication/wal", s.deadlined(s.v1ReplicationWAL))
+	// WAL streaming for replicas. Admin-gated under auth (the exported
+	// state includes every tenant's documents and key hashes) unless the
+	// operator opens it for trusted networks.
+	s.handle("GET /api/v1/replication/state", s.replicationGuard(s.deadlined(s.v1ReplicationState)))
+	s.handle("GET /api/v1/replication/wal", s.replicationGuard(s.deadlined(s.v1ReplicationWAL)))
 
 	// Observability endpoints.
 	if !cfg.DisableMetricsEndpoint {
@@ -137,7 +151,12 @@ func NewWithConfig(engine *core.Engine, cfg Config) *Server {
 		s.mux.Handle("GET /debug/vars", expvar.Handler())
 	}
 
-	s.handler = s.instrumented(s.mux)
+	// The full chain: request ID/panic recovery outermost, then tenant
+	// resolution, then per-tenant admission — all before mux routing, so
+	// route metrics, the shared shed gate and every handler see the
+	// resolved tenant. With auth disabled withTenant and admitted are the
+	// identity and the chain is byte-identical to the single-tenant one.
+	s.handler = s.instrumented(s.withTenant(s.admitted(s.mux)))
 	return s
 }
 
@@ -281,10 +300,14 @@ type ElementXML struct {
 	Concepts string  `xml:"concepts,attr,omitempty"`
 }
 
-// ErrorXML is the error envelope.
+// ErrorXML is the error envelope. Code is the same stable
+// machine-readable identifier the v1 JSON envelope carries
+// (bad_request, not_found, unauthorized, forbidden, quota_exceeded,
+// overloaded, timeout, ...), so legacy clients can dispatch on it too.
 type ErrorXML struct {
 	XMLName xml.Name `xml:"error"`
 	Status  int      `xml:"status,attr"`
+	Code    string   `xml:"code,attr,omitempty"`
 	Message string   `xml:",chardata"`
 }
 
@@ -310,12 +333,15 @@ func (s *Server) xmlError(w http.ResponseWriter, status int, format string, args
 }
 
 // writeXMLErr renders an apiErr as the legacy XML envelope (the legacy
-// errorWriter counterpart of writeJSONErr).
+// errorWriter counterpart of writeJSONErr), code attribute included.
 func (s *Server) writeXMLErr(w http.ResponseWriter, r *http.Request, e *apiErr) {
 	if e.retryAfter != "" {
 		w.Header().Set("Retry-After", e.retryAfter)
 	}
-	s.xmlError(w, e.status, "%s", e.msg)
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	w.WriteHeader(e.status)
+	out, _ := xml.Marshal(ErrorXML{Status: e.status, Code: e.code, Message: e.msg})
+	w.Write(out)
 }
 
 func (s *Server) writeXML(w http.ResponseWriter, v any) {
@@ -428,10 +454,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		Offset: out.req.Offset,
 		TookMS: float64(out.stats.Total().Microseconds()) / 1000,
 	}
+	who := tenant.From(r.Context())
 	for _, row := range out.rows {
 		res := row.res
 		rx := ResultXML{
-			ID: res.ID, Score: res.Score, Name: res.Name, Description: res.Description,
+			ID: displayID(who, res.ID), Score: res.Score, Name: res.Name, Description: res.Description,
 			Matches: res.NumMatches(), Entities: res.Entities, Attributes: res.Attributes,
 			Anchor: res.Anchor,
 		}
@@ -458,18 +485,18 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 // handleSelect records a click-through on a search result — the usage
 // signal the popularity boost and future ranking improvements feed on.
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
-	if !s.engine.Repository().RecordSelection(r.PathValue("id")) {
-		s.xmlError(w, http.StatusNotFound, "no schema %q", r.PathValue("id"))
+	if !s.engine.Repository().RecordSelection(qualifiedID(r)) {
+		s.writeXMLErr(w, r, notFound("no schema %q", r.PathValue("id")))
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) schemaByID(w http.ResponseWriter, r *http.Request) *model.Schema {
-	id := r.PathValue("id")
+	id := qualifiedID(r)
 	schema := s.engine.Repository().Get(id)
 	if schema == nil {
-		s.xmlError(w, http.StatusNotFound, "no schema %q", id)
+		s.writeXMLErr(w, r, notFound("no schema %q", r.PathValue("id")))
 		return nil
 	}
 	// Optional summarization for very large schemas: keep the k most
@@ -621,11 +648,14 @@ func (s *Server) importSchema(r *http.Request) (id, name string, aerr *apiErr) {
 		return "", "", badRequest("%v", err)
 	}
 	schema.Source = "import:" + r.RemoteAddr
-	id, err = s.engine.Repository().Put(schema)
+	// Imports land in the requester's namespace; the response shows the
+	// bare ID the client will use on every other route.
+	who := tenant.From(r.Context())
+	id, err = s.engine.Repository().PutTenant(who.ID, schema)
 	if err != nil {
 		return "", "", badRequest("%v", err)
 	}
-	return id, in.Name, nil
+	return displayID(who, id), in.Name, nil
 }
 
 func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
@@ -639,9 +669,8 @@ func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	if !s.engine.Repository().Delete(id) {
-		s.xmlError(w, http.StatusNotFound, "no schema %q", id)
+	if !s.engine.Repository().Delete(qualifiedID(r)) {
+		s.writeXMLErr(w, r, notFound("no schema %q", r.PathValue("id")))
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -685,12 +714,20 @@ type listPage struct {
 }
 
 // listSchemas pages through the repository ordered by insertion — the
-// browse companion to search, with optional tag filtering.
-func (s *Server) listSchemas(req *ListRequest) listPage {
+// browse companion to search, with optional tag filtering. A tenant
+// browses its own namespace; the admin's view is global.
+func (s *Server) listSchemas(who tenant.Info, req *ListRequest) listPage {
 	repo := s.engine.Repository()
-	ids := repo.IDs()
-	if req.Tag != "" {
+	var ids []string
+	switch {
+	case who.Admin && req.Tag != "":
 		ids = repo.ByTag(req.Tag)
+	case who.Admin:
+		ids = repo.IDs()
+	case req.Tag != "":
+		ids = repo.ByTagTenant(who.ID, req.Tag)
+	default:
+		ids = repo.IDsTenant(who.ID)
 	}
 	page := listPage{total: len(ids)}
 	offset := req.Offset
@@ -721,11 +758,12 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		s.writeXMLErr(w, r, aerr)
 		return
 	}
-	page := s.listSchemas(req)
+	who := tenant.From(r.Context())
+	page := s.listSchemas(who, req)
 	out := SchemaListXML{Total: page.total, Offset: req.Offset}
 	for _, row := range page.rows {
 		out.Items = append(out.Items, SchemaRowXML{
-			ID: row.id, Name: row.schema.Name, Description: row.schema.Description,
+			ID: displayID(who, row.id), Name: row.schema.Name, Description: row.schema.Description,
 			Entities: row.schema.NumEntities(), Attributes: row.schema.NumAttributes(),
 			Format: row.schema.Format, Tags: strings.Join(row.tags, ","),
 			Rating: row.rating, Selections: row.selections,
@@ -735,10 +773,20 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.writeXML(w, StatsXML{
-		Schemas: s.engine.Repository().Len(),
-		Indexed: s.engine.IndexedDocs(),
-	})
+	schemas, indexed := s.tenantStats(r)
+	s.writeXML(w, StatsXML{Schemas: schemas, Indexed: indexed})
+}
+
+// tenantStats resolves the repository and index counts for the request's
+// view: a tenant sees its namespace, the admin (and the auth-disabled
+// deployment's default view, where the namespace is the whole corpus)
+// sees everything.
+func (s *Server) tenantStats(r *http.Request) (schemas, indexed int) {
+	who := tenant.From(r.Context())
+	if who.Admin {
+		return s.engine.Repository().Len(), s.engine.IndexedDocs()
+	}
+	return s.engine.Repository().LenTenant(who.ID), s.engine.IndexedDocsTenant(who.ID)
 }
 
 // CodebookXML reports corpus-wide concept usage: the standardization
@@ -756,7 +804,12 @@ type CodebookConcept struct {
 }
 
 func (s *Server) handleCodebook(w http.ResponseWriter, r *http.Request) {
-	profiles := codebook.ProfileCorpus(s.engine.Repository().All())
+	who := tenant.From(r.Context())
+	corpus := s.engine.Repository().All()
+	if !who.Admin {
+		corpus = s.engine.Repository().AllTenant(who.ID)
+	}
+	profiles := codebook.ProfileCorpus(corpus)
 	out := CodebookXML{}
 	for _, p := range profiles {
 		out.Concepts = append(out.Concepts, CodebookConcept{

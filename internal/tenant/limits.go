@@ -1,0 +1,121 @@
+package tenant
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Admission control. Each tenant owns a token bucket (sustained QPS plus
+// burst headroom) and a bounded in-flight slot count. A request acquires
+// both before it may proceed; either shortage yields a Denial carrying the
+// machine-readable reason and a computed Retry-After. The per-tenant
+// in-flight cap is what makes the shared shed gate fair: a tenant
+// saturating its own quota is rejected here, before it can occupy the
+// server-wide MaxInFlight slots, so it cannot starve compliant tenants of
+// the shared gate — the weighted-fair pick is "every tenant's weight is
+// its in-flight cap".
+
+// Limits configures per-tenant admission. Zero or negative values disable
+// the corresponding check.
+type Limits struct {
+	// QPS is the sustained request rate each tenant may offer.
+	QPS float64
+	// Burst is the bucket depth: how many requests above the sustained
+	// rate a tenant may send at once. Defaults to max(1, 2×QPS).
+	Burst int
+	// MaxInFlight bounds a single tenant's concurrently executing
+	// requests; it should be set below the server's shared gate so no one
+	// tenant can fill it.
+	MaxInFlight int
+}
+
+// Denial explains a rejected acquisition.
+type Denial struct {
+	// Reason is the machine-readable shortage: "rate" (token bucket empty)
+	// or "inflight" (per-tenant concurrency cap reached).
+	Reason string
+	// RetryAfter is the whole-second hint until a retry can succeed.
+	RetryAfter int
+}
+
+// bucket is one tenant's admission state.
+type bucket struct {
+	tokens   float64
+	last     time.Time
+	inflight int
+}
+
+// Limiter is the per-tenant admission controller. Safe for concurrent
+// use; the zero value is not usable, construct with NewLimiter.
+type Limiter struct {
+	limits Limits
+	now    func() time.Time
+
+	mu      sync.Mutex
+	tenants map[string]*bucket
+}
+
+// NewLimiter builds a limiter with the given per-tenant limits.
+func NewLimiter(l Limits) *Limiter {
+	if l.Burst <= 0 {
+		l.Burst = int(math.Max(1, 2*l.QPS))
+	}
+	return &Limiter{limits: l, now: time.Now, tenants: make(map[string]*bucket)}
+}
+
+// Acquire claims one request slot for the tenant. On success it returns a
+// release function the caller must invoke when the request finishes (and
+// a nil denial); on shortage it returns a nil release and the denial.
+func (l *Limiter) Acquire(tn string) (release func(), denial *Denial) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.tenants[tn]
+	now := l.now()
+	if b == nil {
+		b = &bucket{tokens: float64(l.limits.Burst), last: now}
+		l.tenants[tn] = b
+	}
+	if l.limits.QPS > 0 {
+		b.tokens = math.Min(float64(l.limits.Burst),
+			b.tokens+now.Sub(b.last).Seconds()*l.limits.QPS)
+		b.last = now
+		if b.tokens < 1 {
+			return nil, &Denial{Reason: "rate", RetryAfter: retrySeconds((1 - b.tokens) / l.limits.QPS)}
+		}
+	}
+	if l.limits.MaxInFlight > 0 && b.inflight >= l.limits.MaxInFlight {
+		return nil, &Denial{Reason: "inflight", RetryAfter: 1}
+	}
+	if l.limits.QPS > 0 {
+		b.tokens--
+	}
+	b.inflight++
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			l.mu.Lock()
+			b.inflight--
+			l.mu.Unlock()
+		})
+	}, nil
+}
+
+// InFlight reports the tenant's currently executing requests.
+func (l *Limiter) InFlight(tn string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if b := l.tenants[tn]; b != nil {
+		return b.inflight
+	}
+	return 0
+}
+
+// retrySeconds rounds a wait up to whole seconds, at least 1.
+func retrySeconds(s float64) int {
+	n := int(math.Ceil(s))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,137 @@
+// Package tenant carries Schemr's multi-tenancy vocabulary: tenant
+// identifiers, the qualified-ID scheme that partitions the repository and
+// the per-tenant document indexes, API-key generation and hashing, the
+// request-context carrier the serving stack resolves keys into, and the
+// per-tenant admission controller (limits.go).
+//
+// The namespace scheme is deliberately boring: a schema owned by tenant
+// "acme" is stored under the qualified ID "acme/s000001", while the
+// default tenant (the empty tenant ID — a deployment running without
+// auth, or the admin key's namespace) keeps the bare "s000001" form. API
+// clients only ever see and send bare IDs; handlers qualify them
+// server-side with the tenant their key resolved to, so a request cannot
+// even express another tenant's ID — the ServeMux {id} wildcard matches a
+// single path segment and the separator is "/".
+package tenant
+
+import (
+	"context"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// Sep separates the tenant prefix from the bare schema ID in a qualified
+// ID. It can never appear in a tenant ID or travel through an {id} path
+// wildcard, which is what makes cross-tenant addressing inexpressible.
+const Sep = "/"
+
+// ValidID reports whether s is a well-formed tenant identifier: 1–32
+// characters of lowercase letters, digits, '-' or '_'. The empty string is
+// the default tenant and is not a valid *named* tenant.
+func ValidID(s string) bool {
+	if len(s) == 0 || len(s) > 32 {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Qualify prefixes a bare schema ID with its owning tenant. The default
+// tenant ("") is the identity: bare IDs stay bare, which is what keeps
+// every pre-tenancy deployment, fixture and test byte-identical.
+func Qualify(tn, id string) string {
+	if tn == "" || id == "" {
+		return id
+	}
+	return tn + Sep + id
+}
+
+// Split separates a qualified ID into its owning tenant and bare ID. IDs
+// without a separator belong to the default tenant.
+func Split(qid string) (tn, id string) {
+	if i := strings.IndexByte(qid, '/'); i >= 0 {
+		return qid[:i], qid[i+1:]
+	}
+	return "", qid
+}
+
+// Owner returns the tenant a qualified ID belongs to ("" = default).
+func Owner(qid string) string {
+	tn, _ := Split(qid)
+	return tn
+}
+
+// Bare strips the tenant prefix off a qualified ID — the form API
+// responses render, so clients never learn their namespace prefix.
+func Bare(qid string) string {
+	_, id := Split(qid)
+	return id
+}
+
+// Info is the resolved identity of a request: the tenant namespace it
+// operates in and whether it presented the bootstrap admin key. The zero
+// value is the unauthenticated default tenant.
+type Info struct {
+	// ID is the tenant namespace ("" = default).
+	ID string
+	// Admin marks the bootstrap admin key: key management and replication
+	// routes open up, quotas do not apply, and repository access stays in
+	// the default namespace.
+	Admin bool
+}
+
+// MetricLabel is the tenant label value the Info contributes to metric
+// series: the tenant ID, "admin" for the bootstrap key, and "default" for
+// the unauthenticated/default namespace (Prometheus labels should not be
+// empty strings).
+func (in Info) MetricLabel() string {
+	switch {
+	case in.Admin:
+		return "admin"
+	case in.ID == "":
+		return "default"
+	default:
+		return in.ID
+	}
+}
+
+type ctxKey struct{}
+
+// With returns a context carrying the resolved tenant identity.
+func With(ctx context.Context, in Info) context.Context {
+	return context.WithValue(ctx, ctxKey{}, in)
+}
+
+// From returns the tenant identity carried by ctx, or the zero Info (the
+// default tenant) outside an authenticated request.
+func From(ctx context.Context) Info {
+	in, _ := ctx.Value(ctxKey{}).(Info)
+	return in
+}
+
+// NewKey generates a fresh API key: 32 bytes of crypto/rand rendered as
+// "sk_" + 64 hex characters. Only the SHA-256 hash is ever stored; the
+// plaintext is returned exactly once at creation.
+func NewKey() (string, error) {
+	var b [32]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("tenant: generating key: %w", err)
+	}
+	return "sk_" + hex.EncodeToString(b[:]), nil
+}
+
+// HashKey returns the hex SHA-256 digest of a plaintext key — the stored
+// (and replicated) form, and the key's ID on the admin API.
+func HashKey(plaintext string) string {
+	sum := sha256.Sum256([]byte(plaintext))
+	return hex.EncodeToString(sum[:])
+}

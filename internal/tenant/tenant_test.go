@@ -1,0 +1,176 @@
+package tenant
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQualifySplit(t *testing.T) {
+	cases := []struct {
+		tn, id, qualified string
+	}{
+		{"", "s000001", "s000001"},
+		{"acme", "s000001", "acme/s000001"},
+		{"acme", "", ""},
+	}
+	for _, c := range cases {
+		if got := Qualify(c.tn, c.id); got != c.qualified {
+			t.Errorf("Qualify(%q,%q) = %q, want %q", c.tn, c.id, got, c.qualified)
+		}
+	}
+	if tn, id := Split("acme/s000001"); tn != "acme" || id != "s000001" {
+		t.Errorf("Split = %q,%q", tn, id)
+	}
+	if tn, id := Split("s000001"); tn != "" || id != "s000001" {
+		t.Errorf("default Split = %q,%q", tn, id)
+	}
+	if Owner("acme/s1") != "acme" || Bare("acme/s1") != "s1" || Owner("s1") != "" {
+		t.Error("Owner/Bare wrong")
+	}
+}
+
+func TestValidID(t *testing.T) {
+	for _, ok := range []string{"acme", "a", "tenant-1", "x_2"} {
+		if !ValidID(ok) {
+			t.Errorf("ValidID(%q) = false", ok)
+		}
+	}
+	for _, bad := range []string{"", "Acme", "a/b", "a b", strings.Repeat("a", 33)} {
+		if ValidID(bad) {
+			t.Errorf("ValidID(%q) = true", bad)
+		}
+	}
+}
+
+func TestContextCarrier(t *testing.T) {
+	ctx := context.Background()
+	if From(ctx) != (Info{}) {
+		t.Error("zero ctx should yield zero Info")
+	}
+	ctx = With(ctx, Info{ID: "acme"})
+	if From(ctx).ID != "acme" {
+		t.Error("tenant not carried")
+	}
+	if (Info{}).MetricLabel() != "default" ||
+		(Info{Admin: true}).MetricLabel() != "admin" ||
+		(Info{ID: "acme"}).MetricLabel() != "acme" {
+		t.Error("metric labels wrong")
+	}
+}
+
+func TestKeys(t *testing.T) {
+	k1, err := NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := NewKey()
+	if k1 == k2 {
+		t.Error("keys not unique")
+	}
+	if !strings.HasPrefix(k1, "sk_") || len(k1) != 3+64 {
+		t.Errorf("key shape = %q", k1)
+	}
+	if HashKey(k1) == HashKey(k2) || len(HashKey(k1)) != 64 {
+		t.Error("hash wrong")
+	}
+}
+
+func TestLimiterRate(t *testing.T) {
+	l := NewLimiter(Limits{QPS: 10, Burst: 2})
+	now := time.Unix(1000, 0)
+	l.now = func() time.Time { return now }
+
+	for i := 0; i < 2; i++ {
+		rel, d := l.Acquire("acme")
+		if d != nil {
+			t.Fatalf("req %d denied: %+v", i, d)
+		}
+		rel()
+	}
+	_, d := l.Acquire("acme")
+	if d == nil || d.Reason != "rate" || d.RetryAfter < 1 {
+		t.Fatalf("expected rate denial, got %+v", d)
+	}
+	// Other tenants have their own bucket.
+	if rel, d := l.Acquire("other"); d != nil {
+		t.Fatalf("other tenant denied: %+v", d)
+	} else {
+		rel()
+	}
+	// Refill after time passes.
+	now = now.Add(time.Second)
+	if rel, d := l.Acquire("acme"); d != nil {
+		t.Fatalf("post-refill denied: %+v", d)
+	} else {
+		rel()
+	}
+}
+
+func TestLimiterInFlight(t *testing.T) {
+	l := NewLimiter(Limits{MaxInFlight: 2})
+	r1, d := l.Acquire("acme")
+	if d != nil {
+		t.Fatal(d)
+	}
+	r2, d := l.Acquire("acme")
+	if d != nil {
+		t.Fatal(d)
+	}
+	if _, d := l.Acquire("acme"); d == nil || d.Reason != "inflight" {
+		t.Fatalf("expected inflight denial, got %+v", d)
+	}
+	if l.InFlight("acme") != 2 {
+		t.Errorf("inflight = %d", l.InFlight("acme"))
+	}
+	r1()
+	r1() // double release must not free two slots
+	if l.InFlight("acme") != 1 {
+		t.Errorf("inflight after release = %d", l.InFlight("acme"))
+	}
+	if rel, d := l.Acquire("acme"); d != nil {
+		t.Fatalf("after release denied: %+v", d)
+	} else {
+		rel()
+	}
+	r2()
+}
+
+func TestLimiterConcurrent(t *testing.T) {
+	l := NewLimiter(Limits{QPS: 1000, Burst: 1000, MaxInFlight: 4})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	peak := 0
+	active := 0
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				rel, d := l.Acquire("acme")
+				if d != nil {
+					continue
+				}
+				mu.Lock()
+				active++
+				if active > peak {
+					peak = active
+				}
+				mu.Unlock()
+				mu.Lock()
+				active--
+				mu.Unlock()
+				rel()
+			}
+		}()
+	}
+	wg.Wait()
+	if peak > 4 {
+		t.Errorf("in-flight peak %d exceeds cap 4", peak)
+	}
+	if l.InFlight("acme") != 0 {
+		t.Errorf("leaked in-flight slots: %d", l.InFlight("acme"))
+	}
+}
