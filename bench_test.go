@@ -210,6 +210,33 @@ func BenchmarkFig3SearchUnprofiled(b *testing.B) {
 	}
 }
 
+// BenchmarkCascade compares the phase-2/3 cascade against exhaustive
+// matching on the acceptance configuration (CandidateN 50, limit 10, the
+// paper query) — the pair behind BENCH_search_profile.json's cascade rows.
+// Run under -race in CI as a concurrency smoke for the shared-floor
+// protocol.
+func BenchmarkCascade(b *testing.B) {
+	repo := benchRepo(b, 1000)
+	q := paperQuery(b)
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"on", false}, {"off", true}} {
+		engine := core.NewEngine(repo, core.Options{CandidateN: 50, DisableCascade: mode.disable})
+		if err := engine.Reindex(); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Search(q, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkProfileBuild measures match.NewProfile — the one-time per-schema
 // cost the cache pays to make every later search cheap.
 func BenchmarkProfileBuild(b *testing.B) {

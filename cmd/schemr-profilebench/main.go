@@ -1,13 +1,14 @@
 // Command schemr-profilebench measures the per-phase latency of the
 // three-phase search on the WebTables-derived benchmark corpus and emits the
 // numbers as JSON. It exists to produce the before/after evidence for the
-// match-profile cache (BENCH_search_profile.json): run it at a baseline
-// commit and again after a change, and compare the phase 2+3 (match +
-// tightness) times.
+// match-profile cache and the cascade ranking (BENCH_search_profile.json):
+// run it at a baseline commit and again after a change, and compare the
+// phase 2+3 (match + tightness) times. By default it measures both cascade
+// modes back to back so one invocation yields the on/off comparison.
 //
 // Usage:
 //
-//	go run ./cmd/schemr-profilebench [-corpus 5000] [-candidates 50] [-searches 200] [-label after]
+//	go run ./cmd/schemr-profilebench [-corpus 5000] [-candidates 50] [-limit 10] [-searches 200] [-cascade both] [-label after]
 package main
 
 import (
@@ -53,86 +54,117 @@ func buildCorpus(n int) (*repository.Repository, error) {
 	return repo, nil
 }
 
-// report is the JSON shape emitted per run.
+// report is the JSON shape emitted per measured mode.
 type report struct {
-	Label          string  `json:"label,omitempty"`
-	Corpus         int     `json:"corpus"`
-	CandidateN     int     `json:"candidateN"`
-	Searches       int     `json:"searches"`
-	PhaseExtractUs float64 `json:"phaseExtract_us"`
-	PhaseMatchUs   float64 `json:"phaseMatch_us"`
-	TightnessUs    float64 `json:"phaseTightness_us"`
-	Phase23Us      float64 `json:"phase23_us"`
-	TotalUs        float64 `json:"total_us"`
-	SearchesPerSec float64 `json:"searches_per_sec"`
+	Label               string  `json:"label,omitempty"`
+	Corpus              int     `json:"corpus"`
+	CandidateN          int     `json:"candidateN"`
+	Limit               int     `json:"limit"`
+	Cascade             bool    `json:"cascade"`
+	Searches            int     `json:"searches"`
+	PhaseExtractUs      float64 `json:"phaseExtract_us"`
+	PhaseMatchUs        float64 `json:"phaseMatch_us"`
+	TightnessUs         float64 `json:"phaseTightness_us"`
+	Phase23Us           float64 `json:"phase23_us"`
+	TotalUs             float64 `json:"total_us"`
+	SearchesPerSec      float64 `json:"searches_per_sec"`
+	MatchersSkipped     float64 `json:"matchersSkipped_mean"`
+	CandidatesAbandoned float64 `json:"candidatesAbandoned_mean"`
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "profilebench:", err)
+	os.Exit(1)
+}
+
+// measure runs the paper query repeatedly against one engine configuration
+// and returns the per-search phase means.
+func measure(repo *repository.Repository, q *query.Query, candidates, limit, searches, warmup int, disableCascade bool) report {
+	engine := core.NewEngine(repo, core.Options{CandidateN: candidates, DisableCascade: disableCascade})
+	if err := engine.Reindex(); err != nil {
+		fatal(err)
+	}
+	for i := 0; i < warmup; i++ {
+		if _, _, err := engine.SearchWithStats(q, limit); err != nil {
+			fatal(err)
+		}
+	}
+	var extract, matchT, tight time.Duration
+	var skipped, abandoned int
+	wall := time.Now()
+	for i := 0; i < searches; i++ {
+		_, stats, err := engine.SearchWithStats(q, limit)
+		if err != nil {
+			fatal(err)
+		}
+		extract += stats.PhaseExtract
+		matchT += stats.PhaseMatch
+		tight += stats.PhaseTightness
+		skipped += stats.MatchersSkipped
+		abandoned += stats.CandidatesAbandoned
+	}
+	elapsed := time.Since(wall)
+
+	us := func(d time.Duration) float64 {
+		return float64(d.Microseconds()) / float64(searches)
+	}
+	return report{
+		Corpus:              repo.Len(),
+		CandidateN:          candidates,
+		Limit:               limit,
+		Cascade:             !disableCascade,
+		Searches:            searches,
+		PhaseExtractUs:      us(extract),
+		PhaseMatchUs:        us(matchT),
+		TightnessUs:         us(tight),
+		Phase23Us:           us(matchT + tight),
+		TotalUs:             us(extract + matchT + tight),
+		SearchesPerSec:      float64(searches) / elapsed.Seconds(),
+		MatchersSkipped:     float64(skipped) / float64(searches),
+		CandidatesAbandoned: float64(abandoned) / float64(searches),
+	}
 }
 
 func main() {
 	corpus := flag.Int("corpus", 5000, "corpus size (schemas)")
 	candidates := flag.Int("candidates", 50, "phase-1 candidate count handed to the matcher")
+	limit := flag.Int("limit", 10, "result limit (the cascade's top-n floor size)")
 	searches := flag.Int("searches", 200, "measured search iterations (after warmup)")
 	warmup := flag.Int("warmup", 20, "warmup search iterations")
+	cascade := flag.String("cascade", "both", "cascade mode to measure: on, off, or both")
 	label := flag.String("label", "", "label recorded in the JSON output")
 	flag.Parse()
 
 	repo, err := buildCorpus(*corpus)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "profilebench:", err)
-		os.Exit(1)
-	}
-	engine := core.NewEngine(repo, core.Options{CandidateN: *candidates})
-	if err := engine.Reindex(); err != nil {
-		fmt.Fprintln(os.Stderr, "profilebench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	q, err := query.Parse(query.Input{
 		Keywords: "patient height gender diagnosis",
 		DDL:      "CREATE TABLE patient (height FLOAT, gender VARCHAR(8));",
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "profilebench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 
-	for i := 0; i < *warmup; i++ {
-		if _, _, err := engine.SearchWithStats(q, 10); err != nil {
-			fmt.Fprintln(os.Stderr, "profilebench:", err)
-			os.Exit(1)
-		}
-	}
-	var extract, matchT, tight time.Duration
-	wall := time.Now()
-	for i := 0; i < *searches; i++ {
-		_, stats, err := engine.SearchWithStats(q, 10)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "profilebench:", err)
-			os.Exit(1)
-		}
-		extract += stats.PhaseExtract
-		matchT += stats.PhaseMatch
-		tight += stats.PhaseTightness
-	}
-	elapsed := time.Since(wall)
-
-	us := func(d time.Duration) float64 {
-		return float64(d.Microseconds()) / float64(*searches)
-	}
-	rep := report{
-		Label:          *label,
-		Corpus:         *corpus,
-		CandidateN:     *candidates,
-		Searches:       *searches,
-		PhaseExtractUs: us(extract),
-		PhaseMatchUs:   us(matchT),
-		TightnessUs:    us(tight),
-		Phase23Us:      us(matchT + tight),
-		TotalUs:        us(extract + matchT + tight),
-		SearchesPerSec: float64(*searches) / elapsed.Seconds(),
+	var reports []report
+	switch *cascade {
+	case "on":
+		reports = append(reports, measure(repo, q, *candidates, *limit, *searches, *warmup, false))
+	case "off":
+		reports = append(reports, measure(repo, q, *candidates, *limit, *searches, *warmup, true))
+	case "both":
+		reports = append(reports, measure(repo, q, *candidates, *limit, *searches, *warmup, false))
+		reports = append(reports, measure(repo, q, *candidates, *limit, *searches, *warmup, true))
+	default:
+		fatal(fmt.Errorf("unknown -cascade mode %q (want on, off, or both)", *cascade))
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		fmt.Fprintln(os.Stderr, "profilebench:", err)
-		os.Exit(1)
+	for _, rep := range reports {
+		rep.Label = *label
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
 	}
 }

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"schemr/internal/index"
+	"schemr/internal/match"
+	"schemr/internal/query"
+	"schemr/internal/repository"
+	"schemr/internal/webtables"
+)
+
+func TestTopKFloor(t *testing.T) {
+	top := newTopK(3)
+	if f := top.Floor(); !math.IsInf(f, -1) {
+		t.Fatalf("empty floor = %v, want -Inf", f)
+	}
+	top.Offer(0.5)
+	top.Offer(0.2)
+	if f := top.Floor(); !math.IsInf(f, -1) {
+		t.Fatalf("floor before k offers = %v, want -Inf", f)
+	}
+	top.Offer(0.8)
+	if f := top.Floor(); f != 0.2 {
+		t.Fatalf("floor = %v, want 0.2", f)
+	}
+	top.Offer(0.1) // below floor: no change
+	if f := top.Floor(); f != 0.2 {
+		t.Fatalf("floor after low offer = %v, want 0.2", f)
+	}
+	top.Offer(0.6) // displaces 0.2
+	if f := top.Floor(); f != 0.5 {
+		t.Fatalf("floor after displace = %v, want 0.5", f)
+	}
+	top.Offer(0.9)
+	if f := top.Floor(); f != 0.6 {
+		t.Fatalf("floor = %v, want 0.6", f)
+	}
+}
+
+func TestCascadeBoundExactSkip(t *testing.T) {
+	// No column clears the threshold: bound 0 regardless of coverage.
+	if ub := cascadeBound([]float64{0.3, 0.49}, []float64{1, 1}, 0.5, 1, 1); ub != 0 {
+		t.Fatalf("bound = %v, want 0 (no matchable column)", ub)
+	}
+	// A column exactly at the threshold must count (slack keeps ties alive).
+	if ub := cascadeBound([]float64{0.5}, []float64{0.5}, 0.5, 0, 1); ub != 0.5 {
+		t.Fatalf("bound = %v, want 0.5", ub)
+	}
+	// Coverage fraction and popularity multiply in.
+	ub := cascadeBound([]float64{0.8, 0.2}, []float64{0.9, 0.1}, 0.5, 1, 1.1)
+	want := 0.8 * 0.5 * 1.1
+	if math.Abs(ub-want) > 1e-12 {
+		t.Fatalf("bound = %v, want %v", ub, want)
+	}
+}
+
+// cascadeCorpus builds a shared randomized webtables corpus, with usage
+// recorded on a few schemas so the popularity factor participates.
+func cascadeCorpus(t *testing.T, seed int64, n int) *repository.Repository {
+	t.Helper()
+	r := repository.New()
+	var ids []string
+	for _, s := range webtables.GenerateRelational(seed, n) {
+		id, err := r.Put(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for i, id := range ids {
+		for k := 0; k < i%7; k++ {
+			r.RecordSelection(id)
+		}
+	}
+	return r
+}
+
+// extendedEnsemble is the widest matcher set (all five, synonym included).
+func extendedEnsemble(t *testing.T, weights map[string]float64) *match.Ensemble {
+	t.Helper()
+	en, err := match.NewEnsemble(match.NewNameMatcher(), match.NewContextMatcher(),
+		match.NewExactMatcher(), match.NewTypeMatcher(), match.NewSynonymMatcher())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weights != nil {
+		if err := en.SetWeights(weights); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return en
+}
+
+// TestCascadeMatchesExhaustiveRandomized is the cascade's exactness
+// property test: across randomized corpora, index scoring modes, candidate
+// pool sizes, result limits and ensemble weights, the cascade's results
+// must be byte-identical to the exhaustive path's — same IDs, same order,
+// same scores, same matched-element explanations. Run under -race it also
+// exercises the shared-floor protocol across the phase-2 worker pool.
+func TestCascadeMatchesExhaustiveRandomized(t *testing.T) {
+	queries := []query.Input{
+		{Keywords: "patient height gender diagnosis",
+			DDL: "CREATE TABLE patient (height FLOAT, gender VARCHAR(8));"},
+		{Keywords: "order customer price quantity"},
+		{Keywords: "species site count observer date"},
+		{Keywords: "student course grade term",
+			DDL: "CREATE TABLE enrollment (student INT, course INT, grade VARCHAR(2));"},
+	}
+	// Learned-ish weights: non-uniform, context deliberately heavy so the
+	// expensive matcher carries real bound mass.
+	learned := map[string]float64{
+		"name": 0.9, "context": 1.6, "exact": 0.4, "type": 0.15, "synonym": 0.7,
+	}
+	indexModes := []struct {
+		name string
+		opts index.SearchOptions
+	}{
+		{"classic", index.SearchOptions{}},
+		{"bm25", index.SearchOptions{BM25: true}},
+		{"proximity", index.SearchOptions{Proximity: true}},
+	}
+
+	totalSkipped, totalAbandoned := 0, 0
+	for _, seed := range []int64{3, 19} {
+		repo := cascadeCorpus(t, seed, 280)
+		for _, mode := range indexModes {
+			for _, candN := range []int{10, 50, 200} {
+				opts := Options{
+					CandidateN:      candN,
+					Index:           mode.opts,
+					PopularityBoost: 0.2,
+				}
+				cascade := NewEngine(repo, opts)
+				exOpts := opts
+				exOpts.DisableCascade = true
+				exhaustive := NewEngine(repo, exOpts)
+				if err := cascade.Reindex(); err != nil {
+					t.Fatal(err)
+				}
+				if err := exhaustive.Reindex(); err != nil {
+					t.Fatal(err)
+				}
+				for _, weights := range []map[string]float64{nil, learned} {
+					cascade.SetEnsemble(extendedEnsemble(t, weights))
+					exhaustive.SetEnsemble(extendedEnsemble(t, weights))
+					for li, limit := range []int{1, 10, 50} {
+						// Rotate through the query pool rather than crossing
+						// it with every other dimension — all queries run
+						// under every index mode across the sweep, at a
+						// quarter of the wall clock (this test also rides the
+						// CI -race job).
+						qi := (int(seed) + candN + li + len(queries)) % len(queries)
+						{
+							q, err := query.Parse(queries[qi])
+							if err != nil {
+								t.Fatal(err)
+							}
+							got, gstats, err := cascade.SearchWithStats(q, limit)
+							if err != nil {
+								t.Fatal(err)
+							}
+							want, wstats, err := exhaustive.SearchWithStats(q, limit)
+							if err != nil {
+								t.Fatal(err)
+							}
+							label := fmt.Sprintf("seed=%d mode=%s candN=%d learned=%v limit=%d q=%d",
+								seed, mode.name, candN, weights != nil, limit, qi)
+							if !reflect.DeepEqual(got, want) {
+								t.Fatalf("%s: cascade results differ from exhaustive\ncascade:    %+v\nexhaustive: %+v",
+									label, got, want)
+							}
+							if wstats.MatchersSkipped != 0 || wstats.CandidatesAbandoned != 0 {
+								t.Fatalf("%s: exhaustive path reported cascade stats %d/%d",
+									label, wstats.MatchersSkipped, wstats.CandidatesAbandoned)
+							}
+							// TotalRanked under cascade is a lower bound on the
+							// exhaustive count, and abandonment bounds the gap.
+							if gstats.TotalRanked > wstats.TotalRanked {
+								t.Fatalf("%s: cascade ranked %d > exhaustive %d",
+									label, gstats.TotalRanked, wstats.TotalRanked)
+							}
+							if gstats.TotalRanked+gstats.CandidatesAbandoned < wstats.TotalRanked {
+								t.Fatalf("%s: ranked %d + abandoned %d < exhaustive ranked %d",
+									label, gstats.TotalRanked, gstats.CandidatesAbandoned, wstats.TotalRanked)
+							}
+							totalSkipped += gstats.MatchersSkipped
+							totalAbandoned += gstats.CandidatesAbandoned
+						}
+					}
+				}
+			}
+		}
+	}
+	// The cascade must actually cut work somewhere across the sweep, or the
+	// equality above is vacuous.
+	if totalSkipped == 0 {
+		t.Fatal("cascade never skipped a matcher across the whole sweep")
+	}
+	if totalAbandoned == 0 {
+		t.Fatal("cascade never abandoned a candidate across the whole sweep")
+	}
+}
+
+// TestCascadeDisableFlag: the escape hatch really reverts to the exhaustive
+// path (phase stats come from the split-timing branch, no cascade stats).
+func TestCascadeDisableFlag(t *testing.T) {
+	e, _ := newEngine(t, Options{DisableCascade: true})
+	_, stats, err := e.SearchWithStats(paperQuery(t), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MatchersSkipped != 0 || stats.CandidatesAbandoned != 0 {
+		t.Fatalf("exhaustive engine reported cascade stats: %+v", stats)
+	}
+	if stats.TotalRanked == 0 {
+		t.Fatal("exhaustive engine returned nothing for the paper query")
+	}
+}
+
+// TestCascadeStatsAndMetrics: a cascade search over a corpus with a long
+// weak tail skips matchers, and the new counters surface it.
+func TestCascadeStatsAndMetrics(t *testing.T) {
+	repo := cascadeCorpus(t, 7, 300)
+	e := NewEngine(repo, Options{CandidateN: 200})
+	if err := e.Reindex(); err != nil {
+		t.Fatal(err)
+	}
+	q := mustQ(t, query.Input{Keywords: "order customer price quantity"})
+	_, stats, err := e.SearchWithStats(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MatchersSkipped == 0 && stats.CandidatesAbandoned == 0 {
+		t.Fatalf("cascade did no pruning on a 200-candidate pool: %+v", stats)
+	}
+	var buf strings.Builder
+	if err := e.Metrics().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dump := buf.String()
+	for _, fam := range []string{
+		"schemr_search_matchers_skipped_total",
+		"schemr_search_candidates_abandoned_total",
+	} {
+		if !strings.Contains(dump, fam) {
+			t.Fatalf("metrics dump missing %s:\n%s", fam, dump)
+		}
+	}
+}

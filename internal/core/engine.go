@@ -77,6 +77,14 @@ type Options struct {
 	// trading indexing latency for cold-search latency. Ignored when
 	// DisableProfileCache is set.
 	EagerProfiles bool
+	// DisableCascade turns off the exact score-bounded cascade across
+	// phases 2–3 and reverts to matching every candidate with the full
+	// ensemble plus a tightness pass (the pre-cascade behavior, with
+	// phases 2 and 3 timed separately). The top-limit results are
+	// byte-identical either way; only the work differs — see DESIGN.md
+	// "Cascade ranking". Escape hatch and benchmarking aid; off (cascade
+	// enabled) by default.
+	DisableCascade bool
 	// Metrics is the observability registry the engine registers its
 	// instruments on (search-phase histograms, candidate/element counters,
 	// profile-cache and index counters — see DESIGN.md "Observability").
@@ -165,7 +173,12 @@ type SearchStats struct {
 	ElementsScored int
 	// TotalRanked is the number of results that cleared the full ranking,
 	// before truncation to the caller's limit — the pagination-true total
-	// for "ask for the next n schemas" clients.
+	// for "ask for the next n schemas" clients. With the cascade enabled
+	// it is a lower bound once candidates start being abandoned (an
+	// abandoned candidate is provably outside the top limit, but whether
+	// it would have ranked at all is never computed); TotalRanked +
+	// CandidatesAbandoned bounds the exhaustive total from above, and
+	// Options.DisableCascade restores the exact count.
 	TotalRanked int
 	// PostingsSkipped and CandidatesPruned report phase-1 MaxScore pruning
 	// effectiveness: postings jumped over without scoring and candidate
@@ -177,9 +190,24 @@ type SearchStats struct {
 	// BlocksSkipped counts whole posting blocks bypassed undecoded by the
 	// block-max bound check — pruning that never paid the varint decode.
 	BlocksSkipped int
-	PhaseExtract  time.Duration
-	PhaseMatch       time.Duration
-	PhaseTightness   time.Duration
+	// MatchersSkipped and CandidatesAbandoned report the phase-2/3
+	// cascade's effectiveness: ensemble matcher evaluations skipped
+	// because the candidate's score upper bound had already fallen below
+	// the top-limit floor, and candidates abandoned before completing
+	// (their remaining matchers and tightness pass skipped). Both are
+	// zero with Options.DisableCascade. The exact skip counts depend on
+	// worker interleaving; the returned results never do.
+	MatchersSkipped     int
+	CandidatesAbandoned int
+	// PhaseExtract/PhaseMatch/PhaseTightness are the Figure 3 phase
+	// latencies. With the cascade enabled, phases 2 and 3 run fused in
+	// the match worker pool; PhaseTightness then reports the summed
+	// in-worker tightness time (clamped to the fused wall clock) and
+	// PhaseMatch the remainder, so Total() still equals the end-to-end
+	// latency.
+	PhaseExtract   time.Duration
+	PhaseMatch     time.Duration
+	PhaseTightness time.Duration
 }
 
 // Total returns the summed phase latency.
@@ -815,6 +843,23 @@ func (e *Engine) SearchWithStatsContext(ctx context.Context, q *query.Query, lim
 		return nil, stats, nil
 	}
 
+	// Dispatch phase 2 in descending phase-1 score order. The shard merge
+	// already yields this order, but the trigram fallback appends its
+	// discounted hits at the tail, out of order; re-sorting costs nothing
+	// and is the cascade's warm-up — the strongest candidates complete
+	// first, so the top-limit floor rises before the weak tail is matched.
+	// The final ranking is a total order (score, coarse, ID), so dispatch
+	// order never changes the results.
+	sort.Slice(hits, func(a, b int) bool { return index.HitBefore(hits[a], hits[b]) })
+
+	if !e.opts.DisableCascade {
+		results := e.cascadeRank(ctx, q, ensemble, hits, limit, &stats)
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
+		return rankResults(results, limit, &stats), stats, nil
+	}
+
 	// Phase 2: schema matching. Evaluate each candidate with the ensemble.
 	// Query-side artifacts are computed once here and shared (read-only)
 	// across all candidates; schema-side artifacts come from the profile
@@ -919,6 +964,14 @@ dispatch:
 			Attributes:  c.schema.NumAttributes(),
 		})
 	}
+	stats.PhaseTightness = time.Since(start)
+	return rankResults(results, limit, &stats), stats, nil
+}
+
+// rankResults is the shared tail of both ranking paths: the total result
+// order (score desc, coarse desc, ID asc — IDs are unique, so the order is
+// deterministic), the pre-truncation total, and the cut to limit.
+func rankResults(results []Result, limit int, stats *SearchStats) []Result {
 	sort.SliceStable(results, func(i, j int) bool {
 		if results[i].Score != results[j].Score {
 			return results[i].Score > results[j].Score
@@ -932,20 +985,17 @@ dispatch:
 	if len(results) > limit {
 		results = results[:limit]
 	}
-	stats.PhaseTightness = time.Since(start)
-	return results, stats, nil
+	return results
 }
 
 // coverage returns the fraction of query elements whose best combined score
-// clears the tightness match threshold.
+// clears the tightness match threshold (the same boundary the tightness
+// measurement's matched set uses, via the shared exported constant).
 func (e *Engine) coverage(m *match.Matrix) float64 {
 	if len(m.Query) == 0 {
 		return 0
 	}
-	thr := e.opts.Tightness.MatchThreshold
-	if thr == 0 {
-		thr = 0.5 // keep in sync with tightness defaults
-	}
+	thr := e.matchThreshold()
 	covered := 0
 	for qi := range m.Query {
 		for si := range m.Schema {

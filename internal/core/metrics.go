@@ -33,10 +33,12 @@ type engineMetrics struct {
 
 // tenantSearchMetrics is one tenant's slice of the search families.
 type tenantSearchMetrics struct {
-	searches       *obs.Counter
-	searchErrors   *obs.Counter
-	candidates     *obs.Counter
-	elementsScored *obs.Counter
+	searches            *obs.Counter
+	searchErrors        *obs.Counter
+	candidates          *obs.Counter
+	elementsScored      *obs.Counter
+	matchersSkipped     *obs.Counter
+	candidatesAbandoned *obs.Counter
 
 	phaseExtract   *obs.Histogram
 	phaseMatch     *obs.Histogram
@@ -67,13 +69,15 @@ func (m *engineMetrics) tenant(label string) *tenantSearchMetrics {
 			nil, obs.Labels{"phase": name, "tenant": label})
 	}
 	t := &tenantSearchMetrics{
-		searches:       m.reg.Counter("schemr_search_total", "Searches executed (including failed ones).", lbl),
-		searchErrors:   m.reg.Counter("schemr_search_errors_total", "Searches that returned an error (cancellations, deadlines, bad queries).", lbl),
-		candidates:     m.reg.Counter("schemr_search_candidates_total", "Candidate schemas extracted by phase 1 across searches.", lbl),
-		elementsScored: m.reg.Counter("schemr_search_elements_scored_total", "Schema elements scored by the match phase across searches.", lbl),
-		phaseExtract:   phase("extract"),
-		phaseMatch:     phase("match"),
-		phaseTightness: phase("tightness"),
+		searches:            m.reg.Counter("schemr_search_total", "Searches executed (including failed ones).", lbl),
+		searchErrors:        m.reg.Counter("schemr_search_errors_total", "Searches that returned an error (cancellations, deadlines, bad queries).", lbl),
+		candidates:          m.reg.Counter("schemr_search_candidates_total", "Candidate schemas extracted by phase 1 across searches.", lbl),
+		elementsScored:      m.reg.Counter("schemr_search_elements_scored_total", "Schema elements scored by the match phase across searches.", lbl),
+		matchersSkipped:     m.reg.Counter("schemr_search_matchers_skipped_total", "Ensemble matcher evaluations skipped by the phase-2/3 cascade's bound checks.", lbl),
+		candidatesAbandoned: m.reg.Counter("schemr_search_candidates_abandoned_total", "Candidates abandoned by the phase-2/3 cascade before completing matching and tightness.", lbl),
+		phaseExtract:        phase("extract"),
+		phaseMatch:          phase("match"),
+		phaseTightness:      phase("tightness"),
 	}
 	actual, _ := m.tenants.LoadOrStore(label, t)
 	return actual.(*tenantSearchMetrics)
@@ -95,6 +99,8 @@ func (m *engineMetrics) record(label string, stats SearchStats, err error) {
 	t.phaseTightness.ObserveDuration(stats.PhaseTightness)
 	t.candidates.Add(uint64(stats.Candidates))
 	t.elementsScored.Add(uint64(stats.ElementsScored))
+	t.matchersSkipped.Add(uint64(stats.MatchersSkipped))
+	t.candidatesAbandoned.Add(uint64(stats.CandidatesAbandoned))
 }
 
 // traceSearch mirrors one search's phase stats into a request trace as
@@ -115,7 +121,9 @@ func traceSearch(tr *obs.Trace, began time.Time, stats SearchStats) {
 	})
 	start = start.Add(stats.PhaseExtract)
 	tr.AddSpan("search.match", start, stats.PhaseMatch, map[string]int64{
-		"elements_scored": int64(stats.ElementsScored),
+		"elements_scored":      int64(stats.ElementsScored),
+		"matchers_skipped":     int64(stats.MatchersSkipped),
+		"candidates_abandoned": int64(stats.CandidatesAbandoned),
 	})
 	start = start.Add(stats.PhaseMatch)
 	tr.AddSpan("search.tightness", start, stats.PhaseTightness, map[string]int64{

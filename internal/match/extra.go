@@ -20,6 +20,9 @@ func NewExactMatcher() *ExactMatcher { return &ExactMatcher{} }
 // Name implements Matcher.
 func (em *ExactMatcher) Name() string { return "exact" }
 
+// Cost implements CostTiered: each cell is a string equality test.
+func (em *ExactMatcher) Cost() int { return CostTrivial }
+
 // Match implements Matcher.
 func (em *ExactMatcher) Match(q *query.Query, s *model.Schema) *Matrix {
 	qe := q.Elements()
@@ -74,6 +77,9 @@ func NewTypeMatcher() *TypeMatcher { return &TypeMatcher{} }
 
 // Name implements Matcher.
 func (tm *TypeMatcher) Name() string { return "type" }
+
+// Cost implements CostTiered: each cell compares two precomputed classes.
+func (tm *TypeMatcher) Cost() int { return CostTrivial }
 
 type typeClass int
 

@@ -227,18 +227,29 @@ func (e *Ensemble) MatchProfiled(qa *QueryArtifacts, p *Profile) *Matrix {
 
 // combine merges per-matcher matrices into the total similarity matrix.
 func (e *Ensemble) combine(qe []query.Element, se []model.Element, mats []*Matrix) *Matrix {
+	w := make([]float64, len(e.matchers))
+	for i, m := range e.matchers {
+		w[i] = e.weights[m.Name()]
+	}
+	return combineWeighted(qe, se, mats, w)
+}
+
+// combineWeighted is the shared merge: the per-cell weighted average over
+// the matchers with an opinion, with mats and w aligned in ensemble order.
+// The cascade's Progressive.Combine calls it with a weight snapshot so its
+// arithmetic (and so its scores) are identical to the exhaustive path.
+func combineWeighted(qe []query.Element, se []model.Element, mats []*Matrix, w []float64) *Matrix {
 	combined := NewMatrix(qe, se)
 	for qi := range qe {
 		for si := range se {
 			sum, wsum := 0.0, 0.0
-			for i, m := range e.matchers {
+			for i := range mats {
 				v := mats[i].Scores[qi][si]
 				if v == NotApplicable {
 					continue
 				}
-				w := e.weights[m.Name()]
-				sum += w * v
-				wsum += w
+				sum += w[i] * v
+				wsum += w[i]
 			}
 			if wsum > 0 {
 				combined.Set(qi, si, sum/wsum)

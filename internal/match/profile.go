@@ -26,6 +26,7 @@ type Profile struct {
 	elems   []model.Element
 	norm    []string         // normalized element names, aligned with elems
 	grams   []map[string]int // name n-gram multisets, aligned with elems
+	stats   []nameStats      // name score-bound artifacts, aligned with elems
 	class   []typeClass      // coarse type classes, aligned with elems
 	maxGram int              // n-gram cap the gram multisets were built with
 
@@ -48,6 +49,7 @@ func NewProfile(s *model.Schema) *Profile {
 		elems:       elems,
 		norm:        make([]string, len(elems)),
 		grams:       make([]map[string]int, len(elems)),
+		stats:       make([]nameStats, len(elems)),
 		class:       schemaTypeClasses(elems),
 		maxGram:     nm.maxGram,
 		gramsByNorm: make(map[string]map[string]int, len(elems)),
@@ -55,6 +57,7 @@ func NewProfile(s *model.Schema) *Profile {
 	for i, el := range elems {
 		n := text.Normalize(el.Name)
 		p.norm[i] = n
+		p.stats[i] = nm.nameStatsNormalized(n)
 		if g, ok := p.gramsByNorm[n]; ok {
 			p.grams[i] = g
 		} else {
@@ -117,6 +120,7 @@ type QueryArtifacts struct {
 	elems   []query.Element
 	norm    []string
 	grams   []map[string]int
+	stats   []nameStats
 	class   []typeClass
 	maxGram int
 
@@ -133,6 +137,7 @@ func NewQueryArtifacts(q *query.Query) *QueryArtifacts {
 		elems:       elems,
 		norm:        make([]string, len(elems)),
 		grams:       make([]map[string]int, len(elems)),
+		stats:       make([]nameStats, len(elems)),
 		class:       queryTypeClasses(q, elems),
 		maxGram:     nm.maxGram,
 		gramsByNorm: make(map[string]map[string]int, len(elems)),
@@ -140,6 +145,7 @@ func NewQueryArtifacts(q *query.Query) *QueryArtifacts {
 	for i, el := range elems {
 		n := text.Normalize(el.Name)
 		qa.norm[i] = n
+		qa.stats[i] = nm.nameStatsNormalized(n)
 		if g, ok := qa.gramsByNorm[n]; ok {
 			qa.grams[i] = g
 		} else {

@@ -22,6 +22,13 @@ import (
 	"schemr/internal/model"
 )
 
+// DefaultMatchThreshold is the default Options.MatchThreshold: the minimum
+// best-match similarity for a schema element to count as matched. Exported
+// so the engine's coverage computation (which must agree with the matched
+// set, or coverage and tightness drift apart) and the cascade's bound
+// checks use the same constant instead of a copy that can fall out of sync.
+const DefaultMatchThreshold = 0.5
+
 // Options tunes the measurement. Zero values take the documented defaults.
 type Options struct {
 	// NearPenalty applies to matched elements in entities within NearHops
@@ -54,7 +61,7 @@ func (o *Options) defaults() {
 		o.NearHops = 1
 	}
 	if o.MatchThreshold == 0 {
-		o.MatchThreshold = 0.5
+		o.MatchThreshold = DefaultMatchThreshold
 	}
 }
 
