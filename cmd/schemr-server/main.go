@@ -31,6 +31,14 @@
 // answers 429 + Retry-After before one tenant can starve the shared
 // in-flight gate.
 //
+// -learn-interval closes the relevance loop: click-throughs (and the
+// POST /api/v1/feedback batch route) are captured as durable WAL records,
+// a background trainer fits candidate matcher weights from them on the
+// given cadence, candidates shadow-score live searches (schemr_learn_*
+// metrics), and POST /api/v1/weights/promote — or -learn-auto-promote —
+// installs a candidate only when the evaluation gate shows no metric
+// regression.
+//
 // Usage:
 //
 //	schemr-server -data DIR [-addr :8080] [-sync 30s]
@@ -40,6 +48,7 @@
 //	              [-auth -admin-key KEY] [-tenant-qps 25]
 //	              [-tenant-burst 50] [-tenant-inflight 8]
 //	              [-timeout 10s] [-max-inflight 64] [-slow 1s]
+//	              [-learn-interval 0] [-learn-auto-promote]
 //	              [-metrics=true] [-pprof]
 package main
 
@@ -86,6 +95,8 @@ func main() {
 	tenantQPS := flag.Float64("tenant-qps", 25, "per-tenant sustained request rate before 429 (with -auth; non-positive disables)")
 	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant burst headroom above -tenant-qps (0 = 2x qps)")
 	tenantInflight := flag.Int("tenant-inflight", 8, "per-tenant concurrent request cap before 429 (with -auth; negative disables)")
+	learnInterval := flag.Duration("learn-interval", 0, "background relevance trainer interval: fit candidate matcher weights from accumulated feedback and shadow-score them (0 disables)")
+	learnAutoPromote := flag.Bool("learn-auto-promote", false, "with -learn-interval, promote each trained candidate automatically when the evaluation gate passes")
 	flag.Parse()
 	if *auth && *adminKey == "" {
 		log.Fatalf("schemr-server: -auth requires -admin-key (the bootstrap credential that mints tenant keys)")
@@ -139,6 +150,8 @@ func main() {
 		TenantBurst:            *tenantBurst,
 		TenantInFlight:         *tenantInflight,
 		ReplicationOpen:        *replicationOpen,
+		LearnInterval:          *learnInterval,
+		LearnAutoPromote:       *learnAutoPromote,
 		Checkpoint: func() error {
 			if err := sys.Repo.FlushUsage(); err != nil {
 				log.Printf("schemr-server: usage flush: %v", err)
@@ -150,6 +163,8 @@ func main() {
 	defer stop()
 	stopCheckpoints := srv.StartCheckpointer(*snapInterval)
 	defer stopCheckpoints()
+	stopLearner := srv.StartLearner(*learnInterval)
+	defer stopLearner()
 
 	hs := &http.Server{
 		Addr:              *addr,
@@ -273,6 +288,9 @@ func replicateOnce(ctx context.Context, client *replicaClient, sys *schemr.Syste
 		if err := sys.Refresh(); err != nil {
 			return err
 		}
+		// Replicated weight-set promotions must reach the replica's serving
+		// ensemble, not just its repository state.
+		sys.SyncWeights()
 	}
 	if local := sys.Repo.LSN(); env.Data.LSN > local {
 		lag.Set(int64(env.Data.LSN - local))
@@ -299,6 +317,7 @@ func replicaResync(ctx context.Context, client *replicaClient, sys *schemr.Syste
 	if err := sys.Save(dataDir); err != nil {
 		return err
 	}
+	sys.SyncWeights()
 	lag.Set(0)
 	log.Printf("schemr-server: replication: resynced %d schemas at lsn %d", sys.Repo.Len(), sys.Repo.LSN())
 	return nil

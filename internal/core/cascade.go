@@ -161,7 +161,13 @@ func cascadeBound(colUB, rowUB []float64, thr, covExp, pop float64) float64 {
 // scoring time (clamped to the wall clock), so Total() still equals the
 // end-to-end latency and the phase split stays comparable with the
 // exhaustive path.
-func (e *Engine) cascadeRank(ctx context.Context, q *query.Query, ensemble *match.Ensemble, hits []index.Hit, limit int, stats *SearchStats) []Result {
+// When shadowEns is non-nil, each completed candidate's per-matcher
+// matrices (plus tightness inputs) are retained and returned keyed by
+// schema ID, so the caller's shadow pass can rescore the served results
+// without re-running any matcher. Abandoned candidates never complete and
+// so are never retained — which is fine: only served (hence completed)
+// results are shadow-scored.
+func (e *Engine) cascadeRank(ctx context.Context, q *query.Query, ensemble, shadowEns *match.Ensemble, hits []index.Hit, limit int, stats *SearchStats) ([]Result, map[string]*shadowInput) {
 	start := time.Now()
 	var qa *match.QueryArtifacts
 	if !e.opts.DisableProfileCache {
@@ -171,6 +177,10 @@ func (e *Engine) cascadeRank(ctx context.Context, q *query.Query, ensemble *matc
 	top := newTopK(limit)
 	out := make([]Result, len(hits))
 	done := make([]bool, len(hits))
+	var shadowIns []*shadowInput
+	if shadowEns != nil {
+		shadowIns = make([]*shadowInput, len(hits))
+	}
 	var elements, matchersSkipped, abandoned, tightNanos atomic.Int64
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, e.opts.Parallelism)
@@ -286,6 +296,16 @@ dispatch:
 				Attributes:  s.NumAttributes(),
 			}
 			done[i] = true
+			if shadowIns != nil {
+				qe, se := prog.Elements()
+				shadowIns[i] = &shadowInput{
+					mats:    prog.Matrices(),
+					qe:      qe,
+					se:      se,
+					profile: profile,
+					schema:  s,
+				}
+			}
 			top.Offer(final)
 		}(i, h, s)
 	}
@@ -303,10 +323,17 @@ dispatch:
 	stats.PhaseMatch = wall - tight
 
 	results := make([]Result, 0, len(hits))
+	var sins map[string]*shadowInput
+	if shadowIns != nil {
+		sins = make(map[string]*shadowInput)
+	}
 	for i := range out {
 		if done[i] {
 			results = append(results, out[i])
+			if shadowIns != nil && shadowIns[i] != nil {
+				sins[out[i].ID] = shadowIns[i]
+			}
 		}
 	}
-	return results
+	return results, sins
 }

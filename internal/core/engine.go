@@ -199,6 +199,16 @@ type SearchStats struct {
 	// worker interleaving; the returned results never do.
 	MatchersSkipped     int
 	CandidatesAbandoned int
+	// ShadowVersion, ShadowScoreDelta and ShadowDisplaced report the
+	// shadow-scoring pass over the served results: the candidate
+	// weight-set version scored against (0 = shadow off, no pass ran),
+	// the maximum absolute final-score difference between the candidate
+	// and serving weights, and how many served results would sit at a
+	// different rank under the candidate weights (same tie-break order).
+	// The served ranking itself is never affected.
+	ShadowVersion    uint64
+	ShadowScoreDelta float64
+	ShadowDisplaced  int
 	// PhaseExtract/PhaseMatch/PhaseTightness are the Figure 3 phase
 	// latencies. With the cascade enabled, phases 2 and 3 run fused in
 	// the match worker pool; PhaseTightness then reports the summed
@@ -232,9 +242,16 @@ type Engine struct {
 	idx    *shard.Group
 	groups map[string]*shard.Group
 
-	mu       sync.RWMutex // guards ensemble (weights), cursor, idx and groups
+	mu       sync.RWMutex // guards ensemble (weights), shadow, cursor, idx and groups
 	ensemble *match.Ensemble
 	cursor   uint64 // repository change-feed position already indexed
+
+	// shadow is the candidate ensemble under evaluation (nil = none):
+	// searches recombine each served result's per-matcher matrices with it
+	// and log the score/rank deltas, while the served ranking stays on
+	// ensemble. shadowVersion is the candidate weight-set version.
+	shadow        *match.Ensemble
+	shadowVersion uint64
 
 	// profiles caches per-schema match profiles (see profileCache for the
 	// staleness guarantee); invalidated through the repository change feed
@@ -294,18 +311,64 @@ func (e *Engine) Ensemble() *match.Ensemble {
 }
 
 // SetWeights installs a (typically learned) matcher weighting scheme.
+// The install is copy-on-write: a new ensemble is built and the pointer
+// swapped under the lock, so in-flight searches — which snapshot the
+// ensemble pointer and read weights after releasing the lock — keep
+// scoring against a consistent weight table instead of observing a torn
+// in-place update.
 func (e *Engine) SetWeights(w map[string]float64) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.ensemble.SetWeights(w)
+	next, err := e.ensemble.WithWeights(w)
+	if err != nil {
+		return err
+	}
+	e.ensemble = next
+	return nil
+}
+
+// SetShadowWeights installs a candidate weight table for shadow scoring:
+// subsequent searches serve the current ranking but additionally recombine
+// each served result's per-matcher matrices under the candidate weights
+// and report the score/rank deltas (SearchStats, schemr_learn_* metrics).
+// version tags the deltas with the candidate weight-set version.
+func (e *Engine) SetShadowWeights(version uint64, w map[string]float64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sh, err := e.ensemble.WithWeights(w)
+	if err != nil {
+		return err
+	}
+	e.shadow = sh
+	e.shadowVersion = version
+	return nil
+}
+
+// ClearShadowWeights stops shadow scoring.
+func (e *Engine) ClearShadowWeights() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.shadow = nil
+	e.shadowVersion = 0
+}
+
+// ShadowVersion returns the candidate weight-set version currently shadow
+// scoring (0 = none).
+func (e *Engine) ShadowVersion() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.shadowVersion
 }
 
 // SetEnsemble replaces the matcher ensemble — the evaluation harness uses
-// this to run matcher ablations.
+// this to run matcher ablations. Any shadow ensemble is cleared: it was
+// built over the replaced ensemble's matchers.
 func (e *Engine) SetEnsemble(en *match.Ensemble) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.ensemble = en
+	e.shadow = nil
+	e.shadowVersion = 0
 }
 
 // SchemaDocument flattens a schema into its index document: a title, a
@@ -763,10 +826,6 @@ func (e *Engine) SearchWithStats(q *query.Query, limit int) ([]Result, SearchSta
 // the tightness phase stops scoring. A cancelled search returns ctx.Err()
 // with the stats accumulated so far.
 func (e *Engine) SearchWithStatsContext(ctx context.Context, q *query.Query, limit int) (_ []Result, stats SearchStats, err error) {
-	// The request context selects the namespace to search: the tenant's
-	// own shard group, or the default group for unauthenticated and admin
-	// callers. A tenant with no indexed documents yet has no group and
-	// gets an empty result, same as an empty corpus.
 	who := tenant.From(ctx)
 	// Observability: metrics always (unless disabled), spans only when the
 	// request context carries a trace (debug=1 searches).
@@ -778,6 +837,54 @@ func (e *Engine) SearchWithStatsContext(ctx context.Context, q *query.Query, lim
 			traceSearch(tr, began, stats)
 		}()
 	}
+	e.mu.RLock()
+	ensemble := e.ensemble
+	shadowEns, shadowVersion := e.shadow, e.shadowVersion
+	e.mu.RUnlock()
+	return e.searchWithEnsemble(ctx, q, limit, ensemble, shadowEns, shadowVersion)
+}
+
+// RankWith runs the full three-phase search scoring phases 2–3 with the
+// given weight table instead of the installed one (nil means the installed
+// weights) — the eval harness's gate probes candidate weight sets through
+// it without touching serving state. No search metrics are recorded and no
+// shadow pass runs.
+func (e *Engine) RankWith(ctx context.Context, q *query.Query, limit int, w map[string]float64) ([]Result, error) {
+	e.mu.RLock()
+	ens := e.ensemble
+	e.mu.RUnlock()
+	if w != nil {
+		var err error
+		ens, err = ens.WithWeights(w)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res, _, err := e.searchWithEnsemble(ctx, q, limit, ens, nil, 0)
+	return res, err
+}
+
+// shadowInput is the retained matcher work of one completed candidate —
+// everything the shadow pass needs to rescore it under candidate weights
+// without re-running any matcher: the per-matcher matrices, the element
+// shape, and the tightness inputs.
+type shadowInput struct {
+	mats    []*match.Matrix
+	qe      []query.Element
+	se      []model.Element
+	profile *match.Profile // nil on the unprofiled path
+	schema  *model.Schema
+}
+
+// searchWithEnsemble is the shared search body: phases 1–3 scored with the
+// given ensemble, plus (when shadowEns is non-nil) the shadow pass over
+// the served results.
+func (e *Engine) searchWithEnsemble(ctx context.Context, q *query.Query, limit int, ensemble, shadowEns *match.Ensemble, shadowVersion uint64) (_ []Result, stats SearchStats, err error) {
+	// The request context selects the namespace to search: the tenant's
+	// own shard group, or the default group for unauthenticated and admin
+	// callers. A tenant with no indexed documents yet has no group and
+	// gets an empty result, same as an empty corpus.
+	who := tenant.From(ctx)
 	if q == nil || q.IsEmpty() {
 		return nil, SearchStats{}, fmt.Errorf("core: empty query")
 	}
@@ -789,7 +896,6 @@ func (e *Engine) SearchWithStatsContext(ctx context.Context, q *query.Query, lim
 	}
 	e.mu.RLock()
 	idx := e.groups[who.ID]
-	ensemble := e.ensemble
 	e.mu.RUnlock()
 	if idx == nil {
 		return nil, SearchStats{}, nil
@@ -853,11 +959,15 @@ func (e *Engine) SearchWithStatsContext(ctx context.Context, q *query.Query, lim
 	sort.Slice(hits, func(a, b int) bool { return index.HitBefore(hits[a], hits[b]) })
 
 	if !e.opts.DisableCascade {
-		results := e.cascadeRank(ctx, q, ensemble, hits, limit, &stats)
+		results, sins := e.cascadeRank(ctx, q, ensemble, shadowEns, hits, limit, &stats)
 		if err := ctx.Err(); err != nil {
 			return nil, stats, err
 		}
-		return rankResults(results, limit, &stats), stats, nil
+		ranked := rankResults(results, limit, &stats)
+		if shadowEns != nil {
+			e.shadowScore(ranked, sins, shadowEns, shadowVersion, &stats)
+		}
+		return ranked, stats, nil
 	}
 
 	// Phase 2: schema matching. Evaluate each candidate with the ensemble.
@@ -871,6 +981,7 @@ func (e *Engine) SearchWithStatsContext(ctx context.Context, q *query.Query, lim
 		schema  *model.Schema
 		matrix  *match.Matrix
 		profile *match.Profile
+		mats    []*match.Matrix // per-matcher matrices, retained for the shadow pass
 	}
 	var qa *match.QueryArtifacts
 	if !e.opts.DisableProfileCache {
@@ -902,13 +1013,28 @@ dispatch:
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			// With shadow scoring on, the per-matcher matrices are kept and
+			// combined explicitly — CombineMatrices over MatchMatrices is
+			// exactly what Match/MatchProfiled do internally, so the served
+			// scores are byte-identical either way; only retention differs.
 			var m *match.Matrix
+			var mats []*match.Matrix
 			if qa != nil {
 				p := e.profiles.get(cands[i].schema.ID, cands[i].schema)
-				m = ensemble.MatchProfiled(qa, p)
 				cands[i].profile = p
+				if shadowEns != nil {
+					mats = ensemble.MatchMatricesProfiled(qa, p)
+				} else {
+					m = ensemble.MatchProfiled(qa, p)
+				}
+			} else if shadowEns != nil {
+				mats = ensemble.MatchMatrices(q, cands[i].schema)
 			} else {
 				m = ensemble.Match(q, cands[i].schema)
+			}
+			if mats != nil {
+				m = ensemble.CombineMatrices(mats[0].Query, mats[0].Schema, mats)
+				cands[i].mats = mats
 			}
 			cands[i].matrix = m
 			elements.Add(int64(len(m.Schema)))
@@ -965,7 +1091,92 @@ dispatch:
 		})
 	}
 	stats.PhaseTightness = time.Since(start)
-	return rankResults(results, limit, &stats), stats, nil
+	ranked := rankResults(results, limit, &stats)
+	if shadowEns != nil {
+		sins := make(map[string]*shadowInput, len(cands))
+		for i := range cands {
+			if c := &cands[i]; c.schema != nil && c.mats != nil {
+				sins[c.schema.ID] = &shadowInput{
+					mats:    c.mats,
+					qe:      c.matrix.Query,
+					se:      c.matrix.Schema,
+					profile: c.profile,
+					schema:  c.schema,
+				}
+			}
+		}
+		e.shadowScore(ranked, sins, shadowEns, shadowVersion, &stats)
+	}
+	return ranked, stats, nil
+}
+
+// shadowScore rescores the served results under the candidate (shadow)
+// weight table and records the deltas into stats. Per result it recombines
+// the retained per-matcher matrices with the shadow weights and re-runs
+// the tightness/coverage/popularity arithmetic — identical operations to
+// the serving score, so candidate == current weights yields exactly zero
+// deltas. The served slice is never reordered or rescored; only stats
+// change. Results without retained inputs (impossible for served results
+// today — serving requires completion) are counted as zero-delta.
+func (e *Engine) shadowScore(served []Result, sins map[string]*shadowInput, shadowEns *match.Ensemble, shadowVersion uint64, stats *SearchStats) {
+	stats.ShadowVersion = shadowVersion
+	if len(served) == 0 {
+		return
+	}
+	shadowScores := make([]float64, len(served))
+	maxDelta := 0.0
+	for i, res := range served {
+		in := sins[res.ID]
+		if in == nil {
+			shadowScores[i] = res.Score
+			continue
+		}
+		m := shadowEns.CombineMatrices(in.qe, in.se, in.mats)
+		var t tightness.Result
+		if in.profile != nil {
+			t = tightness.ScoreProfiled(in.profile, m, e.opts.Tightness)
+		} else {
+			t = tightness.Score(in.schema, m, e.opts.Tightness)
+		}
+		cov := e.coverage(m)
+		final := t.Score
+		if e.opts.CoverageExponent > 0 {
+			final = t.Score * math.Pow(cov, e.opts.CoverageExponent)
+		}
+		if e.opts.PopularityBoost > 0 {
+			sel := float64(e.repo.Usage(res.ID).Selections)
+			final *= 1 + e.opts.PopularityBoost*sel/(sel+5)
+		}
+		shadowScores[i] = final
+		if d := math.Abs(final - res.Score); d > maxDelta {
+			maxDelta = d
+		}
+	}
+	// Rank displacement: order the served set by shadow score with the
+	// serving tie-breaks and count positions that moved. Equal scores keep
+	// the served order (stable sort), so identical weights displace nothing.
+	order := make([]int, len(served))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if shadowScores[ia] != shadowScores[ib] {
+			return shadowScores[ia] > shadowScores[ib]
+		}
+		if served[ia].Coarse != served[ib].Coarse {
+			return served[ia].Coarse > served[ib].Coarse
+		}
+		return served[ia].ID < served[ib].ID
+	})
+	displaced := 0
+	for pos, idx := range order {
+		if pos != idx {
+			displaced++
+		}
+	}
+	stats.ShadowScoreDelta = maxDelta
+	stats.ShadowDisplaced = displaced
 }
 
 // rankResults is the shared tail of both ranking paths: the total result
@@ -1077,6 +1288,50 @@ func (e *Engine) pairExamples(ensemble *match.Ensemble, q *query.Query, s *model
 		out = append(out, learn.Example{Features: features, Label: label})
 	}
 	return out
+}
+
+// TrainFromFeedback converts durably captured feedback events into
+// training examples and fits the meta-learner, returning the resulting
+// weight table and the number of examples behind it. Selected events
+// become History entries (positive examples at the selected schema plus
+// sampled negatives via CollectExamples); explicitly unselected events
+// become additional negatives at the recorded result. Events whose query
+// no longer parses or whose schema has been deleted are skipped. The
+// weights are NOT installed — the caller stores them as a versioned
+// candidate and promotes through the eval gate.
+func (e *Engine) TrainFromFeedback(events []repository.FeedbackEvent, negatives int, opts learn.Options) (map[string]float64, int, error) {
+	if negatives <= 0 {
+		negatives = 3
+	}
+	e.mu.RLock()
+	ensemble := e.ensemble
+	e.mu.RUnlock()
+	var examples []learn.Example
+	for _, ev := range events {
+		q, err := query.Parse(query.Input{Keywords: ev.Query})
+		if err != nil || q.IsEmpty() {
+			continue
+		}
+		if ev.Selected {
+			ex, err := e.CollectExamples(History{Query: q, Relevant: ev.ID}, negatives)
+			if err != nil {
+				continue // schema deleted since the event was captured
+			}
+			examples = append(examples, ex...)
+		} else if s := e.repo.Get(ev.ID); s != nil {
+			examples = append(examples, e.pairExamples(ensemble, q, s, false)...)
+		}
+	}
+	names := ensemble.MatcherNames()
+	modelFit, err := learn.Train(examples, names, opts)
+	if err != nil {
+		return nil, len(examples), fmt.Errorf("core: training from feedback: %w", err)
+	}
+	w, err := modelFit.MatcherWeights()
+	if err != nil {
+		return nil, len(examples), fmt.Errorf("core: %w", err)
+	}
+	return w, len(examples), nil
 }
 
 // LearnWeights trains the meta-learner on recorded search histories and

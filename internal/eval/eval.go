@@ -321,9 +321,23 @@ func PrecisionAtK(r Ranking, rel map[string]bool, k int) float64 {
 	return float64(hits) / float64(k)
 }
 
+// relevantCount counts the entries marked relevant. The map may carry
+// explicit false entries (a caller annotating judged-irrelevant results);
+// only true ones are relevant, so denominators must never use len(rel).
+func relevantCount(rel map[string]bool) int {
+	n := 0
+	for _, v := range rel {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
 // RecallAtK is the fraction of relevant schemas found in the top k.
 func RecallAtK(r Ranking, rel map[string]bool, k int) float64 {
-	if len(rel) == 0 {
+	total := relevantCount(rel)
+	if total == 0 {
 		return 0
 	}
 	n := k
@@ -336,7 +350,7 @@ func RecallAtK(r Ranking, rel map[string]bool, k int) float64 {
 			hits++
 		}
 	}
-	return float64(hits) / float64(len(rel))
+	return float64(hits) / float64(total)
 }
 
 // ReciprocalRank is 1/rank of the first relevant result, 0 if none appears.
@@ -352,7 +366,8 @@ func ReciprocalRank(r Ranking, rel map[string]bool) float64 {
 // NDCGAtK is the normalized discounted cumulative gain at k with binary
 // relevance.
 func NDCGAtK(r Ranking, rel map[string]bool, k int) float64 {
-	if len(rel) == 0 || k <= 0 {
+	total := relevantCount(rel)
+	if total == 0 || k <= 0 {
 		return 0
 	}
 	n := k
@@ -365,8 +380,11 @@ func NDCGAtK(r Ranking, rel map[string]bool, k int) float64 {
 			dcg += 1 / math.Log2(float64(i)+2)
 		}
 	}
+	// The ideal ranking places every truly relevant schema first; sizing it
+	// from len(rel) would count entries explicitly marked false as
+	// relevant, deflating nDCG (and an all-false map would divide by zero).
 	ideal := 0.0
-	m := len(rel)
+	m := total
 	if m > k {
 		m = k
 	}

@@ -126,6 +126,37 @@ func TestMetrics(t *testing.T) {
 	}
 }
 
+// TestMetricsExplicitFalseEntries pins the denominator fix: a relevance
+// map may carry explicit false entries (judged-irrelevant annotations),
+// and they must count toward no denominator — previously nDCG sized the
+// ideal ranking from len(rel), deflating the score, and an all-false map
+// divided zero by zero.
+func TestMetricsExplicitFalseEntries(t *testing.T) {
+	rel := map[string]bool{"a": true, "x": false, "y": false}
+	perfect := Ranking{"a", "x", "y"}
+	if got := NDCGAtK(perfect, rel, 10); got != 1 {
+		t.Errorf("nDCG with false entries = %v, want 1", got)
+	}
+	if got := RecallAtK(perfect, rel, 1); got != 1 {
+		t.Errorf("R@1 with false entries = %v, want 1", got)
+	}
+	// Judged-irrelevant hits never count as relevant.
+	if got := PrecisionAtK(Ranking{"x", "y"}, rel, 2); got != 0 {
+		t.Errorf("P@2 over false entries = %v, want 0", got)
+	}
+	// All-false map: nothing is relevant, and nothing may be NaN.
+	none := map[string]bool{"x": false}
+	for name, got := range map[string]float64{
+		"nDCG": NDCGAtK(Ranking{"x"}, none, 10),
+		"R@10": RecallAtK(Ranking{"x"}, none, 10),
+		"RR":   ReciprocalRank(Ranking{"x"}, none),
+	} {
+		if got != 0 || math.IsNaN(got) {
+			t.Errorf("%s over all-false map = %v, want 0", name, got)
+		}
+	}
+}
+
 func TestEvaluateAggregates(t *testing.T) {
 	cases := []Case{
 		{Relevant: map[string]bool{"a": true}},

@@ -195,17 +195,68 @@ func (e *Ensemble) SetWeights(w map[string]float64) error {
 	return nil
 }
 
+// WithWeights returns a new ensemble sharing this one's matchers but
+// carrying the given weight table (validated exactly like SetWeights).
+// The receiver is not modified — this is the copy-on-write path for live
+// weight installs: in-flight searches keep scoring against the ensemble
+// pointer they snapshotted, and the caller swaps the new ensemble in
+// behind its own lock.
+func (e *Ensemble) WithWeights(w map[string]float64) (*Ensemble, error) {
+	total := 0.0
+	for _, m := range e.matchers {
+		v, ok := w[m.Name()]
+		if !ok {
+			return nil, fmt.Errorf("match: no weight for matcher %q", m.Name())
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("match: negative weight %v for matcher %q", v, m.Name())
+		}
+		total += v
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("match: all weights zero")
+	}
+	nw := make(map[string]float64, len(w))
+	for _, m := range e.matchers {
+		nw[m.Name()] = w[m.Name()]
+	}
+	return &Ensemble{matchers: e.matchers, weights: nw}, nil
+}
+
+// SharesMatchers reports whether o was built over the same matcher slice
+// as e (WithWeights guarantees this), which is what makes per-matcher
+// matrices from one ensemble safe to recombine with the other's weights.
+func (e *Ensemble) SharesMatchers(o *Ensemble) bool {
+	if o == nil || len(e.matchers) != len(o.matchers) {
+		return false
+	}
+	for i := range e.matchers {
+		if e.matchers[i] != o.matchers[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Match runs every matcher and combines the similarity matrices into a
 // single matrix of total similarity scores: the per-cell weighted average
 // over the matchers that had an opinion (NotApplicable cells are excluded
 // and the weights renormalized, so a keyword's score is not diluted by
 // matchers that cannot apply to keywords).
 func (e *Ensemble) Match(q *query.Query, s *model.Schema) *Matrix {
+	return e.combine(q.Elements(), s.Elements(), e.MatchMatrices(q, s))
+}
+
+// MatchMatrices runs every matcher and returns the per-matcher matrices in
+// ensemble order, uncombined — the inputs CombineMatrices (and so shadow
+// scoring) recombines under different weight tables without re-running the
+// matchers.
+func (e *Ensemble) MatchMatrices(q *query.Query, s *model.Schema) []*Matrix {
 	mats := make([]*Matrix, len(e.matchers))
 	for i, m := range e.matchers {
 		mats[i] = m.Match(q, s)
 	}
-	return e.combine(q.Elements(), s.Elements(), mats)
+	return mats
 }
 
 // MatchProfiled is Match on the profiled fast path: schema-side artifacts
@@ -214,6 +265,11 @@ func (e *Ensemble) Match(q *query.Query, s *model.Schema) *Matrix {
 // fall back to their plain Match. The result is identical to
 // Match(qa.Query(), p.Schema()).
 func (e *Ensemble) MatchProfiled(qa *QueryArtifacts, p *Profile) *Matrix {
+	return e.combine(qa.elems, p.elems, e.MatchMatricesProfiled(qa, p))
+}
+
+// MatchMatricesProfiled is MatchMatrices on the profiled fast path.
+func (e *Ensemble) MatchMatricesProfiled(qa *QueryArtifacts, p *Profile) []*Matrix {
 	mats := make([]*Matrix, len(e.matchers))
 	for i, m := range e.matchers {
 		if pm, ok := m.(ProfiledMatcher); ok {
@@ -222,7 +278,19 @@ func (e *Ensemble) MatchProfiled(qa *QueryArtifacts, p *Profile) *Matrix {
 			mats[i] = m.Match(qa.query, p.schema)
 		}
 	}
-	return e.combine(qa.elems, p.elems, mats)
+	return mats
+}
+
+// CombineMatrices merges per-matcher matrices (in ensemble order, as
+// returned by MatchMatrices / MatchMatricesProfiled / Progressive.Matrices)
+// with this ensemble's current weight table. Combined with WithWeights it
+// is the shadow-scoring primitive: one set of matcher evaluations, two
+// weightings, identical arithmetic to Match.
+func (e *Ensemble) CombineMatrices(qe []query.Element, se []model.Element, mats []*Matrix) *Matrix {
+	if len(mats) != len(e.matchers) {
+		panic(fmt.Sprintf("match: CombineMatrices got %d matrices for %d matchers", len(mats), len(e.matchers)))
+	}
+	return e.combine(qe, se, mats)
 }
 
 // combine merges per-matcher matrices into the total similarity matrix.

@@ -320,3 +320,21 @@ func (pm *Progressive) Combine() *Matrix {
 	}
 	return combineWeighted(pm.qe, pm.se, pm.mats, pm.weights)
 }
+
+// Matrices returns the per-matcher matrices in ensemble order — the same
+// slice CombineMatrices accepts, so a completed candidate's matcher work
+// can be recombined under a different weight table (shadow scoring)
+// without re-running any matcher. It panics unless every matcher has been
+// evaluated; abandoned candidates never have a complete set.
+func (pm *Progressive) Matrices() []*Matrix {
+	if pm.Remaining() > 0 {
+		panic(fmt.Sprintf("match: Progressive.Matrices with %d matchers unevaluated", pm.Remaining()))
+	}
+	return pm.mats
+}
+
+// Elements returns the query/schema element slices of the evaluation —
+// the shape CombineMatrices needs alongside Matrices.
+func (pm *Progressive) Elements() ([]query.Element, []model.Element) {
+	return pm.qe, pm.se
+}

@@ -55,16 +55,30 @@ type walRecord struct {
 	// opKeyCreate: the stored key binding (the hash is in ID; plaintext
 	// never touches the log).
 	Key *KeyEntry `json:"key,omitempty"`
+
+	// opFeedback: one acknowledged batch of search-interaction events
+	// (relevance-loop training data; see feedback.go). Like the key
+	// records, feedback and weight records carry no Seq and never advance
+	// the change feed on replay.
+	Feedback []FeedbackEvent `json:"feedback,omitempty"`
+
+	// opWeightSet: a versioned candidate weight table; opWeightPromote:
+	// the version being promoted to serving.
+	WeightSet     *WeightSet `json:"weightSet,omitempty"`
+	WeightVersion uint64     `json:"weightVersion,omitempty"`
 }
 
 const (
-	opPut       = "put"
-	opDelete    = "delete"
-	opTag       = "tag"
-	opComment   = "comment"
-	opUsage     = "usage"
-	opKeyCreate = "key_create"
-	opKeyRevoke = "key_revoke"
+	opPut           = "put"
+	opDelete        = "delete"
+	opTag           = "tag"
+	opComment       = "comment"
+	opUsage         = "usage"
+	opKeyCreate     = "key_create"
+	opKeyRevoke     = "key_revoke"
+	opFeedback      = "feedback"
+	opWeightSet     = "weight_set"
+	opWeightPromote = "weight_promote"
 )
 
 // usageFlushEvery bounds how many usage counter updates may sit in memory
@@ -265,6 +279,29 @@ func (r *Repository) applyRecord(rec *walRecord) error {
 		r.keys[rec.ID] = rec.Key
 	case opKeyRevoke:
 		delete(r.keys, rec.ID)
+	case opFeedback:
+		// Relevance-loop records replay without touching r.seq: they are
+		// not schema mutations and must not trigger reindexing.
+		if len(rec.Feedback) == 0 {
+			return fmt.Errorf("repository: wal feedback record without events")
+		}
+		r.feedback = append(r.feedback, rec.Feedback...)
+		r.trimFeedbackLocked()
+	case opWeightSet:
+		ws := rec.WeightSet
+		if ws == nil || len(ws.Weights) == 0 {
+			return fmt.Errorf("repository: wal weight-set record without weights")
+		}
+		if ws.Version <= r.weightVersion {
+			return fmt.Errorf("repository: wal weight-set version %d not above %d", ws.Version, r.weightVersion)
+		}
+		r.weightVersion = ws.Version
+		r.weightSets = append(r.weightSets, ws)
+	case opWeightPromote:
+		if rec.WeightVersion == 0 {
+			return fmt.Errorf("repository: wal weight-promote record without version")
+		}
+		r.promotedVersion = rec.WeightVersion
 	default:
 		return fmt.Errorf("repository: wal record with unknown op %q", rec.Op)
 	}

@@ -1,0 +1,246 @@
+package repository
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestFeedbackAppendAndTrim(t *testing.T) {
+	r := New()
+	if err := r.AppendFeedback(); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if err := r.AppendFeedback(FeedbackEvent{Query: "q", ID: ""}); err == nil {
+		t.Fatal("event without id accepted")
+	}
+	if err := r.AppendFeedback(
+		FeedbackEvent{Query: "patient height", ID: "s1", Rank: 0, Selected: true},
+		FeedbackEvent{Query: "patient height", ID: "s2", Rank: 1},
+	); err != nil {
+		t.Fatal(err)
+	}
+	got := r.Feedback()
+	if len(got) != 2 || got[0].ID != "s1" || !got[0].Selected || got[1].Selected {
+		t.Fatalf("feedback = %+v", got)
+	}
+	if got[0].At.IsZero() {
+		t.Fatal("timestamp not filled")
+	}
+	if r.FeedbackCount() != 2 {
+		t.Fatalf("count = %d", r.FeedbackCount())
+	}
+	// The returned slice is a copy: mutating it must not touch the log.
+	got[0].ID = "mutated"
+	if r.Feedback()[0].ID != "s1" {
+		t.Fatal("Feedback returned shared storage")
+	}
+}
+
+func TestFeedbackRetentionBound(t *testing.T) {
+	r := New()
+	events := make([]FeedbackEvent, 0, maxFeedbackRetained+50)
+	for i := 0; i < maxFeedbackRetained+50; i++ {
+		events = append(events, FeedbackEvent{Query: "q", ID: "s", Rank: i})
+	}
+	if err := r.AppendFeedback(events...); err != nil {
+		t.Fatal(err)
+	}
+	got := r.Feedback()
+	if len(got) != maxFeedbackRetained {
+		t.Fatalf("retained %d events, want %d", len(got), maxFeedbackRetained)
+	}
+	// The newest events survive, the oldest are dropped.
+	if got[0].Rank != 50 || got[len(got)-1].Rank != maxFeedbackRetained+49 {
+		t.Fatalf("retained window [%d..%d]", got[0].Rank, got[len(got)-1].Rank)
+	}
+}
+
+func TestWeightSetVersioningAndPromotion(t *testing.T) {
+	r := New()
+	if _, err := r.AddWeightSet(WeightSet{}); err == nil {
+		t.Fatal("empty weight set accepted")
+	}
+	if _, err := r.AddWeightSet(WeightSet{Weights: map[string]float64{"name": -1}}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	v1, err := r.AddWeightSet(WeightSet{Weights: map[string]float64{"name": 0.7, "context": 0.3}, Source: "trainer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := r.AddWeightSet(WeightSet{Weights: map[string]float64{"name": 0.6, "context": 0.4}, Source: "api"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != 1 || v2 != 2 || r.WeightVersion() != 2 {
+		t.Fatalf("versions %d, %d (latest %d)", v1, v2, r.WeightVersion())
+	}
+	if ws, ok := r.LatestWeightSet(); !ok || ws.Version != 2 || ws.Source != "api" || ws.CreatedAt.IsZero() {
+		t.Fatalf("latest = %+v, %v", ws, ok)
+	}
+	if err := r.PromoteWeights(99); err == nil {
+		t.Fatal("promoted unknown version")
+	}
+	if err := r.PromoteWeights(v1); err != nil {
+		t.Fatal(err)
+	}
+	if r.PromotedVersion() != v1 {
+		t.Fatalf("promoted %d, want %d", r.PromotedVersion(), v1)
+	}
+	ws, ok := r.PromotedWeights()
+	if !ok || ws.Version != v1 || ws.Weights["name"] != 0.7 {
+		t.Fatalf("promoted set = %+v, %v", ws, ok)
+	}
+	// Value semantics: mutating a returned set must not corrupt storage.
+	ws.Weights["name"] = 0
+	if got, _ := r.PromotedWeights(); got.Weights["name"] != 0.7 {
+		t.Fatal("PromotedWeights returned shared weight map")
+	}
+}
+
+// TestFeedbackDurability: feedback and weight records are WAL-logged, so a
+// crash (Recover over the same files) loses nothing — and none of them
+// advance the index change feed.
+func TestFeedbackDurability(t *testing.T) {
+	dir := t.TempDir()
+	snap, wal := filepath.Join(dir, "repo.json"), filepath.Join(dir, "repo.wal")
+	r, _, err := Recover(snap, wal, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := r.Put(sch("clinic", "patient", "height"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := r.Seq()
+	at := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	if err := r.AppendFeedback(FeedbackEvent{Query: "patient", ID: id, Rank: 0, Selected: true, At: at}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := r.AddWeightSet(WeightSet{Weights: map[string]float64{"name": 1}, Examples: 4, Source: "trainer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.PromoteWeights(v); err != nil {
+		t.Fatal(err)
+	}
+	if r.Seq() != seq {
+		t.Fatalf("feedback advanced the change feed: seq %d -> %d", seq, r.Seq())
+	}
+	r.Close()
+
+	re, stats, err := Recover(snap, wal, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if stats.Replayed == 0 {
+		t.Fatalf("nothing replayed: %+v", stats)
+	}
+	fb := re.Feedback()
+	if len(fb) != 1 || fb[0].ID != id || !fb[0].Selected || !fb[0].At.Equal(at) {
+		t.Fatalf("recovered feedback = %+v", fb)
+	}
+	if re.WeightVersion() != v || re.PromotedVersion() != v {
+		t.Fatalf("recovered versions: latest %d promoted %d, want %d", re.WeightVersion(), re.PromotedVersion(), v)
+	}
+	if ws, ok := re.PromotedWeights(); !ok || ws.Weights["name"] != 1 || ws.Examples != 4 {
+		t.Fatalf("recovered weight set = %+v, %v", ws, ok)
+	}
+	if ch := re.ChangedSince(seq); len(ch.Updated) != 0 || len(ch.Deleted) != 0 {
+		t.Fatalf("feedback records produced change-feed entries: %+v", ch)
+	}
+}
+
+// TestFeedbackDurabilitySnapshot: the snapshot carries the relevance-loop
+// state too, so recovery without WAL replay still restores it.
+func TestFeedbackDurabilitySnapshot(t *testing.T) {
+	dir := t.TempDir()
+	snap, wal := filepath.Join(dir, "repo.json"), filepath.Join(dir, "repo.wal")
+	r, _, err := Recover(snap, wal, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AppendFeedback(FeedbackEvent{Query: "q", ID: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := r.AddWeightSet(WeightSet{Weights: map[string]float64{"name": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Snapshot(snap, 0); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	re, stats, err := Recover(snap, wal, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if stats.Replayed != 0 {
+		t.Fatalf("snapshot should cover everything: %+v", stats)
+	}
+	if re.FeedbackCount() != 1 || re.WeightVersion() != v {
+		t.Fatalf("snapshot round trip: %d events, version %d", re.FeedbackCount(), re.WeightVersion())
+	}
+}
+
+// TestFeedbackReplication: feedback and weight-set records stream to a
+// replica like any mutation — without advancing the replica's change feed
+// — and survive a resync via ExportState/InstallState.
+func TestFeedbackReplication(t *testing.T) {
+	primary, replica := replPair(t)
+	id, err := primary.Put(sch("clinic", "patient"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	catchUp(t, primary, replica)
+	seq := replica.Seq()
+
+	if err := primary.AppendFeedback(
+		FeedbackEvent{Query: "patient", ID: id, Rank: 0, Selected: true},
+		FeedbackEvent{Query: "patient", ID: id, Rank: 2},
+	); err != nil {
+		t.Fatal(err)
+	}
+	v, err := primary.AddWeightSet(WeightSet{Weights: map[string]float64{"name": 1}, Source: "trainer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.PromoteWeights(v); err != nil {
+		t.Fatal(err)
+	}
+	if n := catchUp(t, primary, replica); n != 3 {
+		t.Fatalf("applied %d records, want 3", n)
+	}
+	if replica.LSN() != primary.LSN() {
+		t.Fatalf("replica lsn %d != primary %d", replica.LSN(), primary.LSN())
+	}
+	if replica.FeedbackCount() != 2 {
+		t.Fatalf("replica holds %d feedback events, want 2", replica.FeedbackCount())
+	}
+	if replica.WeightVersion() != v || replica.PromotedVersion() != v {
+		t.Fatalf("replica versions: latest %d promoted %d, want %d",
+			replica.WeightVersion(), replica.PromotedVersion(), v)
+	}
+	if replica.Seq() != seq {
+		t.Fatalf("replicated feedback advanced the change feed: %d -> %d", seq, replica.Seq())
+	}
+	if ch := replica.ChangedSince(seq); len(ch.Updated) != 0 || len(ch.Deleted) != 0 {
+		t.Fatalf("replicated feedback produced change-feed entries: %+v", ch)
+	}
+
+	// Resync path: a fresh replica installs the full state export.
+	state, lsn, err := primary.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := New()
+	if err := fresh.InstallState(state); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.LSN() != lsn || fresh.FeedbackCount() != 2 || fresh.PromotedVersion() != v {
+		t.Fatalf("installed state: lsn %d, %d events, promoted %d",
+			fresh.LSN(), fresh.FeedbackCount(), fresh.PromotedVersion())
+	}
+}

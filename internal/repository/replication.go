@@ -128,6 +128,10 @@ func (r *Repository) InstallState(data []byte) error {
 	r.seq = fresh.seq
 	r.deleted = fresh.deleted
 	r.keys = fresh.keys
+	r.feedback = fresh.feedback
+	r.weightSets = fresh.weightSets
+	r.weightVersion = fresh.weightVersion
+	r.promotedVersion = fresh.promotedVersion
 	r.lsn = fresh.lsn
 	r.pendingUsage = nil
 	r.pendingUsageN = 0

@@ -63,6 +63,14 @@ type Repository struct {
 	deleted map[string]uint64 // id → seq of deletion
 	keys    map[string]*KeyEntry // API-key hash → tenant binding (see keys.go)
 
+	// Relevance loop (see feedback.go): the retained feedback-event
+	// window, the stored weight sets with their monotonic version counter,
+	// and which version is promoted to serving (0 = none).
+	feedback        []FeedbackEvent
+	weightSets      []*WeightSet
+	weightVersion   uint64
+	promotedVersion uint64
+
 	// Durability (nil/zero without Recover): the attached WAL, the log
 	// sequence number of the last record written or replayed, coalesced
 	// usage-counter deltas awaiting a batched WAL record, and metrics.
@@ -527,6 +535,12 @@ type persisted struct {
 	Entries map[string]*Entry    `json:"entries"`
 	Deleted map[string]uint64    `json:"deleted,omitempty"`
 	Keys    map[string]*KeyEntry `json:"keys,omitempty"`
+
+	// Relevance loop (absent from, and ignored in, older snapshots).
+	Feedback        []FeedbackEvent `json:"feedback,omitempty"`
+	WeightSets      []*WeightSet    `json:"weightSets,omitempty"`
+	WeightVersion   uint64          `json:"weightVersion,omitempty"`
+	PromotedVersion uint64          `json:"promotedVersion,omitempty"`
 }
 
 // Save durably writes the repository to path: temp file, fsync, rename,
@@ -577,6 +591,10 @@ func (r *Repository) persistedLocked() persisted {
 	if len(r.keys) > 0 {
 		p.Keys = r.keys
 	}
+	p.Feedback = r.feedback
+	p.WeightSets = r.weightSets
+	p.WeightVersion = r.weightVersion
+	p.PromotedVersion = r.promotedVersion
 	return p
 }
 
@@ -613,6 +631,15 @@ func fromPersisted(p *persisted, src string) (*Repository, error) {
 	}
 	if p.Keys != nil {
 		r.keys = p.Keys
+	}
+	r.feedback = p.Feedback
+	r.weightSets = p.WeightSets
+	r.weightVersion = p.WeightVersion
+	r.promotedVersion = p.PromotedVersion
+	for _, ws := range r.weightSets {
+		if ws.Version > r.weightVersion {
+			r.weightVersion = ws.Version
+		}
 	}
 	for _, id := range p.Order {
 		e, ok := p.Entries[id]

@@ -103,6 +103,9 @@ type StatsJSON struct {
 	Indexed          int `json:"indexed"`
 	CachedProfiles   int `json:"cached_profiles"`
 	InFlightSearches int `json:"in_flight_searches"`
+	// FeedbackEvents is the retained relevance-feedback log length
+	// (deployment-wide — the feedback log feeds one global weight table).
+	FeedbackEvents int `json:"feedback_events"`
 }
 
 // DDLJSON is the data payload of /api/v1/schema/{id}/ddl.
@@ -241,10 +244,12 @@ func (s *Server) v1Delete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) v1Select(w http.ResponseWriter, r *http.Request) {
-	if !s.engine.Repository().RecordSelection(qualifiedID(r)) {
+	id := qualifiedID(r)
+	if !s.engine.Repository().RecordSelection(id) {
 		s.writeJSONErr(w, r, notFound("no schema %q", r.PathValue("id")))
 		return
 	}
+	s.recordSelectFeedback(r, id)
 	s.writeJSON(w, r, http.StatusOK, SelectedJSON{ID: r.PathValue("id"), Selected: true})
 }
 
@@ -255,5 +260,6 @@ func (s *Server) v1Stats(w http.ResponseWriter, r *http.Request) {
 		Indexed:          indexed,
 		CachedProfiles:   s.engine.CachedProfiles(),
 		InFlightSearches: s.InFlight(),
+		FeedbackEvents:   s.engine.Repository().FeedbackCount(),
 	})
 }

@@ -63,6 +63,11 @@ type Server struct {
 	limiter  *tenant.Limiter // per-tenant admission (used when AuthEnabled)
 	reqSeq   atomic.Uint64
 
+	// learnMet instruments the relevance loop (see learn.go); trainMu
+	// serializes trainer rounds and promotion-gate runs.
+	learnMet *learnMetrics
+	trainMu  sync.Mutex
+
 	// baseCtx is cancelled by Shutdown; indexers and request deadlines hang
 	// off it so background work stops with the server.
 	baseCtx         context.Context
@@ -93,6 +98,8 @@ func NewWithConfig(engine *core.Engine, cfg Config) *Server {
 		reg = engine.Metrics()
 	}
 	s.met = newHTTPMetrics(reg)
+	s.learnMet = newLearnMetrics(reg)
+	s.learnMet.weightVersion.Set(int64(engine.Repository().WeightVersion()))
 
 	s.handle("GET /{$}", s.handleHome)
 
@@ -124,6 +131,15 @@ func NewWithConfig(engine *core.Engine, cfg Config) *Server {
 	s.handle("GET /api/v1/schema/{id}/ddl", s.deadlined(s.v1DDL))
 	s.handle("POST /api/v1/schema/{id}/select", s.readOnly(s.deadlined(s.v1Select), s.writeJSONErr))
 	s.handle("GET /api/v1/stats", s.deadlined(s.v1Stats))
+
+	// Relevance loop (see learn.go): durable click-through feedback,
+	// versioned candidate weight sets with shadow scoring, and the gated
+	// promotion path. Feedback and weight mutations are WAL-logged, so a
+	// read-only replica rejects them with 403 like any other write.
+	s.handle("POST /api/v1/feedback", s.readOnly(s.deadlined(s.v1Feedback), s.writeJSONErr))
+	s.handle("GET /api/v1/weights", s.deadlined(s.v1Weights))
+	s.handle("POST /api/v1/weights", s.readOnly(s.weightsGuard(s.deadlined(s.v1ProposeWeights)), s.writeJSONErr))
+	s.handle("POST /api/v1/weights/promote", s.readOnly(s.weightsGuard(s.deadlined(s.v1PromoteWeights)), s.writeJSONErr))
 
 	// Tenant key management (see auth.go): bootstrap-admin-only issuance,
 	// listing and revocation of durable tenant API keys.
@@ -485,10 +501,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 // handleSelect records a click-through on a search result — the usage
 // signal the popularity boost and future ranking improvements feed on.
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
-	if !s.engine.Repository().RecordSelection(qualifiedID(r)) {
+	id := qualifiedID(r)
+	if !s.engine.Repository().RecordSelection(id) {
 		s.writeXMLErr(w, r, notFound("no schema %q", r.PathValue("id")))
 		return
 	}
+	s.recordSelectFeedback(r, id)
 	w.WriteHeader(http.StatusNoContent)
 }
 

@@ -180,7 +180,31 @@ func openSystem(dir string, opts EngineOptions) (*System, RecoveryStats, error) 
 			return nil, stats, err
 		}
 	}
+	sys.SyncWeights()
 	return sys, stats, nil
+}
+
+// SyncWeights aligns the engine with the repository's durable weight
+// state: the promoted weight set (if any) becomes the serving weights, and
+// the newest candidate beyond it resumes shadow scoring. Recovery and
+// replica catch-up call it so learned weights survive restarts and reach
+// replicas. Weight sets naming matchers absent from the configured
+// ensemble are skipped — the weights belong to the deployment that trained
+// them.
+func (s *System) SyncWeights() {
+	if ws, ok := s.Repo.PromotedWeights(); ok {
+		if err := s.Engine.SetWeights(ws.Weights); err == nil {
+			// Promoted weights are serving; retire a matching shadow.
+			if s.Engine.ShadowVersion() == ws.Version {
+				s.Engine.ClearShadowWeights()
+			}
+		}
+	}
+	if ws, ok := s.Repo.LatestWeightSet(); ok && ws.Version > s.Repo.PromotedVersion() {
+		if s.Engine.ShadowVersion() != ws.Version {
+			_ = s.Engine.SetShadowWeights(ws.Version, ws.Weights)
+		}
+	}
 }
 
 // Save checkpoints the system under dir (created if absent): the document

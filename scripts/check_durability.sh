@@ -58,8 +58,13 @@ boot_server
 # Stream imports; append each id to acked.txt ONLY after the 200 arrived.
 # The request in flight when the server dies gets no response and is
 # (correctly) not recorded — the contract covers acknowledged mutations.
+# The same stream also posts relevance-feedback events (one per import) and
+# records each acknowledged batch: feedback rides the same WAL, so the same
+# fsync-before-ack contract must hold for it.
 ACKED="$WORK/acked.txt"
+FB_ACKED="$WORK/fb_acked.txt"
 : >"$ACKED"
+: >"$FB_ACKED"
 (
     i=0
     while :; do
@@ -70,6 +75,12 @@ ACKED="$WORK/acked.txt"
             2>/dev/null)" || exit 0
         id="$(printf '%s' "$resp" | grep -o '"id":"[^"]*"' | head -1 | cut -d'"' -f4)"
         [ -n "$id" ] && printf '%s\n' "$id" >>"$ACKED"
+        if [ -n "$id" ] && curl -fsS -X POST "http://$ADDR/api/v1/feedback" \
+            -H 'Content-Type: application/json' \
+            -d "{\"events\":[{\"query\":\"stream $i\",\"id\":\"$id\",\"rank\":1,\"selected\":true}]}" \
+            >/dev/null 2>&1; then
+            printf '%s\n' "$id" >>"$FB_ACKED"
+        fi
     done
 ) &
 IMPORTER_PID=$!
@@ -108,10 +119,19 @@ if [ "$MISSING" -gt 0 ]; then
     exit 1
 fi
 
+# Acknowledged feedback events survive too: the retained log must hold at
+# least as many events as batches were acked before the kill.
+FB_N="$(wc -l <"$FB_ACKED" | tr -d ' ')"
+FB_GOT="$(curl -fsS "http://$ADDR/api/v1/stats" | grep -o '"feedback_events":[0-9]*' | cut -d: -f2 || true)"
+if [ "${FB_GOT:-0}" -lt "$FB_N" ]; then
+    echo "FAIL: only ${FB_GOT:-0} of $FB_N acknowledged feedback events survived kill -9" >&2
+    exit 1
+fi
+
 kill "$SERVER_PID" 2>/dev/null || true
 wait "$SERVER_PID" 2>/dev/null || true
 SERVER_PID=""
-echo "OK: all $N acknowledged imports survived kill -9 + recovery."
+echo "OK: all $N acknowledged imports and $FB_N feedback events survived kill -9 + recovery."
 
 # --- Phase 2: kill-a-shard failover ------------------------------------
 # A 2-shard primary streams its WAL to a read-only replica. We kill -9 the
